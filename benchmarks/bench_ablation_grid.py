@@ -1,0 +1,85 @@
+"""Ablation: grid shape — why TWO partitioning dimensions matter.
+
+Sixteen matching nodes can be arranged as 16x1 (query partitioning
+only — every node chews the full write stream, like log tailing),
+1x16 (write partitioning only — every node holds every query), or
+balanced grids in between.  Under a mixed workload that is heavy on
+BOTH dimensions (4 000 queries and 4 000 ops/s), only shapes with
+enough write partitions absorb the per-write parse cost, and only
+shapes with enough query partitions bound the per-node query load;
+the degenerate shapes saturate first as either dimension grows.
+"""
+
+import math
+
+import pytest
+
+from repro.sim.cluster_model import SimulatedInvaliDB
+
+SHAPES = ((16, 1), (8, 2), (4, 4), (2, 8), (1, 16))
+QUERIES = 4000
+WRITE_RATE = 4000.0
+
+
+def run_shapes():
+    mixed = {}
+    for qp, wp in SHAPES:
+        model = SimulatedInvaliDB(qp, wp, seed=qp * 100 + wp)
+        mixed[(qp, wp)] = (
+            model.matching_utilization(QUERIES, WRITE_RATE),
+            model.run(QUERIES, WRITE_RATE, duration=6.0),
+        )
+    # Degenerate shapes under single-dimension growth.
+    write_growth = {
+        shape: SimulatedInvaliDB(*shape, seed=7).run(1000, 8000.0,
+                                                     duration=6.0)
+        for shape in ((16, 1), (4, 4), (1, 16))
+    }
+    query_growth = {
+        shape: SimulatedInvaliDB(*shape, seed=7).run(24000, 1000.0,
+                                                     duration=6.0)
+        for shape in ((16, 1), (4, 4), (1, 16))
+    }
+    return mixed, write_growth, query_growth
+
+
+@pytest.mark.benchmark(min_rounds=1, max_time=0.01, warmup=False)
+def test_grid_shape_ablation(benchmark, emit):
+    mixed, write_growth, query_growth = benchmark.pedantic(
+        run_shapes, rounds=1, iterations=1
+    )
+    emit("Ablation — 16 matching nodes, varying grid shape")
+    emit(f"Mixed workload: {QUERIES} queries @ {WRITE_RATE:.0f} ops/s")
+    emit("=" * 56)
+    emit(f"{'shape':>8}  {'node util':>10}  {'p99 (ms)':>10}")
+    for (qp, wp), (utilization, stats) in mixed.items():
+        p99 = "saturated" if math.isinf(stats.p99) else f"{stats.p99:8.1f}"
+        emit(f"{qp:>4}x{wp:<3}  {utilization:>10.2f}  {p99:>10}")
+    emit("")
+    emit("Write growth (1 000 queries @ 8 000 ops/s):")
+    for shape, stats in write_growth.items():
+        p99 = "saturated" if math.isinf(stats.p99) else f"{stats.p99:.1f} ms"
+        emit(f"  {shape[0]}x{shape[1]}: p99 {p99}")
+    emit("Query growth (24 000 queries @ 1 000 ops/s):")
+    for shape, stats in query_growth.items():
+        p99 = "saturated" if math.isinf(stats.p99) else f"{stats.p99:.1f} ms"
+        emit(f"  {shape[0]}x{shape[1]}: p99 {p99}")
+
+    # The degenerate shapes fail on the dimension they do not partition;
+    # the balanced grid survives both.
+    assert math.isinf(write_growth[(16, 1)].p99) or (
+        write_growth[(16, 1)].p99 > 100
+    ), "query-only partitioning must collapse under write growth"
+    assert write_growth[(1, 16)].p99 < 50
+    assert write_growth[(4, 4)].p99 < 100
+    # Query growth: total matching work is shape-independent, but the
+    # write-only shape serializes 24 000 matches into every single
+    # write's service time — per-notification latency degrades hard
+    # (the paper's C1: "queries become intractable as soon as one of
+    # the nodes is not able to keep up").
+    assert query_growth[(1, 16)].p99 > 2 * query_growth[(16, 1)].p99
+    assert query_growth[(16, 1)].p99 < 50
+    assert query_growth[(4, 4)].p99 < 100
+    # Mixed load: the 16x1 shape pays the full write rate per node.
+    assert mixed[(16, 1)][0] > 1.0
+    assert mixed[(4, 4)][0] < 0.8

@@ -1,0 +1,115 @@
+"""End-to-end latency of the functional (threaded) InvaliDB stack.
+
+Complements the simulated figures with real measurements of this
+repository's running system: wall-clock time from executing a write at
+the app server until the subscribed client receives the change
+notification, through broker -> ingestion -> matching grid -> broker.
+"""
+
+import statistics
+import threading
+import time
+
+import pytest
+
+from repro.core.cluster import InvaliDBCluster
+from repro.core.config import InvaliDBConfig
+from repro.core.server import AppServer
+from repro.event.broker import Broker
+
+
+@pytest.fixture
+def stack():
+    broker = Broker()
+    config = InvaliDBConfig(query_partitions=2, write_partitions=2)
+    cluster = InvaliDBCluster(broker, config).start()
+    app = AppServer("bench-app", broker, config=config)
+    yield broker, cluster, app
+    app.close()
+    cluster.stop()
+    broker.close()
+
+
+def test_notification_roundtrip_latency(benchmark, stack, emit):
+    """One write -> one notification, measured end to end."""
+    broker, cluster, app = stack
+    arrival = threading.Event()
+
+    def on_change(notification):
+        arrival.set()
+
+    app.subscribe("items", {"v": {"$gte": 0}}, on_change=on_change)
+    counter = {"n": 0}
+
+    def roundtrip():
+        arrival.clear()
+        counter["n"] += 1
+        app.insert("items", {"_id": counter["n"], "v": counter["n"]})
+        assert arrival.wait(timeout=5.0)
+
+    benchmark.pedantic(roundtrip, rounds=30, iterations=1, warmup_rounds=3)
+    emit("end-to-end write->notification roundtrips completed: "
+         f"{counter['n']}")
+
+
+def test_burst_throughput_with_100_queries(benchmark, stack, emit):
+    """A 200-write burst against 100 live queries, to quiescence."""
+    broker, cluster, app = stack
+    received = []
+    lock = threading.Lock()
+
+    def on_change(notification):
+        with lock:
+            received.append(notification)
+
+    for bound in range(100):
+        app.subscribe("stream", {"v": {"$gte": bound * 10_000_000}},
+                      on_change=on_change)
+    # Only the bound-0 query can match (v is small): 1 notification/write.
+    state = {"base": 0}
+
+    def burst():
+        base = state["base"]
+        state["base"] += 200
+        for index in range(200):
+            app.insert("stream", {"_id": base + index, "v": 1 + index % 5})
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            with lock:
+                if len(received) >= state["base"]:
+                    return
+            time.sleep(0.005)
+        raise AssertionError("burst did not drain in time")
+
+    benchmark.pedantic(burst, rounds=3, iterations=1)
+    with lock:
+        total = len(received)
+    emit(f"notifications delivered across bursts: {total}")
+    assert total == state["base"]
+
+
+def test_notification_latency_distribution(benchmark, stack, emit):
+    """Latency distribution of 300 sequential write->notify roundtrips
+    on the real stack (timed per roundtrip; distribution reported)."""
+    broker, cluster, app = stack
+    samples = []
+    arrival = threading.Event()
+    app.subscribe("timed", {"v": {"$gte": 0}},
+                  on_change=lambda n: arrival.set())
+
+    def run_all():
+        for index in range(300):
+            arrival.clear()
+            start = time.perf_counter()
+            app.insert("timed", {"_id": index, "v": index})
+            assert arrival.wait(timeout=5.0)
+            samples.append((time.perf_counter() - start) * 1000.0)
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    samples.sort()
+    p50 = samples[len(samples) // 2]
+    p99 = samples[int(len(samples) * 0.99)]
+    emit("Functional stack write->notification latency (ms):")
+    emit(f"  avg={statistics.mean(samples):.2f}  p50={p50:.2f}  "
+         f"p99={p99:.2f}  max={samples[-1]:.2f}")
+    assert p50 < 250.0  # generous bound: CI machines vary widely

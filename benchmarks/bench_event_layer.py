@@ -1,0 +1,76 @@
+"""Event-layer micro-benchmarks.
+
+The paper verified that "the event layer (Redis) did not become a
+bottleneck" (Section 6.1).  These benches measure our in-memory
+broker's raw throughput — publish rate, end-to-end delivery rate, and
+the JSON (de)serialization cost the paper blames for the read/write
+asymmetry (Section 6.3).
+"""
+
+import threading
+
+import pytest
+
+from repro.event.broker import Broker
+from repro.event.codec import JsonCodec
+from repro.sim.workload import generate_document
+
+import random
+
+
+@pytest.fixture
+def broker():
+    broker = Broker()
+    yield broker
+    broker.close()
+
+
+def test_publish_throughput(benchmark, broker):
+    """Publish-side cost (encode + enqueue) for a typical after-image."""
+    document = generate_document(random.Random(1), "key", 42)
+    payload = {"kind": "write", "key": "key", "version": 1,
+               "op": "update", "document": document}
+    benchmark(broker.publish, "bench-channel", payload)
+
+
+def test_delivery_roundtrip_batch(benchmark, broker):
+    """Time 1 000 messages from publish to subscriber callback."""
+    received = threading.Semaphore(0)
+    broker.subscribe("batch", lambda c, p: received.release())
+    document = generate_document(random.Random(1), "key", 42)
+
+    def burst():
+        for index in range(1000):
+            broker.publish("batch", {"seq": index, "document": document})
+        for _ in range(1000):
+            assert received.acquire(timeout=5.0)
+
+    benchmark.pedantic(burst, rounds=3, iterations=1)
+
+
+def test_json_codec_roundtrip(benchmark):
+    """The per-message (de)serialization cost of the wire format."""
+    codec = JsonCodec()
+    document = generate_document(random.Random(1), "key", 42)
+    payload = {"kind": "write", "key": "key", "version": 3,
+               "op": "update", "document": document, "timestamp": 1.5}
+
+    def roundtrip():
+        return codec.decode(codec.encode(payload))
+
+    result = benchmark(roundtrip)
+    assert result == payload
+
+
+def test_fanout_to_many_subscribers(benchmark, broker):
+    """One message fanned out to 100 subscribers (multi-tenant case)."""
+    received = threading.Semaphore(0)
+    for _ in range(100):
+        broker.subscribe("fanout", lambda c, p: received.release())
+
+    def publish_and_wait():
+        broker.publish("fanout", {"v": 1})
+        for _ in range(100):
+            assert received.acquire(timeout=5.0)
+
+    benchmark.pedantic(publish_and_wait, rounds=10, iterations=1)

@@ -1,0 +1,98 @@
+"""Benchmarks for the §8.1 extension features.
+
+* aggregation stage: cost of one match event against a live aggregate
+  view, and full-pipeline throughput filtering -> aggregation;
+* notification collapsing: compression ratio on a write-hotspot burst
+  (the client-resource scenario the paper motivates).
+"""
+
+import random
+
+import pytest
+
+from repro.core.aggregation import AggregateSpec, AggregationNode
+from repro.core.collapsing import NotificationCollapser
+from repro.core.filtering import FilteringNode, MatchEvent
+from repro.core.partitioning import NodeCoordinates
+from repro.core.stages import pipe
+from repro.query.engine import Query
+from repro.types import AfterImage, ChangeNotification, MatchType, WriteKind
+
+QUERY = Query({"category": "bikes"})
+SPECS = (
+    AggregateSpec("count"),
+    AggregateSpec("sum", "price"),
+    AggregateSpec("avg", "price"),
+    AggregateSpec("min", "price"),
+    AggregateSpec("max", "price"),
+)
+
+
+def test_aggregation_event_cost(benchmark):
+    """Steady-state cost of one change event on a 1 000-member result."""
+    node = AggregationNode()
+    rng = random.Random(5)
+    bootstrap = [
+        {"_id": index, "category": "bikes", "price": rng.randrange(1000)}
+        for index in range(1000)
+    ]
+    node.register_query(QUERY, bootstrap, {}, aggregates=SPECS)
+    state = {"version": 1}
+
+    def one_change():
+        state["version"] += 1
+        event = MatchEvent(
+            QUERY.query_id, MatchType.CHANGE, 500,
+            {"_id": 500, "category": "bikes",
+             "price": state["version"] % 1000},
+            state["version"], 0.0, False,
+        )
+        return node.handle_event(event)
+
+    benchmark(one_change)
+
+
+def test_filtering_to_aggregation_pipeline_throughput(benchmark):
+    """1 000 writes through filtering -> aggregation, end to end."""
+    rng = random.Random(7)
+
+    def run_pipeline():
+        filtering = FilteringNode(NodeCoordinates(0, 0))
+        aggregation = AggregationNode()
+        filtering.register_query(QUERY, [], {}, now=0.0)
+        aggregation.register_query(QUERY, [], {}, aggregates=SPECS)
+        changes = 0
+        for index in range(1000):
+            doc = {"_id": index % 100,
+                   "category": rng.choice(["bikes", "boards"]),
+                   "price": rng.randrange(1000)}
+            after = AfterImage(index % 100, index + 1, WriteKind.UPDATE, doc)
+            changes += len(
+                pipe(aggregation, filtering.process_write(after, now=0.0))
+            )
+        return changes
+
+    changes = benchmark.pedantic(run_pipeline, rounds=3, iterations=1)
+    assert changes > 0
+
+
+def test_collapsing_compression_on_hotspot(benchmark, emit):
+    """A hot-key burst: 1 000 updates to 10 keys within one window."""
+    def run_burst():
+        delivered = []
+        collapser = NotificationCollapser(delivered.append,
+                                          window_seconds=10.0)
+        for index in range(1000):
+            collapser.offer(ChangeNotification(
+                subscription_id="s", query_id="q",
+                match_type=MatchType.CHANGE, key=index % 10,
+                document={"_id": index % 10, "v": index},
+            ))
+        collapser.flush()
+        return collapser.compression_ratio, len(delivered)
+
+    ratio, delivered = benchmark.pedantic(run_burst, rounds=3, iterations=1)
+    emit(f"hotspot burst: 1000 notifications -> {delivered} delivered "
+         f"(compression {ratio:.0f}x)")
+    assert delivered == 10
+    assert ratio == 100.0

@@ -1,0 +1,145 @@
+"""Figure 6: Quaestor (app server) vs standalone InvaliDB.
+
+(a) read scalability: p99 notification latency under growing query
+    load at 1 000 ops/s — Quaestor on 16 QP x 1 WP adds a ~5 ms fixed
+    overhead and is otherwise limited only by InvaliDB;
+(b) write scalability: p99 latency under growing write load at 1 000
+    queries — Quaestor's single app server caps out around 6 000 ops/s
+    while standalone InvaliDB (1 QP x 16 WP) scales on;
+(c) latency distribution at 24 000 queries @ 1 000 ops/s;
+(d) latency distribution at 1 000 queries @ 5 000 ops/s.
+"""
+
+import math
+
+import pytest
+
+from repro.sim.cluster_model import QuaestorModel, SimulatedInvaliDB
+from repro.sim.experiment import latency_histogram
+from repro.sim.metrics import LatencyStats
+
+QUERY_STEPS = (500, 1000, 1500, 2000, 3000, 4000, 6000, 8000, 12000,
+               16000, 24000, 32000)
+WRITE_STEPS = (500, 1000, 1500, 2000, 3000, 4000, 6000, 8000, 12000, 16000)
+
+
+def run_fig6():
+    read_quaestor, read_invalidb = {}, {}
+    for queries in QUERY_STEPS:
+        read_quaestor[queries] = QuaestorModel(16, 1, seed=queries).run(
+            queries, 1000.0, duration=6.0
+        )
+        read_invalidb[queries] = SimulatedInvaliDB(16, 1, seed=queries).run(
+            queries, 1000.0, duration=6.0
+        )
+    write_quaestor, write_invalidb = {}, {}
+    for rate in WRITE_STEPS:
+        write_quaestor[rate] = QuaestorModel(1, 16, seed=rate).run(
+            1000, float(rate), duration=6.0
+        )
+        write_invalidb[rate] = SimulatedInvaliDB(1, 16, seed=rate).run(
+            1000, float(rate), duration=6.0
+        )
+    # Distributions: (c) read-heavy snapshot, (d) write-heavy snapshot.
+    histo_read = {
+        "Quaestor": QuaestorModel(16, 1, seed=3).run_samples(
+            24000, 1000.0, duration=10.0),
+        "InvaliDB": SimulatedInvaliDB(16, 1, seed=3).run_samples(
+            24000, 1000.0, duration=10.0),
+    }
+    histo_write = {
+        "Quaestor": QuaestorModel(1, 16, seed=4).run_samples(
+            1000, 5000.0, duration=10.0),
+        "InvaliDB": SimulatedInvaliDB(1, 16, seed=4).run_samples(
+            1000, 5000.0, duration=10.0),
+    }
+    return (read_quaestor, read_invalidb, write_quaestor, write_invalidb,
+            histo_read, histo_write)
+
+
+def _series(emit, title, quaestor, invalidb, unit):
+    emit(title)
+    emit(f"{unit:>10}  {'Quaestor p99':>14}  {'InvaliDB p99':>14}")
+    for load in quaestor:
+        q_p99 = quaestor[load].p99
+        i_p99 = invalidb[load].p99
+        q_text = "saturated" if math.isinf(q_p99) else f"{q_p99:10.1f} ms"
+        i_text = "saturated" if math.isinf(i_p99) else f"{i_p99:10.1f} ms"
+        emit(f"{load:>10}  {q_text:>14}  {i_text:>14}")
+    emit("")
+
+
+@pytest.mark.benchmark(min_rounds=1, max_time=0.01, warmup=False)
+def test_fig6_quaestor_vs_invalidb(benchmark, emit):
+    (read_q, read_i, write_q, write_i,
+     histo_read, histo_write) = benchmark.pedantic(run_fig6, rounds=1,
+                                                   iterations=1)
+    from repro.sim.plotting import ascii_plot
+
+    emit("Figure 6a — Read scalability @ 1 000 ops/s (16 QP x 1 WP)")
+    emit("=" * 48)
+    _series(emit, "", read_q, read_i, "queries")
+    emit(ascii_plot(
+        {
+            "Quaestor": [(q, s.p99) for q, s in read_q.items()],
+            "InvaliDB": [(q, s.p99) for q, s in read_i.items()],
+        },
+        log_x=True, x_label="queries", y_label="p99 ms", height=12,
+    ))
+    emit("")
+    emit("Figure 6b — Write scalability @ 1 000 queries (1 QP x 16 WP)")
+    emit("=" * 48)
+    _series(emit, "", write_q, write_i, "ops/s")
+    emit(ascii_plot(
+        {
+            "Quaestor": [(r, s.p99) for r, s in write_q.items()
+                         if s.p99 < 150],
+            "InvaliDB": [(r, s.p99) for r, s in write_i.items()
+                         if s.p99 < 150],
+        },
+        log_x=True, x_label="ops/s", y_label="p99 ms", height=12,
+    ))
+    emit("")
+
+    for name, samples, config in (
+        ("6c — 24 000 queries @ 1 000 ops/s", histo_read, "read-heavy"),
+        ("6d — 1 000 queries @ 5 000 ops/s", histo_write, "write-heavy"),
+    ):
+        emit(f"Figure {name} ({config} latency distribution)")
+        emit("=" * 48)
+        for system, raw in samples.items():
+            stats = LatencyStats.from_samples(raw or [])
+            emit(f"  {system}: {stats.row()}")
+            histogram = latency_histogram(raw or [], bin_width_ms=4.0,
+                                          max_ms=60.0)
+            bar = "".join(
+                "#" if frequency > 0.02 else ("." if frequency > 0 else " ")
+                for _, frequency in histogram
+            )
+            emit(f"  {system} [0..60ms, 4ms bins]: |{bar}|")
+        emit("")
+
+    # -- Shape assertions -------------------------------------------------
+    # (a) Quaestor adds a roughly fixed ~5ms overhead at healthy loads.
+    overheads = [
+        read_q[load].average - read_i[load].average
+        for load in (500, 1000, 4000, 8000, 16000)
+    ]
+    assert all(2.5 < value < 9.0 for value in overheads), overheads
+    # (a) Read capacity is InvaliDB-bound: both saturate at similar load.
+    q_knee = max(load for load in QUERY_STEPS if read_q[load].p99 < 100)
+    i_knee = max(load for load in QUERY_STEPS if read_i[load].p99 < 100)
+    assert abs(q_knee - i_knee) <= 8000
+    # (b) The app server caps Quaestor's write path around 6k ops/s while
+    # standalone InvaliDB scales well beyond.
+    q_write_knee = max(r for r in WRITE_STEPS if write_q[r].p99 < 100)
+    i_write_knee = max(r for r in WRITE_STEPS if write_i[r].p99 < 100)
+    assert 4000 <= q_write_knee <= 8000, q_write_knee
+    assert i_write_knee >= 12000, i_write_knee
+    # (b) outperforms Firebase/Firestore documented caps by 6x-12x.
+    assert q_write_knee / 1000 >= 4   # vs Firebase 1 000 writes/s
+    assert q_write_knee / 500 >= 8    # vs Firestore 500 writes/s
+    # (c,d) Distributions stay below 100 ms near capacity (graceful).
+    for raw in list(histo_read.values()) + list(histo_write.values()):
+        stats = LatencyStats.from_samples(raw or [])
+        assert stats.p99 < 100.0

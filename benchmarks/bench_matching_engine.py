@@ -1,0 +1,83 @@
+"""Micro-benchmarks of the pure-Python matching engine.
+
+Measures the real (not simulated) cost constants behind the cluster
+model's calibration: matching one after-image against N parsed queries,
+query parsing, canonical hashing, and sorted-window maintenance.
+Run on the paper's evaluation workload (Section 6.1).
+"""
+
+import random
+
+import pytest
+
+from repro.query.engine import MongoQueryEngine, Query
+from repro.query.normalize import query_hash
+from repro.sim.workload import PaperWorkload, generate_document
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return PaperWorkload(total_queries=1000, matching_queries=100, seed=3)
+
+
+@pytest.fixture(scope="module")
+def parsed_queries(workload):
+    return [Query(filter_doc) for filter_doc in workload.queries()]
+
+
+def test_match_one_write_against_1000_queries(benchmark, parsed_queries):
+    """The inner loop of a matching node: one after-image vs its whole
+    query partition."""
+    rng = random.Random(5)
+    document = generate_document(rng, "probe", 42)
+
+    def match_all():
+        return sum(1 for query in parsed_queries if query.matches(document))
+
+    hits = benchmark(match_all)
+    assert hits == 1  # the workload guarantees exactly one match
+
+
+def test_single_predicate_match(benchmark):
+    query = Query({"random": {"$gte": 10, "$lt": 20}})
+    document = generate_document(random.Random(5), "probe", 15)
+    assert benchmark(query.matches, document)
+
+
+def test_complex_predicate_match(benchmark):
+    query = Query({
+        "$or": [
+            {"random": {"$gte": 10, "$lt": 20}},
+            {"s0": {"$regex": "^a"}},
+            {"i1": {"$in": [1, 2, 3]}},
+        ],
+        "i0": {"$exists": True},
+    })
+    document = generate_document(random.Random(5), "probe", 15)
+    benchmark(query.matches, document)
+
+
+def test_query_parse_cost(benchmark, workload):
+    filters = workload.queries()[:100]
+
+    def parse_all():
+        return [Query(filter_doc) for filter_doc in filters]
+
+    parsed = benchmark(parse_all)
+    assert len(parsed) == 100
+
+
+def test_canonical_hash_cost(benchmark):
+    filter_doc = {"random": {"$gte": 10, "$lt": 20}}
+    value = benchmark(query_hash, filter_doc)
+    assert value == query_hash(filter_doc)
+
+
+def test_sort_1000_documents(benchmark):
+    engine = MongoQueryEngine()
+    query = engine.parse({}, sort=[("random", -1)])
+    rng = random.Random(9)
+    documents = [generate_document(rng, i, rng.randrange(10**6))
+                 for i in range(1000)]
+    ordered = benchmark(engine.sort, query, documents)
+    assert len(ordered) == 1000

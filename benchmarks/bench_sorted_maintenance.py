@@ -1,0 +1,100 @@
+"""Ablation: slack size vs query renewal frequency (Section 5.2).
+
+The slack is InvaliDB's robustness budget for sorted queries: every
+removal spends one unit, a renewal refills it at the cost of one
+pull-based query against the database.  This bench subjects a sorted
+top-10 query to a delete-heavy workload under different slack values
+and reports how many renewals (database round-trips) each needs —
+quantifying the trade-off behind the paper's poll frequency rate limit
+and footnote 5's adaptive slack.
+"""
+
+import random
+
+import pytest
+
+from repro.core.filtering import MatchEvent
+from repro.core.sorting import SortingNode
+from repro.query.engine import Query
+from repro.types import MatchType
+
+DELETES = 400
+POPULATION = 1000
+
+
+def run_workload(slack: int, delete_bias: float = 0.7, seed: int = 11):
+    """Random add/delete churn against a sorted top-10 query."""
+    rng = random.Random(seed)
+    query = Query({}, sort=[("score", -1)], limit=10)
+    node = SortingNode()
+    documents = {
+        index: {"_id": index, "score": rng.randrange(10**6)}
+        for index in range(POPULATION)
+    }
+    version = {index: 1 for index in documents}
+    next_key = POPULATION
+
+    def bootstrap():
+        rewritten = query.rewritten_for_subscription(slack)
+        ordered = sorted(documents.values(),
+                         key=query.sort.key)[: rewritten.limit]
+        node.register_query(query, ordered,
+                            {d["_id"]: version[d["_id"]] for d in ordered},
+                            slack=slack)
+
+    bootstrap()
+    renewals = 0
+    notifications = 0
+    operations = 0
+    while operations < DELETES:
+        if rng.random() < delete_bias and documents:
+            # Deletes target the top of the ranking (a hot leaderboard):
+            # that is the adversarial case for window maintenance.
+            ranked = sorted(documents.values(),
+                            key=lambda doc: -doc["score"])[:25]
+            key = rng.choice(ranked)["_id"]
+            del documents[key]
+            version[key] += 1
+            event = MatchEvent(query.query_id, MatchType.REMOVE, key, None,
+                               version[key], 0.0, True)
+            operations += 1
+        else:
+            key = next_key
+            next_key += 1
+            documents[key] = {"_id": key, "score": rng.randrange(10**6)}
+            version[key] = 1
+            event = MatchEvent(query.query_id, MatchType.ADD, key,
+                               documents[key], 1, 0.0, True)
+        changes = node.handle_event(event)
+        notifications += len(changes)
+        if any(change.is_error for change in changes):
+            renewals += 1
+            bootstrap()
+    return renewals, notifications
+
+
+@pytest.mark.parametrize("slack", [1, 2, 5, 10, 20, 50])
+def test_slack_ablation(benchmark, emit, slack):
+    renewals, notifications = benchmark.pedantic(
+        run_workload, args=(slack,), rounds=1, iterations=1
+    )
+    emit(f"slack={slack:>3}: {renewals:>4} renewals "
+         f"(database re-executions), {notifications:>5} notifications "
+         f"over {DELETES} deletes")
+    # Sanity: a large slack needs an order of magnitude fewer renewals
+    # than slack=1 does on this adversarial top-of-ranking churn.
+    if slack >= 50:
+        assert renewals <= DELETES // 40
+
+
+def test_larger_slack_reduces_renewals(benchmark, emit):
+    """The headline ablation result: renewal count decreases
+    monotonically (modulo noise) as slack grows."""
+
+    def sweep():
+        return {slack: run_workload(slack)[0] for slack in (1, 5, 20, 50)}
+
+    counts = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(f"renewals by slack: {counts}")
+    assert counts[1] > counts[5] > counts[50]
+    assert counts[20] >= counts[50]

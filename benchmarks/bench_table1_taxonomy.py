@@ -1,0 +1,18 @@
+"""Table 1: data access across data management system classes.
+
+Regenerates the paper's taxonomy table (database management vs
+real-time databases vs data stream management vs stream processing).
+The table is a static capability model; the benchmark times rendering
+only so the row content is the deliverable.
+"""
+
+from repro.baselines.capabilities import system_class_table
+
+
+def test_table1_system_classes(benchmark, emit):
+    table = benchmark(system_class_table)
+    emit("Table 1 — An overview over data access in data management")
+    emit("=" * 60)
+    emit(table)
+    assert "persistent collections" in table
+    assert "one-time + continuous" in table  # real-time databases column

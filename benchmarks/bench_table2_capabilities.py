@@ -1,0 +1,73 @@
+"""Table 2: direct comparison of real-time query implementations.
+
+For the mechanisms implemented in this repository the cells are probed
+against the live classes (poll-and-diff, log tailing, InvaliDB); the
+proprietary columns carry the paper's documented values.  The probe
+section actually exercises each capability.
+"""
+
+import pytest
+
+from repro.baselines.capabilities import capability_table
+from repro.baselines.log_tailing import LogTailingProvider
+from repro.baselines.poll_and_diff import PollAndDiffProvider
+from repro.errors import QueryParseError
+from repro.store.collection import Collection
+
+
+def probe_implementations() -> dict:
+    """Execute one capability probe per implemented system."""
+    outcomes = {}
+
+    # Poll-and-diff: full expressiveness (sorted + limit + offset).
+    collection = Collection("probe")
+    for index in range(10):
+        collection.insert({"_id": index, "v": index})
+    poll = PollAndDiffProvider(collection)
+    subscription = poll.subscribe(
+        {"$or": [{"v": {"$gte": 5}}, {"v": 0}]}, sort=[("v", -1)],
+        limit=3, offset=1,
+    )
+    outcomes["poll-and-diff composition+ordering+limit+offset"] = (
+        [d["_id"] for d in subscription.initial_result] == [8, 7, 6]
+    )
+    # Poll-and-diff: NOT lag-free (nothing until the next poll).
+    collection.insert({"_id": 100, "v": 50})
+    outcomes["poll-and-diff not lag-free"] = subscription.change_count == 0
+
+    # Log tailing: lag-free but rejects ordered queries.
+    tail = LogTailingProvider(collection)
+    flat = tail.subscribe({"v": {"$gte": 5}})
+    collection.insert({"_id": 101, "v": 60})
+    outcomes["log-tailing lag-free"] = flat.change_count == 1
+    try:
+        tail.subscribe({}, sort=[("v", 1)])
+        outcomes["log-tailing no ordering"] = False
+    except QueryParseError:
+        outcomes["log-tailing no ordering"] = True
+    tail.close()
+
+    # InvaliDB: scales with BOTH dimensions (partitioning property).
+    from repro.core.partitioning import PartitioningScheme
+    from repro.query.normalize import query_hash
+
+    scheme = PartitioningScheme(4, 4)
+    pair_nodes = {
+        (scheme.node_for(query_hash({"v": q}), key))
+        for q in range(8)
+        for key in range(8)
+    }
+    outcomes["invalidb 2d partitioning"] = len(pair_nodes) > 1
+    return outcomes
+
+
+def test_table2_capability_matrix(benchmark, emit):
+    outcomes = benchmark(probe_implementations)
+    emit("Table 2 — Collection-based real-time query implementations")
+    emit("=" * 72)
+    emit(capability_table())
+    emit("")
+    emit("Capability probes executed against this repository's code:")
+    for name, passed in outcomes.items():
+        emit(f"  [{'ok' if passed else 'FAIL'}] {name}")
+    assert all(outcomes.values())

@@ -1,0 +1,61 @@
+"""Table 3: latency statistics under identical relative load.
+
+(a) read-heavy: 1 500 queries per query partition at a fixed
+    1 000 ops/s — about 80 % of system capacity;
+(b) write-heavy: 1 000 ops/s per write partition with 1 000 fixed
+    real-time queries — about 66 % of system capacity.
+
+Paper's values: read-heavy averages 9.0-9.4 ms with p99 15.2-20.1 ms
+and outliers < 50 ms; write-heavy averages 8.8-10.3 ms with p99
+15.0-21.9 ms and outliers well below 100 ms, slightly deteriorating
+for the largest cluster (GC / contention noise).
+"""
+
+import pytest
+
+from repro.sim.cluster_model import SimulatedInvaliDB
+
+SCALES = (1, 2, 4, 8, 16)
+
+
+def run_table3():
+    read_heavy = {}
+    for qp in SCALES:
+        model = SimulatedInvaliDB(qp, 1, seed=40 + qp)
+        read_heavy[qp] = model.run(1500 * qp, 1000.0, duration=12.0)
+    write_heavy = {}
+    for wp in SCALES:
+        model = SimulatedInvaliDB(1, wp, seed=90 + wp)
+        write_heavy[wp] = model.run(1000, 1000.0 * wp, duration=12.0)
+    return read_heavy, write_heavy
+
+
+@pytest.mark.benchmark(min_rounds=1, max_time=0.01, warmup=False)
+def test_table3_latency_statistics(benchmark, emit):
+    read_heavy, write_heavy = benchmark.pedantic(run_table3, rounds=1,
+                                                 iterations=1)
+    emit("Table 3a — Read-heavy workloads at 1 000 ops/s (fixed):")
+    emit("1 500 queries per query partition (~80% capacity)")
+    emit("=" * 64)
+    for qp, stats in read_heavy.items():
+        emit(f"{qp:>2} QP, {1500 * qp:>6} queries   {stats.row()}")
+    emit("")
+    emit("Table 3b — Write-heavy workloads with 1 000 queries (fixed):")
+    emit("1 000 ops/s per write partition (~66% capacity)")
+    emit("=" * 64)
+    for wp, stats in write_heavy.items():
+        emit(f"{wp:>2} WP, {1000 * wp:>6} ops/s     {stats.row()}")
+
+    # Shape assertions against the paper's envelope (Table 3 reports
+    # read-heavy p99 15.2-20.1 with max <= 46; write-heavy p99 15.0-21.9
+    # with max <= 79 — we allow a modestly wider band for seed noise).
+    for stats in read_heavy.values():
+        assert 7.0 < stats.average < 13.0
+        assert stats.p99 < 27.0
+        assert stats.maximum < 70.0
+    for stats in write_heavy.values():
+        assert 6.0 < stats.average < 13.0
+        assert stats.p99 < 30.0
+        assert stats.maximum < 100.0
+    # The write-heavy tail grows with cluster size (Table 3b trend).
+    assert write_heavy[16].p99 >= write_heavy[1].p99

@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Every figure/table benchmark prints the paper-style rows AND persists
+them under ``benchmarks/results/`` so the output survives pytest's
+capture (run with ``-s`` to also see it live).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def emit(request):
+    """Print a report block and persist it per-benchmark."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    target = RESULTS_DIR / f"{request.node.name}.txt"
+    lines = []
+
+    def _emit(text: str = "") -> None:
+        print(text)
+        lines.append(text)
+
+    yield _emit
+    target.write_text("\n".join(lines) + "\n")

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Poll-and-diff vs log tailing vs InvaliDB on the same workload.
+
+Recreates Section 3.1's argument with running code: the same dashboard
+query is served by all three mechanisms while the database takes a
+write burst, and their characteristic costs are measured —
+
+* poll-and-diff: pull queries issued against the database (and the
+  staleness window until the next poll);
+* log tailing: oplog entries each app server must chew through, even
+  for irrelevant writes;
+* InvaliDB: partitioned matching, with per-node work bounded by the
+  grid instead of the global write rate.
+
+Run:  python examples/mechanism_comparison.py
+"""
+
+import time
+
+from repro import AppServer, InvaliDBCluster, InvaliDBConfig
+from repro.baselines import LogTailingProvider, PollAndDiffProvider
+from repro.event import Broker
+
+DASHBOARD_QUERY = {"severity": {"$in": ["error", "critical"]},
+                   "acked": False}
+TOTAL_WRITES = 500
+RELEVANT_EVERY = 50  # 1 in 50 writes concerns the dashboard
+
+
+def main() -> None:
+    broker = Broker()
+    config = InvaliDBConfig(query_partitions=2, write_partitions=2)
+    cluster = InvaliDBCluster(broker, config).start()
+    app = AppServer("monitoring", broker, config=config)
+    collection = app.database.collection("events")
+
+    # One subscription per mechanism, same query.
+    poll = PollAndDiffProvider(collection, poll_interval=10.0)
+    poll_sub = poll.subscribe(DASHBOARD_QUERY)
+    tail = LogTailingProvider(collection)
+    tail_sub = tail.subscribe(DASHBOARD_QUERY)
+    invalidb_sub = app.subscribe("events", DASHBOARD_QUERY)
+
+    print(f"Write burst: {TOTAL_WRITES} events, 1 in {RELEVANT_EVERY} "
+          "relevant to the dashboard ...\n")
+    for index in range(TOTAL_WRITES):
+        relevant = index % RELEVANT_EVERY == 0
+        app.insert("events", {
+            "_id": index,
+            "severity": "critical" if relevant else "info",
+            "acked": False,
+            "message": f"event {index}",
+        })
+    time.sleep(0.8)
+
+    expected = TOTAL_WRITES // RELEVANT_EVERY
+    print(f"{'mechanism':<16}{'notifications':>14}{'lag-free':>10}"
+          f"{'characteristic cost':>42}")
+    print("-" * 82)
+    print(f"{'poll-and-diff':<16}{poll_sub.change_count:>14}{'no':>10}"
+          f"{poll.queries_executed:>34} pull queries")
+    print(f"{'log tailing':<16}{tail_sub.change_count:>14}{'yes':>10}"
+          f"{tail.entries_processed:>28} oplog entries/server")
+    per_node = max(
+        node.matched_operations
+        for node in (cluster.filtering_node(qp, wp)
+                     for qp in range(2) for wp in range(2))
+        if node is not None
+    )
+    print(f"{'InvaliDB':<16}{invalidb_sub.change_count:>14}{'yes':>10}"
+          f"{per_node:>23} match ops/worst node")
+
+    print("\nNow poll-and-diff catches up on its next poll tick ...")
+    poll.poll_all()
+    print(f"  poll-and-diff notifications after poll: "
+          f"{poll_sub.change_count} (queries executed: "
+          f"{poll.queries_executed})")
+
+    assert tail_sub.change_count == expected
+    assert invalidb_sub.change_count == expected
+    assert poll_sub.change_count == expected
+    # Log tailing processed EVERY write; InvaliDB's nodes split them.
+    assert tail.entries_processed == TOTAL_WRITES
+    assert per_node < TOTAL_WRITES
+
+    poll.close()
+    tail.close()
+    app.close()
+    cluster.stop()
+    broker.close()
+    print("\nOK — all mechanisms converged; their costs did not.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Self-contained demo: ``python -m repro``.
+
+Boots a 2x2 InvaliDB cluster, subscribes to a sorted real-time query,
+streams a few writes, and prints the notifications — a 5-second tour of
+what the library does.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import AppServer, InvaliDBCluster, InvaliDBConfig
+from repro.event import Broker
+
+
+def main() -> int:
+    print("InvaliDB reproduction — self demo (python -m repro)\n")
+    broker = Broker()
+    config = InvaliDBConfig(query_partitions=2, write_partitions=2)
+    cluster = InvaliDBCluster(broker, config).start()
+    app = AppServer("demo", broker, config=config)
+
+    subscription = app.subscribe(
+        "articles", {"year": {"$gte": 2017}}, sort=[("year", -1)], limit=3,
+        on_change=lambda n: print(
+            f"  notification: {n.match_type.value:11s} "
+            f"_id={n.key} index={n.index} {n.document}"
+        ),
+    )
+    print("subscribed: articles WHERE year >= 2017 ORDER BY year DESC LIMIT 3")
+    print(f"initial result: {subscription.initial.documents}\n")
+
+    writes = [
+        ("insert", {"_id": 1, "title": "DB Fun", "year": 2018}),
+        ("insert", {"_id": 2, "title": "No SQL!", "year": 2019}),
+        ("insert", {"_id": 3, "title": "Old", "year": 2001}),
+        ("insert", {"_id": 4, "title": "BaaS", "year": 2017}),
+        ("insert", {"_id": 5, "title": "Streams", "year": 2020}),
+        ("update", (1, {"$set": {"year": 2021}})),
+        ("delete", 5),
+    ]
+    for kind, payload in writes:
+        if kind == "insert":
+            print(f"insert {payload}")
+            app.insert("articles", payload)
+        elif kind == "update":
+            key, spec = payload
+            print(f"update _id={key} {spec}")
+            app.update("articles", key, spec)
+        else:
+            print(f"delete _id={payload}")
+            app.delete("articles", payload)
+        time.sleep(0.25)
+
+    time.sleep(0.3)
+    print(f"\nfinal maintained result: "
+          f"{[d['_id'] for d in subscription.result()]}")
+    expected = app.find("articles", {"year": {"$gte": 2017}},
+                        sort=[("year", -1)], limit=3)
+    print(f"fresh pull-based query:  {[d['_id'] for d in expected]}")
+    converged = subscription.result() == expected
+    print("converged!" if converged else "DIVERGED?!")
+
+    app.close()
+    cluster.stop()
+    broker.close()
+    return 0 if converged else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

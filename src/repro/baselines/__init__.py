@@ -1,0 +1,32 @@
+"""Competing real-time query mechanisms (Section 3.1 of the paper).
+
+Implemented as baselines for the comparison in Table 2 and for the
+cost benchmarks:
+
+* :class:`PollAndDiffProvider` — Meteor-style periodic re-execution
+  plus result diffing; inherits full query expressiveness but loads the
+  database per active query and is stale up to the polling interval;
+* :class:`LogTailingProvider` — Meteor/Parse/RethinkDB-style oplog
+  tailing; lag-free, but every app server must process the database's
+  entire write stream, so write throughput cannot be partitioned.
+"""
+
+from repro.baselines.interface import RealTimeQueryProvider
+from repro.baselines.log_tailing import LogTailingProvider
+from repro.baselines.poll_and_diff import PollAndDiffProvider
+from repro.baselines.capabilities import (
+    CAPABILITY_ROWS,
+    SYSTEMS,
+    capability_table,
+    system_class_table,
+)
+
+__all__ = [
+    "CAPABILITY_ROWS",
+    "LogTailingProvider",
+    "PollAndDiffProvider",
+    "RealTimeQueryProvider",
+    "SYSTEMS",
+    "capability_table",
+    "system_class_table",
+]

@@ -1,0 +1,106 @@
+"""Capability data behind Tables 1 and 2 of the paper.
+
+Table 1 delineates the four system classes (database management,
+real-time databases, data stream management, stream processing); Table
+2 compares the real-time query implementations.  For the systems we
+implement (poll-and-diff, log tailing, InvaliDB) every cell is *probed*
+by benchmarks against the actual code; the proprietary systems
+(Firebase/Firestore, RethinkDB, Parse) carry the paper's documented
+values.
+
+Cell legend (following the paper): ``True`` = yes, ``False`` = no,
+a string = yes-with-caveat.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+Cell = Union[bool, str]
+
+SYSTEMS = (
+    "Poll-and-Diff (Meteor)",
+    "Log Tailing (Meteor)",
+    "RethinkDB",
+    "Parse",
+    "Firebase",
+    "Firestore",
+    "InvaliDB (Baqend)",
+)
+
+#: Table 2 — rows are capabilities, columns are SYSTEMS.
+CAPABILITY_ROWS: Dict[str, List[Cell]] = {
+    "Scales With Write TP": [True, False, False, False, False, False, True],
+    "Scales With # Queries": [
+        False, True, True, True,
+        "100k connections", "100k connections", True,
+    ],
+    "Lag-Free Notifications": [False, True, True, True, True, True, True],
+    "Composition (AND/OR)": [
+        True, True, True, True, False, "no OR", True,
+    ],
+    "Ordering": [True, True, True, False, "single attribute",
+                 "single attribute", True],
+    "Limit": [True, True, True, False, True, True, True],
+    "Offset": [True, True, False, False, "value-based", "value-based", True],
+}
+
+#: Table 1 — data access across the four system classes.
+SYSTEM_CLASS_ROWS: Dict[str, List[str]] = {
+    "Primitive": [
+        "persistent collections", "persistent collections",
+        "ephemeral streams", "ephemeral streams",
+    ],
+    "Processing": [
+        "one-time", "one-time + continuous", "continuous", "continuous",
+    ],
+    "Access": [
+        "random + sequential", "random + sequential",
+        "sequential (single-pass)", "sequential (single-pass)",
+    ],
+    "Data": ["structured", "structured", "structured",
+             "structured, unstructured"],
+}
+
+SYSTEM_CLASSES = (
+    "Database Management",
+    "Real-Time Databases",
+    "Data Stream Management",
+    "Stream Processing",
+)
+
+
+def _render(header: List[str], rows: Dict[str, List[Cell]]) -> str:
+    widths = [max(len(header[0]), *(len(name) for name in rows))]
+    for column, title in enumerate(header[1:]):
+        cells = [_cell_text(values[column]) for values in rows.values()]
+        widths.append(max(len(title), *(len(cell) for cell in cells)))
+    lines = [" | ".join(title.ljust(width)
+                        for title, width in zip(header, widths))]
+    lines.append("-+-".join("-" * width for width in widths))
+    for name, values in rows.items():
+        cells = [name.ljust(widths[0])]
+        cells.extend(
+            _cell_text(value).ljust(width)
+            for value, width in zip(values, widths[1:])
+        )
+        lines.append(" | ".join(cells))
+    return "\n".join(lines)
+
+
+def _cell_text(value: Cell) -> str:
+    if value is True:
+        return "yes"
+    if value is False:
+        return "no"
+    return f"({value})"
+
+
+def capability_table() -> str:
+    """Render Table 2 as aligned text."""
+    return _render(["Capability", *SYSTEMS], CAPABILITY_ROWS)
+
+
+def system_class_table() -> str:
+    """Render Table 1 as aligned text."""
+    return _render(["", *SYSTEM_CLASSES], SYSTEM_CLASS_ROWS)

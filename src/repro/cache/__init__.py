@@ -1,0 +1,13 @@
+"""Quaestor-style consistent query caching (Sections 4 and 7).
+
+InvaliDB's first production use: "it enables consistent query caching
+by generating low-latency result change notifications used for query
+cache invalidation".  :class:`InvalidatingQueryCache` caches pull-based
+query results and registers a real-time query per cached entry; any
+change notification purges the entry, so cached reads are never stale
+beyond the notification latency.
+"""
+
+from repro.cache.query_cache import CacheStats, InvalidatingQueryCache
+
+__all__ = ["CacheStats", "InvalidatingQueryCache"]

@@ -1,0 +1,36 @@
+"""InvaliDB core: the paper's primary contribution.
+
+Two-dimensional workload partitioning (Section 5.1), staged query
+processing with a filtering and a sorting stage (Section 5.2), write
+stream retention with staleness avoidance, and the client/cluster
+split over the event layer (Section 5).
+"""
+
+from repro.core.aggregation import AggregateSpec, AggregationNode
+from repro.core.collapsing import NotificationCollapser
+from repro.core.config import InvaliDBConfig
+from repro.core.cluster import InvaliDBCluster
+from repro.core.client import InvaliDBClient, RealTimeSubscription
+from repro.core.join import JoinNode, JoinSpec
+from repro.core.partitioning import PartitioningScheme, stable_hash
+from repro.core.server import AppServer
+from repro.core.stages import ProcessingStage
+from repro.core.views import LiveAggregateView, LiveJoinView
+
+__all__ = [
+    "AggregateSpec",
+    "AggregationNode",
+    "AppServer",
+    "InvaliDBClient",
+    "InvaliDBCluster",
+    "InvaliDBConfig",
+    "JoinNode",
+    "JoinSpec",
+    "LiveAggregateView",
+    "LiveJoinView",
+    "NotificationCollapser",
+    "PartitioningScheme",
+    "ProcessingStage",
+    "RealTimeSubscription",
+    "stable_hash",
+]

@@ -1,0 +1,264 @@
+"""The aggregation stage — the paper's named future work (Section 8.1).
+
+"Future research could extend our work by additional query types (e.g.
+aggregation and join queries)" via further processing stages.  This
+module implements that extension within the stage contract of
+:mod:`repro.core.stages`: an :class:`AggregationNode` consumes
+filtering-stage match events (partitioned by query, like the sorting
+stage) and incrementally maintains aggregates over the query's result —
+
+* ``count`` — result cardinality;
+* ``sum`` / ``avg`` — over a numeric field;
+* ``min`` / ``max`` — over any field, BSON-ordered, maintained with a
+  sorted multiset so evicting the current extremum stays cheap.
+
+Whenever an aggregate value changes, a change notification carrying the
+full aggregate document is emitted (match type ``change``); clients see
+a live-updating scalar view.  Because every aggregate here is either
+self-maintainable (count/sum/avg) or maintained with full value
+knowledge (min/max over the complete result partition for the query),
+this stage never needs query renewals.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.filtering import MatchEvent
+from repro.core.notifications import QueryChange
+from repro.core.stages import ProcessingStage
+from repro.errors import QueryParseError
+from repro.query.sortspec import value_sort_key
+from repro.store.documents import get_path
+from repro.query.engine import Query
+from repro.types import Document, MatchType
+
+SUPPORTED_AGGREGATES = ("count", "sum", "avg", "min", "max")
+
+_ABSENT = object()
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One requested aggregate: operation + (optional) field path."""
+
+    op: str
+    field: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.op not in SUPPORTED_AGGREGATES:
+            raise QueryParseError(f"unsupported aggregate: {self.op!r}")
+        if self.op != "count" and not self.field:
+            raise QueryParseError(f"aggregate {self.op!r} requires a field")
+
+    @property
+    def name(self) -> str:
+        return self.op if self.field is None else f"{self.op}({self.field})"
+
+
+class _FieldMultiset:
+    """Sorted multiset of (value, key) pairs for min/max maintenance."""
+
+    def __init__(self) -> None:
+        self._sort_keys: List[Any] = []
+        self._entries: List[Tuple[Any, Any]] = []
+
+    def add(self, value: Any, key: Any) -> None:
+        sort_key = (value_sort_key(value), repr(key))
+        position = bisect.bisect_left(self._sort_keys, sort_key)
+        self._sort_keys.insert(position, sort_key)
+        self._entries.insert(position, (value, key))
+
+    def remove(self, value: Any, key: Any) -> None:
+        sort_key = (value_sort_key(value), repr(key))
+        position = bisect.bisect_left(self._sort_keys, sort_key)
+        while position < len(self._entries):
+            if self._sort_keys[position] != sort_key:
+                break
+            if self._entries[position][1] == key:
+                del self._sort_keys[position]
+                del self._entries[position]
+                return
+            position += 1
+
+    @property
+    def minimum(self) -> Any:
+        return self._entries[0][0] if self._entries else None
+
+    @property
+    def maximum(self) -> Any:
+        return self._entries[-1][0] if self._entries else None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class _AggregateState:
+    """Incremental aggregate bookkeeping for one query."""
+
+    def __init__(self, query: Query, specs: Tuple[AggregateSpec, ...]):
+        self.query = query
+        self.specs = specs
+        self.count = 0
+        #: Per numeric-sum field: running sum and contributing count.
+        self.sums: Dict[str, float] = {}
+        self.sum_counts: Dict[str, int] = {}
+        #: Per min/max field: sorted multiset of present values.
+        self.multisets: Dict[str, _FieldMultiset] = {}
+        #: Last known field values per result member (for removals).
+        self.member_values: Dict[Any, Dict[str, Any]] = {}
+        for spec in self.specs:
+            if spec.op in ("sum", "avg") and spec.field not in self.sums:
+                self.sums[spec.field] = 0.0  # type: ignore[index]
+                self.sum_counts[spec.field] = 0  # type: ignore[index]
+            if spec.op in ("min", "max") and spec.field not in self.multisets:
+                self.multisets[spec.field] = _FieldMultiset()  # type: ignore[index]
+
+    # -- membership maintenance ------------------------------------------
+
+    def _field_snapshot(self, document: Document) -> Dict[str, Any]:
+        fields = set(self.sums) | set(self.multisets)
+        return {
+            field: get_path(document, field, _ABSENT) for field in fields
+        }
+
+    def add_member(self, key: Any, document: Document) -> None:
+        if key in self.member_values:
+            # Duplicate add (e.g. a retention replay racing a bootstrap):
+            # treat as change so the count stays correct.
+            self.change_member(key, document)
+            return
+        self.count += 1
+        snapshot = self._field_snapshot(document)
+        self.member_values[key] = snapshot
+        self._apply(snapshot, key, sign=+1)
+
+    def remove_member(self, key: Any) -> None:
+        snapshot = self.member_values.pop(key, None)
+        if snapshot is None:
+            return
+        self.count -= 1
+        self._apply(snapshot, key, sign=-1)
+
+    def change_member(self, key: Any, document: Document) -> None:
+        old = self.member_values.get(key)
+        if old is not None:
+            self._apply(old, key, sign=-1)
+        else:
+            self.count += 1
+        snapshot = self._field_snapshot(document)
+        self.member_values[key] = snapshot
+        self._apply(snapshot, key, sign=+1)
+
+    def _apply(self, snapshot: Dict[str, Any], key: Any, sign: int) -> None:
+        for field, total in list(self.sums.items()):
+            value = snapshot.get(field, _ABSENT)
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            self.sums[field] = total + sign * value
+            self.sum_counts[field] += sign
+        for field, multiset in self.multisets.items():
+            value = snapshot.get(field, _ABSENT)
+            if value is _ABSENT:
+                continue
+            if sign > 0:
+                multiset.add(value, key)
+            else:
+                multiset.remove(value, key)
+
+    # -- output -------------------------------------------------------------
+
+    def snapshot(self) -> Document:
+        """The current aggregate document."""
+        result: Document = {"_id": f"aggregate:{self.query.query_id}"}
+        for spec in self.specs:
+            result[spec.name] = self._value_of(spec)
+        return result
+
+    def _value_of(self, spec: AggregateSpec) -> Any:
+        if spec.op == "count":
+            return self.count
+        if spec.op == "sum":
+            return self.sums[spec.field]  # type: ignore[index]
+        if spec.op == "avg":
+            contributing = self.sum_counts[spec.field]  # type: ignore[index]
+            if contributing == 0:
+                return None
+            return self.sums[spec.field] / contributing  # type: ignore[index]
+        multiset = self.multisets[spec.field]  # type: ignore[index]
+        return multiset.minimum if spec.op == "min" else multiset.maximum
+
+
+class AggregationNode(ProcessingStage):
+    """Aggregation-stage node: live scalar views over query results."""
+
+    def __init__(self, node_index: int = 0):
+        self.node_index = node_index
+        self._states: Dict[str, _AggregateState] = {}
+
+    def register_query(
+        self,
+        query: Query,
+        bootstrap: List[Document],
+        versions: Dict[Any, int],
+        **options: Any,
+    ) -> List[QueryChange]:
+        specs = tuple(options.get("aggregates", ()))
+        if not specs:
+            raise QueryParseError("aggregation stage needs 'aggregates'")
+        previous = self._states.get(query.query_id)
+        state = _AggregateState(query, specs)
+        for document in bootstrap:
+            state.add_member(document["_id"], document)
+        self._states[query.query_id] = state
+        if previous is None:
+            return []
+        if previous.snapshot() == state.snapshot():
+            return []
+        return [self._change(state, timestamp=0.0)]
+
+    def handle_event(self, event: MatchEvent) -> List[QueryChange]:
+        state = self._states.get(event.query_id)
+        if state is None:
+            return []
+        before = state.snapshot()
+        if event.match_type is MatchType.ADD:
+            if event.document is None:
+                return []
+            state.add_member(event.key, event.document)
+        elif event.match_type is MatchType.CHANGE:
+            if event.document is None:
+                return []
+            state.change_member(event.key, event.document)
+        elif event.match_type is MatchType.REMOVE:
+            state.remove_member(event.key)
+        else:
+            return []
+        after = state.snapshot()
+        if before == after:
+            return []
+        return [self._change(state, timestamp=event.timestamp)]
+
+    def deactivate_query(self, query_id: str) -> bool:
+        return self._states.pop(query_id, None) is not None
+
+    def aggregate_of(self, query_id: str) -> Optional[Document]:
+        state = self._states.get(query_id)
+        return None if state is None else state.snapshot()
+
+    @staticmethod
+    def _change(state: _AggregateState, timestamp: float) -> QueryChange:
+        document = state.snapshot()
+        return QueryChange(
+            query_id=state.query.query_id,
+            match_type=MatchType.CHANGE,
+            key=document["_id"],
+            document=document,
+            timestamp=timestamp,
+        )
+
+    @property
+    def query_count(self) -> int:
+        return len(self._states)

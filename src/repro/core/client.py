@@ -1,0 +1,600 @@
+"""The InvaliDB client: the app-server-side protocol endpoint.
+
+"An application server only runs a lightweight process (InvaliDB
+client) which relays messages between the end users, the database, and
+the InvaliDB cluster" (Section 5).  Responsibilities implemented here:
+
+* **subscribe** — execute the (rewritten) query against the pull-based
+  database for the bootstrap result, hand result + query to the cluster
+  through the event layer, deliver the initial result to the
+  subscriber, remember the canonical query hash for the subscription's
+  lifetime;
+* **notification fan-out** — map incoming per-query changes to local
+  subscriptions and tag each with its subscription ID;
+* **query renewal** — on a maintenance-error notification, re-execute
+  the rewritten query (with grown slack, footnote 5) and re-subscribe,
+  throttled by the poll-frequency rate limit;
+* **TTL extension** and **heartbeat supervision** — periodically extend
+  active queries and terminate subscriptions with an error when the
+  cluster goes silent;
+* **write forwarding** — push versioned after-images to the cluster on
+  every database write.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.cluster import serialize_after_image, serialize_query
+from repro.core.config import InvaliDBConfig
+from repro.core.notifications import deserialize_change
+from repro.core.subscriptions import SubscriptionRecord, SubscriptionTable
+from repro.errors import SubscriptionError
+from repro.event.broker import Broker
+from repro.event.channels import notification_channel, query_channel, write_channel
+from repro.query.engine import Query
+from repro.query.sortspec import SortInput
+from repro.types import (
+    AfterImage,
+    ChangeNotification,
+    Document,
+    IdGenerator,
+    InitialResult,
+    MatchType,
+)
+
+ChangeCallback = Callable[[ChangeNotification], None]
+InitialCallback = Callable[[InitialResult], None]
+ErrorCallback = Callable[[str], None]
+
+_WIRE_SCALARS = (str, int, float, bool, type(None))
+
+
+def _require_wire_safe(value: Any, path: str = "filter") -> None:
+    """Reject filter values that cannot cross the event layer as JSON."""
+    if isinstance(value, _WIRE_SCALARS):
+        return
+    if isinstance(value, dict):
+        for key, child in value.items():
+            _require_wire_safe(child, f"{path}.{key}")
+        return
+    if isinstance(value, (list, tuple)):
+        for index, child in enumerate(value):
+            _require_wire_safe(child, f"{path}[{index}]")
+        return
+    import re
+
+    hint = (
+        ' — use {"$regex": "<pattern>"} instead of a compiled pattern'
+        if isinstance(value, re.Pattern) else ""
+    )
+    raise SubscriptionError(
+        f"real-time query filters must be JSON-serializable; found "
+        f"{type(value).__name__} at {path}{hint}"
+    )
+
+
+class RealTimeSubscription:
+    """Handle for one end-user real-time query subscription.
+
+    Collects the initial result and every change notification; custom
+    callbacks may be attached at subscription time.  ``result()``
+    reconstructs the current result by replaying notifications — handy
+    for tests and simple clients.
+    """
+
+    def __init__(
+        self,
+        subscription_id: str,
+        query: Query,
+        on_change: Optional[ChangeCallback] = None,
+        on_initial: Optional[InitialCallback] = None,
+        on_error: Optional[ErrorCallback] = None,
+    ):
+        self.subscription_id = subscription_id
+        self.query = query
+        self.initial: Optional[InitialResult] = None
+        self.notifications: List[ChangeNotification] = []
+        self.errors: List[str] = []
+        self.closed = False
+        self._on_change = on_change
+        self._on_initial = on_initial
+        self._on_error = on_error
+        self._lock = threading.Lock()
+        self._documents: Dict[Any, Document] = {}
+        self._order: List[Any] = []
+
+    # -- delivery (called by the client) ------------------------------------
+
+    def _deliver_initial(self, initial: InitialResult) -> None:
+        with self._lock:
+            self.initial = initial
+            self._order = [doc["_id"] for doc in initial.documents]
+            self._documents = {doc["_id"]: doc for doc in initial.documents}
+        if self._on_initial is not None:
+            self._on_initial(initial)
+
+    def _deliver(self, notification: ChangeNotification) -> None:
+        with self._lock:
+            self.notifications.append(notification)
+            self._apply(notification)
+        if notification.is_error and self._on_error is not None:
+            self._on_error(notification.error or "unknown error")
+        if self._on_change is not None:
+            self._on_change(notification)
+
+    def _apply(self, notification: ChangeNotification) -> None:
+        """Maintain the local result materialization."""
+        key = notification.key
+        match_type = notification.match_type
+        if match_type is MatchType.ERROR:
+            self.errors.append(notification.error or "unknown error")
+            return
+        if match_type is MatchType.REMOVE:
+            self._documents.pop(key, None)
+            if key in self._order:
+                self._order.remove(key)
+            return
+        document = notification.document
+        if document is None:
+            return
+        self._documents[key] = document
+        if match_type is MatchType.ADD:
+            index = notification.index
+            if index is None or index > len(self._order):
+                self._order.append(key)
+            else:
+                self._order.insert(index, key)
+        elif match_type is MatchType.CHANGE_INDEX:
+            if key in self._order:
+                self._order.remove(key)
+            index = notification.index
+            if index is None or index > len(self._order):
+                self._order.append(key)
+            else:
+                self._order.insert(index, key)
+        # CHANGE keeps the position.
+
+    # -- consumption ----------------------------------------------------------
+
+    def result(self) -> List[Document]:
+        """The current result as reconstructed from notifications."""
+        with self._lock:
+            return [self._documents[key] for key in self._order
+                    if key in self._documents]
+
+    @property
+    def change_count(self) -> int:
+        with self._lock:
+            return len(self.notifications)
+
+
+class _RenewalLimiter:
+    """Poll-frequency rate limit for query renewals (Section 5.2)."""
+
+    def __init__(self, min_interval: float):
+        self.min_interval = min_interval
+        self._last: Dict[str, float] = {}
+        self._lock = threading.Lock()
+
+    def allow(self, query_id: str, now: float) -> bool:
+        with self._lock:
+            last = self._last.get(query_id)
+            if last is not None and now - last < self.min_interval:
+                return False
+            self._last[query_id] = now
+            return True
+
+
+class InvaliDBClient:
+    """App-server-side broker between end users, database and cluster."""
+
+    def __init__(
+        self,
+        app_server_id: str,
+        broker: Broker,
+        database: Any,
+        config: Optional[InvaliDBConfig] = None,
+        tenant: str = "default",
+    ):
+        self.app_server_id = app_server_id
+        self.broker = broker
+        self.config = config if config is not None else InvaliDBConfig()
+        self.tenant = tenant
+        self._database = database
+        self._table = SubscriptionTable()
+        self._queries: Dict[str, Query] = {}
+        self._slacks: Dict[str, int] = {}
+        self._renewals = _RenewalLimiter(self.config.renewal_min_interval)
+        self._pending_renewals: Dict[str, threading.Timer] = {}
+        self._ids = IdGenerator(f"sub-{app_server_id}")
+        #: Live subscription handles per query ID (fan-out targets).
+        self._handles: Dict[str, List[RealTimeSubscription]] = {}
+        #: Wall-clock seconds spent producing bootstrap results — the
+        #: paper monitors this "to ensure the pull-based part of our
+        #: architecture does not become a bottleneck" (Section 5.4).
+        self.bootstrap_latencies: List[float] = []
+        self._lock = threading.Lock()
+        self.last_heartbeat: Optional[float] = None
+        self._notification_subscription = broker.subscribe(
+            notification_channel(app_server_id), self._on_notification
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Database access
+    # ------------------------------------------------------------------
+
+    def _collection_for(self, name: str) -> Any:
+        database = self._database
+        if hasattr(database, "collection"):
+            return database.collection(name)
+        return database
+
+    def _execute(self, query: Query) -> List[Document]:
+        import time as _time
+
+        started = _time.perf_counter()
+        result = self._collection_for(query.collection).execute(query)
+        self.bootstrap_latencies.append(_time.perf_counter() - started)
+        return result
+
+    def bootstrap_latency_stats(self) -> Dict[str, float]:
+        """Summary of pull-based bootstrap latencies (seconds)."""
+        samples = list(self.bootstrap_latencies)
+        if not samples:
+            return {"count": 0, "average": 0.0, "maximum": 0.0}
+        return {
+            "count": len(samples),
+            "average": sum(samples) / len(samples),
+            "maximum": max(samples),
+        }
+
+    def _versions_for(self, query: Query, documents: List[Document]) -> List[List[Any]]:
+        collection = self._collection_for(query.collection)
+        return [
+            [doc["_id"], collection.version_of(doc["_id"])] for doc in documents
+        ]
+
+    # ------------------------------------------------------------------
+    # Subscription lifecycle
+    # ------------------------------------------------------------------
+
+    def subscribe(
+        self,
+        filter_doc: Dict[str, Any],
+        collection: str = "default",
+        sort: Optional[SortInput] = None,
+        limit: Optional[int] = None,
+        offset: int = 0,
+        on_change: Optional[ChangeCallback] = None,
+        on_initial: Optional[InitialCallback] = None,
+        on_error: Optional[ErrorCallback] = None,
+    ) -> RealTimeSubscription:
+        """Activate a real-time query and return its subscription handle.
+
+        The filter must be JSON-serializable (it crosses the event
+        layer); compiled regex objects are rejected here with a helpful
+        message — use ``{"$regex": "<pattern>"}`` instead.
+        """
+        if self._closed:
+            raise SubscriptionError("client is closed")
+        _require_wire_safe(filter_doc)
+        query = Query(filter_doc, collection=collection, sort=sort,
+                      limit=limit, offset=offset)
+        subscription = RealTimeSubscription(
+            self._ids.next(), query, on_change, on_initial, on_error
+        )
+        now = self.config.clock()
+        record = SubscriptionRecord(subscription.subscription_id, query, now)
+        self._table.add(record)
+        with self._lock:
+            self._queries[query.query_id] = query
+            slack = self._slacks.setdefault(query.query_id,
+                                            self.config.default_slack)
+        # Order matters: the initial result is delivered and the handle
+        # registered for fan-out *before* the subscribe request goes out,
+        # so no change notification can slip past the handle.
+        rewritten = query.rewritten_for_subscription(slack)
+        bootstrap = self._execute(rewritten)
+        visible = self._visible_window(query, bootstrap)
+        subscription._deliver_initial(
+            InitialResult(
+                subscription_id=subscription.subscription_id,
+                query_id=query.query_id,
+                documents=visible,
+                timestamp=now,
+            )
+        )
+        with self._lock:
+            self._handles.setdefault(query.query_id, []).append(subscription)
+        self._publish_subscribe(query, bootstrap, slack)
+        return subscription
+
+    def _activate(self, query: Query, slack: int) -> List[Document]:
+        """Execute the rewritten query and send the subscribe request."""
+        rewritten = query.rewritten_for_subscription(slack)
+        bootstrap = self._execute(rewritten)
+        self._publish_subscribe(query, bootstrap, slack)
+        return bootstrap
+
+    def _publish_subscribe(
+        self, query: Query, bootstrap: List[Document], slack: int
+    ) -> None:
+        message = {
+            "kind": "subscribe",
+            "app_server": self.app_server_id,
+            "query_id": query.query_id,
+            "query_hash": query.hash,
+            "query": serialize_query(query),
+            "bootstrap": bootstrap,
+            "versions": self._versions_for(query, bootstrap),
+            "slack": slack,
+        }
+        self.broker.publish(query_channel(self.tenant), message)
+
+    @staticmethod
+    def _visible_window(query: Query, bootstrap: List[Document]) -> List[Document]:
+        """Slice the rewritten bootstrap down to the user-facing result."""
+        if not query.is_sorted:
+            return list(bootstrap)
+        window = bootstrap[query.offset :]
+        if query.limit is not None:
+            window = window[: query.limit]
+        return window
+
+    def unsubscribe(self, subscription: RealTimeSubscription) -> None:
+        """Cancel one subscription; the query is cancelled at the cluster
+        once no local subscription uses it."""
+        record = self._table.remove(subscription.subscription_id)
+        subscription.closed = True
+        if record is None:
+            return
+        query = record.query
+        with self._lock:
+            handles = self._handles.get(query.query_id, [])
+            if subscription in handles:
+                handles.remove(subscription)
+            still_used = bool(self._table.subscriptions_for_query(query.query_id))
+            if not still_used:
+                self._queries.pop(query.query_id, None)
+                self._slacks.pop(query.query_id, None)
+                self._handles.pop(query.query_id, None)
+        if not still_used:
+            self.broker.publish(
+                query_channel(self.tenant),
+                {
+                    "kind": "cancel",
+                    "app_server": self.app_server_id,
+                    "query_id": query.query_id,
+                    "query_hash": record.query_hash,
+                },
+            )
+
+    # ------------------------------------------------------------------
+    # Notification handling
+    # ------------------------------------------------------------------
+
+    def _on_notification(self, channel: str, payload: Dict[str, Any]) -> None:
+        if payload.get("kind") == "heartbeat":
+            self.last_heartbeat = payload.get("timestamp", self.config.clock())
+            return
+        change = deserialize_change(payload)
+        if change.is_error:
+            self._handle_maintenance_error(change.query_id)
+        with self._lock:
+            handles = list(self._handles.get(change.query_id, ()))
+        for subscription in handles:
+            notification = ChangeNotification(
+                subscription_id=subscription.subscription_id,
+                query_id=change.query_id,
+                match_type=change.match_type,
+                key=change.key,
+                document=change.document,
+                index=change.index,
+                old_index=change.old_index,
+                error=change.error,
+                timestamp=change.timestamp,
+            )
+            subscription._deliver(notification)
+
+    # ------------------------------------------------------------------
+    # Query renewal (maintenance errors)
+    # ------------------------------------------------------------------
+
+    def _handle_maintenance_error(self, query_id: str) -> None:
+        """A renewal request arrived: re-bootstrap the query.
+
+        The poll-frequency rate limit keeps the database load
+        "predictable and configurable"; a renewal suppressed now is
+        retried once the interval elapsed.
+        """
+        with self._lock:
+            query = self._queries.get(query_id)
+        if query is None:
+            return
+        now = self.config.clock()
+        if self._renewals.allow(query_id, now):
+            self.renew(query_id)
+            return
+        with self._lock:
+            if query_id in self._pending_renewals:
+                return
+            delay = self._renewals.min_interval
+            timer = threading.Timer(delay, self._renew_later, args=(query_id,))
+            timer.daemon = True
+            self._pending_renewals[query_id] = timer
+        timer.start()
+
+    def _renew_later(self, query_id: str) -> None:
+        with self._lock:
+            self._pending_renewals.pop(query_id, None)
+        self._renewals.allow(query_id, self.config.clock())
+        self.renew(query_id)
+
+    def resubscribe_all(self) -> int:
+        """Re-activate every live query with a fresh bootstrap.
+
+        The recovery path the paper sketches for heartbeat failures
+        ("e.g. by re-subscribing to the real-time query"): after the
+        cluster came back, all queries are re-registered.  A replacement
+        cluster has no memory of the last valid windows, so the client
+        itself synthesizes catch-up notifications by diffing each
+        subscription's locally materialized result against the fresh
+        bootstrap — subscribers converge without being torn down.
+        """
+        with self._lock:
+            queries = [
+                (query, self._slacks.get(query.query_id,
+                                         self.config.default_slack))
+                for query in self._queries.values()
+            ]
+        for query, slack in queries:
+            bootstrap = self._activate(query, slack)
+            visible = self._visible_window(query, bootstrap)
+            with self._lock:
+                handles = list(self._handles.get(query.query_id, ()))
+            for handle in handles:
+                for notification in self._catchup(handle, query, visible):
+                    handle._deliver(notification)
+        return len(queries)
+
+    def _catchup(
+        self,
+        handle: "RealTimeSubscription",
+        query: Query,
+        visible: List[Document],
+    ) -> List[ChangeNotification]:
+        """Diff a handle's materialized result against a fresh window."""
+        now = self.config.clock()
+        current = {doc["_id"]: doc for doc in handle.result()}
+        fresh_index = {doc["_id"]: index for index, doc in enumerate(visible)}
+        notifications: List[ChangeNotification] = []
+        for key, document in current.items():
+            if key not in fresh_index:
+                notifications.append(ChangeNotification(
+                    subscription_id=handle.subscription_id,
+                    query_id=query.query_id,
+                    match_type=MatchType.REMOVE, key=key, document=document,
+                    timestamp=now,
+                ))
+        for index, document in enumerate(visible):
+            key = document["_id"]
+            if key not in current:
+                notifications.append(ChangeNotification(
+                    subscription_id=handle.subscription_id,
+                    query_id=query.query_id,
+                    match_type=MatchType.ADD, key=key, document=document,
+                    index=index, timestamp=now,
+                ))
+            elif current[key] != document:
+                notifications.append(ChangeNotification(
+                    subscription_id=handle.subscription_id,
+                    query_id=query.query_id,
+                    match_type=MatchType.CHANGE_INDEX if query.is_sorted
+                    else MatchType.CHANGE,
+                    key=key, document=document, index=index, timestamp=now,
+                ))
+        return notifications
+
+    def renew(self, query_id: str) -> bool:
+        """Re-execute and re-subscribe one query with grown slack."""
+        with self._lock:
+            query = self._queries.get(query_id)
+            if query is None:
+                return False
+            old_slack = self._slacks.get(query_id, self.config.default_slack)
+            new_slack = max(
+                old_slack + 1,
+                int(old_slack * self.config.renewal_slack_factor),
+            )
+            self._slacks[query_id] = new_slack
+        self._activate(query, new_slack)
+        return True
+
+    # ------------------------------------------------------------------
+    # TTL extension & heartbeat supervision
+    # ------------------------------------------------------------------
+
+    def extend_ttls(self) -> int:
+        """Send a TTL extension for every active query."""
+        with self._lock:
+            queries = list(self._queries.values())
+        for query in queries:
+            self.broker.publish(
+                query_channel(self.tenant),
+                {
+                    "kind": "ttl",
+                    "app_server": self.app_server_id,
+                    "query_id": query.query_id,
+                    "query_hash": query.hash,
+                },
+            )
+        return len(queries)
+
+    def check_heartbeat(self, now: Optional[float] = None) -> bool:
+        """Terminate all subscriptions when the cluster went silent.
+
+        Returns True when the heartbeat is healthy.  "In the absence of
+        heartbeat messages, an application server terminates an affected
+        subscription with an error that can be handled by the subscribed
+        clients" (Section 5.1).
+        """
+        now = self.config.clock() if now is None else now
+        if self.last_heartbeat is None:
+            return True  # nothing received yet; grace period
+        if now - self.last_heartbeat <= self.config.heartbeat_timeout:
+            return True
+        for record in self._table.all_records():
+            with self._lock:
+                handles = list(self._handles.get(record.query.query_id, ()))
+            for subscription in handles:
+                subscription._deliver(
+                    ChangeNotification(
+                        subscription_id=subscription.subscription_id,
+                        query_id=record.query.query_id,
+                        match_type=MatchType.ERROR,
+                        error="heartbeat timeout: cluster unreachable",
+                        timestamp=now,
+                    )
+                )
+                subscription.closed = True
+        return False
+
+    # ------------------------------------------------------------------
+    # Write forwarding
+    # ------------------------------------------------------------------
+
+    def forward_write(self, after: AfterImage) -> None:
+        """Publish one after-image to the cluster's write channel."""
+        self.broker.publish(write_channel(self.tenant), serialize_after_image(after))
+
+    def attach(self, collection: Any) -> Callable[[], None]:
+        """Forward every write of *collection* automatically."""
+        return collection.on_write(self.forward_write)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        with self._lock:
+            timers = list(self._pending_renewals.values())
+            self._pending_renewals.clear()
+        for timer in timers:
+            timer.cancel()
+        self._notification_subscription.close()
+
+    def __enter__(self) -> "InvaliDBClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    @property
+    def subscription_count(self) -> int:
+        return len(self._table)

@@ -1,0 +1,501 @@
+"""The InvaliDB cluster: ingestion nodes + the 2D matching grid.
+
+Wires the filtering and sorting stages onto the Storm-like substrate
+(:mod:`repro.stream`) and connects them to the event layer
+(:mod:`repro.event`), reproducing Figure 2 of the paper:
+
+* **query ingestion** (stateless): receives subscription / cancellation
+  / TTL-extension requests from the event layer, resolves the query
+  partition from the canonical query hash, and broadcasts the request
+  to every matching node of that partition (each node keeps only its
+  write-partition slice of the bootstrap result);
+* **write ingestion** (stateless): receives after-images, resolves the
+  write partition from the primary key, and delivers the after-image to
+  every matching node of that write partition;
+* **matching** (filtering stage): one :class:`FilteringNode` per grid
+  cell; unsorted-query changes go straight to the event layer, sorted
+  queries forward their match events to the sorting stage;
+* **sorting**: sorted queries partitioned by query ID across
+  :class:`SortingNode` tasks.
+
+The cluster is multi-tenant: it tracks which application servers
+subscribed to which query and fans change notifications out to each of
+their notification channels.  Heartbeats are published periodically so
+application servers can detect cluster failure (Section 5).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.config import InvaliDBConfig
+from repro.core.filtering import FilteringNode, MatchEvent
+from repro.core.notifications import (
+    QueryChange,
+    change_from_match_event,
+    serialize_change,
+)
+from repro.core.partitioning import PartitioningScheme
+from repro.core.sorting import SortingNode
+from repro.core.subscriptions import QueryRegistration
+from repro.event.broker import Broker
+from repro.event.channels import notification_channel, query_channel, write_channel
+from repro.query.engine import MongoQueryEngine, Query
+from repro.stream.topology import Bolt, CustomGrouping, FieldsGrouping, TopologyBuilder
+from repro.stream.runtime import LocalRuntime
+from repro.types import AfterImage, WriteKind
+
+
+def serialize_query(query: Query) -> Dict[str, Any]:
+    """Wire form of a query (the 'representation of the query itself')."""
+    return {
+        "filter": query.filter_doc,
+        "collection": query.collection,
+        "sort": None if query.sort is None else [list(f) for f in query.sort.fields],
+        "limit": query.limit,
+        "offset": query.offset,
+    }
+
+
+def deserialize_query(payload: Dict[str, Any]) -> Query:
+    sort = payload.get("sort")
+    return Query(
+        payload["filter"],
+        collection=payload.get("collection", "default"),
+        sort=None if sort is None else [tuple(f) for f in sort],
+        limit=payload.get("limit"),
+        offset=payload.get("offset", 0),
+    )
+
+
+def serialize_after_image(after: AfterImage) -> Dict[str, Any]:
+    return {
+        "kind": "write",
+        "key": after.key,
+        "version": after.version,
+        "op": after.kind.value,
+        "document": after.document,
+        "collection": after.collection,
+        "timestamp": after.timestamp,
+    }
+
+
+def deserialize_after_image(payload: Dict[str, Any]) -> AfterImage:
+    return AfterImage(
+        key=payload["key"],
+        version=payload["version"],
+        kind=WriteKind(payload["op"]),
+        document=payload.get("document"),
+        collection=payload.get("collection", "default"),
+        timestamp=payload.get("timestamp", 0.0),
+    )
+
+
+class _QueryIngestionBolt(Bolt):
+    """Stateless: resolve partitions, stamp routing fields, forward."""
+
+    def __init__(self, cluster: "InvaliDBCluster"):
+        self.cluster = cluster
+
+    def clone(self) -> "_QueryIngestionBolt":
+        return _QueryIngestionBolt(self.cluster)
+
+    def process(self, tuple_: Dict[str, Any]) -> None:
+        query_hash = tuple_["query_hash"]
+        qp = self.cluster.scheme.query_partition_of(query_hash)
+        kind = tuple_["kind"]
+        if kind == "subscribe":
+            self.cluster._register(tuple_)
+        elif kind == "cancel":
+            if not tuple_.get("force") and not self.cluster._cancel(tuple_):
+                return  # other app servers still subscribed: keep active
+        elif kind == "ttl":
+            self.cluster._extend_ttl(tuple_)
+            return  # pure bookkeeping, nothing flows to the grid
+        forwarded = dict(tuple_)
+        forwarded["query_partition"] = qp
+        self.emit(forwarded)
+
+
+class _WriteIngestionBolt(Bolt):
+    """Stateless: resolve the write partition from the primary key."""
+
+    def __init__(self, cluster: "InvaliDBCluster"):
+        self.cluster = cluster
+
+    def clone(self) -> "_WriteIngestionBolt":
+        return _WriteIngestionBolt(self.cluster)
+
+    def process(self, tuple_: Dict[str, Any]) -> None:
+        wp = self.cluster.scheme.write_partition_of(tuple_["key"])
+        forwarded = dict(tuple_)
+        forwarded["write_partition"] = wp
+        self.emit(forwarded)
+
+
+class _MatchingBolt(Bolt):
+    """Filtering-stage task: owns one :class:`FilteringNode`."""
+
+    def __init__(self, cluster: "InvaliDBCluster"):
+        self.cluster = cluster
+        self.node: Optional[FilteringNode] = None
+
+    def clone(self) -> "_MatchingBolt":
+        return _MatchingBolt(self.cluster)
+
+    def prepare(self, task_index: int, parallelism: int, emit: Any) -> None:
+        super().prepare(task_index, parallelism, emit)
+        coordinates = self.cluster.scheme.coordinates(task_index)
+        self.node = FilteringNode(
+            coordinates,
+            retention_seconds=self.cluster.config.retention_seconds,
+            engine=self.cluster.engine,
+        )
+        self.cluster._filtering_nodes[task_index] = self.node
+
+    def process(self, tuple_: Dict[str, Any]) -> None:
+        assert self.node is not None
+        kind = tuple_["kind"]
+        now = self.cluster.config.clock()
+        if kind == "write":
+            after = deserialize_after_image(tuple_)
+            events = self.node.process_write(after, now)
+        elif kind == "subscribe":
+            events = self._register(tuple_, now)
+        elif kind == "cancel":
+            self.node.deactivate_query(tuple_["query_id"])
+            return
+        else:
+            return
+        self._dispatch(events)
+
+    def _register(self, tuple_: Dict[str, Any], now: float) -> List[MatchEvent]:
+        assert self.node is not None
+        query = self.cluster._query_from_wire(tuple_)
+        wp = self.node.coordinates.write_partition
+        scheme = self.cluster.scheme
+        bootstrap = [
+            doc
+            for doc in tuple_["bootstrap"]
+            if scheme.write_partition_of(doc["_id"]) == wp
+        ]
+        versions = {key: version for key, version in tuple_["versions"]}
+        return self.node.register_query(query, bootstrap, versions, now)
+
+    def _dispatch(self, events: List[MatchEvent]) -> None:
+        for event in events:
+            if event.needs_sorting:
+                self.emit(
+                    {
+                        "kind": "match-event",
+                        "query_id": event.query_id,
+                        "event": event,
+                    }
+                )
+            else:
+                self.cluster._publish_change(change_from_match_event(event))
+
+
+class _SortingBolt(Bolt):
+    """Sorting-stage task: owns one :class:`SortingNode`."""
+
+    def __init__(self, cluster: "InvaliDBCluster"):
+        self.cluster = cluster
+        self.node: Optional[SortingNode] = None
+
+    def clone(self) -> "_SortingBolt":
+        return _SortingBolt(self.cluster)
+
+    def prepare(self, task_index: int, parallelism: int, emit: Any) -> None:
+        super().prepare(task_index, parallelism, emit)
+        self.node = SortingNode(task_index, engine=self.cluster.engine)
+        self.cluster._sorting_nodes[task_index] = self.node
+
+    def process(self, tuple_: Dict[str, Any]) -> None:
+        assert self.node is not None
+        kind = tuple_["kind"]
+        if kind == "match-event":
+            changes = self.node.handle_event(tuple_["event"])
+        elif kind == "subscribe":
+            query = self.cluster._query_from_wire(tuple_)
+            if not query.needs_sorting_stage:
+                return
+            versions = {key: version for key, version in tuple_["versions"]}
+            changes = self.node.register_query(
+                query,
+                tuple_["bootstrap"],
+                versions,
+                slack=tuple_.get("slack", self.cluster.config.default_slack),
+                timestamp=self.cluster.config.clock(),
+            )
+        elif kind == "cancel":
+            self.node.deactivate_query(tuple_["query_id"])
+            return
+        else:
+            return
+        for change in changes:
+            self.cluster._publish_change(change)
+
+
+class InvaliDBCluster:
+    """The real-time component, isolated behind the event layer."""
+
+    def __init__(
+        self,
+        broker: Broker,
+        config: Optional[InvaliDBConfig] = None,
+        tenant: str = "default",
+    ):
+        self.broker = broker
+        self.config = config if config is not None else InvaliDBConfig()
+        self.tenant = tenant
+        self.engine = MongoQueryEngine()
+        self.scheme = PartitioningScheme(
+            self.config.query_partitions, self.config.write_partitions
+        )
+        self._filtering_nodes: Dict[int, FilteringNode] = {}
+        self._sorting_nodes: Dict[int, SortingNode] = {}
+        self._registrations: Dict[str, QueryRegistration] = {}
+        self._registration_lock = threading.Lock()
+        self._query_cache: Dict[str, Query] = {}
+        self._subscriptions: List[Any] = []
+        self._heartbeat_thread: Optional[threading.Thread] = None
+        self._stopping = threading.Event()
+        self.notifications_sent = 0
+        self._runtime = self._build_runtime()
+
+    # ------------------------------------------------------------------
+    # Topology wiring
+    # ------------------------------------------------------------------
+
+    def _build_runtime(self) -> LocalRuntime:
+        scheme = self.scheme
+
+        def route_query(tuple_: Dict[str, Any], parallelism: int) -> List[int]:
+            qp = tuple_["query_partition"]
+            return [
+                qp * scheme.write_partitions + wp
+                for wp in range(scheme.write_partitions)
+            ]
+
+        def route_write(tuple_: Dict[str, Any], parallelism: int) -> List[int]:
+            wp = tuple_["write_partition"]
+            return [
+                qp * scheme.write_partitions + wp
+                for qp in range(scheme.query_partitions)
+            ]
+
+        builder = TopologyBuilder()
+        builder.add_bolt(
+            "query-ingestion",
+            _QueryIngestionBolt(self),
+            parallelism=self.config.query_ingestion_nodes,
+        )
+        builder.add_bolt(
+            "write-ingestion",
+            _WriteIngestionBolt(self),
+            parallelism=self.config.write_ingestion_nodes,
+        )
+        builder.add_bolt(
+            "matching", _MatchingBolt(self), parallelism=scheme.node_count
+        )
+        builder.add_bolt(
+            "sorting", _SortingBolt(self), parallelism=self.config.sorting_nodes
+        )
+        builder.connect("query-ingestion", "matching", CustomGrouping(route_query))
+        builder.connect("query-ingestion", "sorting", FieldsGrouping("query_id"))
+        builder.connect("write-ingestion", "matching", CustomGrouping(route_write))
+        builder.connect("matching", "sorting", FieldsGrouping("query_id"))
+        return LocalRuntime(builder.build())
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "InvaliDBCluster":
+        self._runtime.start()
+        self._subscriptions.append(
+            self.broker.subscribe(write_channel(self.tenant), self._on_write_message)
+        )
+        self._subscriptions.append(
+            self.broker.subscribe(query_channel(self.tenant), self._on_query_message)
+        )
+        self._heartbeat_thread = threading.Thread(
+            target=self._heartbeat_loop, name="invalidb-heartbeat", daemon=True
+        )
+        self._heartbeat_thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stopping.set()
+        for subscription in self._subscriptions:
+            subscription.close()
+        self._subscriptions.clear()
+        self._runtime.stop()
+        if self._heartbeat_thread is not None:
+            self._heartbeat_thread.join(timeout=2.0)
+
+    def __enter__(self) -> "InvaliDBCluster":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    def drain(self, timeout: float = 5.0) -> bool:
+        """Wait until broker and topology queues are empty (for tests)."""
+        ok = self.broker.drain(timeout)
+        return self._runtime.drain(timeout) and ok
+
+    # ------------------------------------------------------------------
+    # Event-layer intake
+    # ------------------------------------------------------------------
+
+    def _on_write_message(self, channel: str, payload: Dict[str, Any]) -> None:
+        self._runtime.inject("write-ingestion", payload)
+
+    def _on_query_message(self, channel: str, payload: Dict[str, Any]) -> None:
+        self._runtime.inject("query-ingestion", payload)
+
+    # ------------------------------------------------------------------
+    # Registration bookkeeping (thread-safe, called from ingestion bolts)
+    # ------------------------------------------------------------------
+
+    def _query_from_wire(self, tuple_: Dict[str, Any]) -> Query:
+        query_id = tuple_["query_id"]
+        cached = self._query_cache.get(query_id)
+        if cached is not None:
+            return cached
+        query = deserialize_query(tuple_["query"])
+        self._query_cache[query_id] = query
+        return query
+
+    def _register(self, tuple_: Dict[str, Any]) -> None:
+        now = self.config.clock()
+        query = self._query_from_wire(tuple_)
+        with self._registration_lock:
+            registration = self._registrations.get(query.query_id)
+            if registration is None:
+                registration = QueryRegistration(
+                    query, now, ttl=self.config.subscription_ttl
+                )
+                self._registrations[query.query_id] = registration
+            registration.subscribe(tuple_["app_server"], now)
+
+    def _cancel(self, tuple_: Dict[str, Any]) -> bool:
+        """Unsubscribe one app server; True when the query is now unused."""
+        with self._registration_lock:
+            registration = self._registrations.get(tuple_["query_id"])
+            if registration is None:
+                return False
+            registration.cancel(tuple_["app_server"])
+            if registration.active:
+                return False
+            del self._registrations[tuple_["query_id"]]
+            self._query_cache.pop(tuple_["query_id"], None)
+            return True
+
+    def _extend_ttl(self, tuple_: Dict[str, Any]) -> None:
+        with self._registration_lock:
+            registration = self._registrations.get(tuple_["query_id"])
+        if registration is not None:
+            registration.extend(tuple_["app_server"], self.config.clock())
+
+    def sweep_expired(self) -> List[str]:
+        """Deactivate queries whose every subscriber's TTL lapsed.
+
+        Returns the deactivated query IDs.  Called periodically by the
+        heartbeat loop, and directly by tests with a fake clock.
+        """
+        now = self.config.clock()
+        deactivated: List[Tuple[str, int]] = []
+        with self._registration_lock:
+            for query_id, registration in list(self._registrations.items()):
+                registration.expire(now)
+                if not registration.active:
+                    del self._registrations[query_id]
+                    self._query_cache.pop(query_id, None)
+                    deactivated.append((query_id, registration.query.hash))
+        for query_id, query_hash in deactivated:
+            self._runtime.inject(
+                "query-ingestion",
+                {"kind": "cancel", "query_id": query_id,
+                 "query_hash": query_hash, "app_server": "__reaper__",
+                 "force": True},
+            )
+        return [query_id for query_id, _ in deactivated]
+
+    # ------------------------------------------------------------------
+    # Notification fan-out
+    # ------------------------------------------------------------------
+
+    def _publish_change(self, change: QueryChange) -> None:
+        with self._registration_lock:
+            registration = self._registrations.get(change.query_id)
+            app_servers = [] if registration is None else registration.app_servers
+        payload = serialize_change(change)
+        for app_server in app_servers:
+            self.broker.publish(notification_channel(app_server), payload)
+            self.notifications_sent += 1
+
+    # ------------------------------------------------------------------
+    # Heartbeats
+    # ------------------------------------------------------------------
+
+    def _heartbeat_loop(self) -> None:
+        while not self._stopping.wait(self.config.heartbeat_interval):
+            self.sweep_expired()
+            with self._registration_lock:
+                app_servers = {
+                    server
+                    for registration in self._registrations.values()
+                    for server in registration.app_servers
+                }
+            payload = {"kind": "heartbeat", "timestamp": self.config.clock()}
+            for app_server in app_servers:
+                try:
+                    self.broker.publish(notification_channel(app_server), payload)
+                except Exception:  # noqa: BLE001 - broker may be closing
+                    return
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def active_query_ids(self) -> List[str]:
+        with self._registration_lock:
+            return list(self._registrations)
+
+    def stats(self) -> Dict[str, Any]:
+        """Operational snapshot: grid shape, load, notification volume."""
+        with self._registration_lock:
+            active = len(self._registrations)
+            app_servers = {
+                server
+                for registration in self._registrations.values()
+                for server in registration.app_servers
+            }
+        per_node = {
+            str(node.coordinates): {
+                "queries": node.query_count,
+                "matched_operations": node.matched_operations,
+                "retained_after_images": len(node.retention),
+            }
+            for node in self._filtering_nodes.values()
+        }
+        return {
+            "grid": f"{self.scheme.query_partitions}x"
+                    f"{self.scheme.write_partitions}",
+            "active_queries": active,
+            "app_servers": sorted(app_servers),
+            "notifications_sent": self.notifications_sent,
+            "matching_nodes": per_node,
+        }
+
+    def filtering_node(self, qp: int, wp: int) -> Optional[FilteringNode]:
+        index = qp * self.scheme.write_partitions + wp
+        return self._filtering_nodes.get(index)
+
+    @property
+    def matching_node_count(self) -> int:
+        return self.scheme.node_count

@@ -1,0 +1,150 @@
+"""Notification collapsing — client-performance future work (§8.1).
+
+"Future research could ... develop schemes for saving client resources
+by compressing messages or by collapsing write operations and change
+notifications to mitigate write hotspots."  This module implements the
+collapsing scheme: a :class:`NotificationCollapser` buffers change
+notifications per (subscription, entity) for a short window and flushes
+only the *net effect*:
+
+* several ``change``/``changeIndex`` events for one entity collapse to
+  the latest one;
+* ``add`` followed by more changes collapses to one ``add`` carrying
+  the final document;
+* ``add`` followed by ``remove`` inside one window cancels out
+  entirely (the client never needed to know);
+* ``remove`` followed by ``add`` collapses to a ``change`` (the entity
+  never left the result from the client's point of view).
+
+Error notifications are never collapsed or delayed.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.types import ChangeNotification, MatchType
+
+Sink = Callable[[ChangeNotification], None]
+Clock = Callable[[], float]
+
+
+def merge_match_types(first: MatchType, second: MatchType) -> Optional[MatchType]:
+    """The net match type of two consecutive transitions (None = cancel)."""
+    if second is MatchType.ERROR or first is MatchType.ERROR:
+        return MatchType.ERROR
+    if first is MatchType.ADD:
+        if second is MatchType.REMOVE:
+            return None  # never visible to the client
+        return MatchType.ADD  # add + change(+Index) = add with final doc
+    if first is MatchType.REMOVE:
+        if second in (MatchType.ADD, MatchType.CHANGE,
+                      MatchType.CHANGE_INDEX):
+            return MatchType.CHANGE  # bounced back: net effect is a change
+        return MatchType.REMOVE
+    # first is CHANGE or CHANGE_INDEX
+    if second is MatchType.REMOVE:
+        return MatchType.REMOVE
+    if second is MatchType.CHANGE_INDEX or first is MatchType.CHANGE_INDEX:
+        return MatchType.CHANGE_INDEX
+    return MatchType.CHANGE
+
+
+class NotificationCollapser:
+    """Coalesces hot-key notification bursts before client delivery."""
+
+    def __init__(self, sink: Sink, window_seconds: float = 0.1,
+                 clock: Clock = time.monotonic):
+        self.sink = sink
+        self.window_seconds = window_seconds
+        self._clock = clock
+        self._pending: "OrderedDict[Tuple[str, object], ChangeNotification]" = (
+            OrderedDict()
+        )
+        self._window_started: Optional[float] = None
+        self._lock = threading.Lock()
+        self.received = 0
+        self.delivered = 0
+        self.collapsed = 0
+
+    # ------------------------------------------------------------------
+    # Intake
+    # ------------------------------------------------------------------
+
+    def offer(self, notification: ChangeNotification) -> None:
+        """Buffer one notification; flushes when the window lapsed."""
+        now = self._clock()
+        flush_needed = False
+        with self._lock:
+            self.received += 1
+            if notification.is_error:
+                # Errors bypass the buffer entirely (renewal latency!).
+                self.delivered += 1
+                error = notification
+            else:
+                error = None
+                self._absorb(notification)
+                if self._window_started is None:
+                    self._window_started = now
+                elif now - self._window_started >= self.window_seconds:
+                    flush_needed = True
+        if error is not None:
+            self.sink(error)
+        if flush_needed:
+            self.flush()
+
+    def _absorb(self, notification: ChangeNotification) -> None:
+        key = (notification.subscription_id, notification.key)
+        pending = self._pending.pop(key, None)
+        if pending is None:
+            self._pending[key] = notification
+            return
+        self.collapsed += 1
+        net = merge_match_types(pending.match_type, notification.match_type)
+        if net is None:
+            return  # add + remove cancel out
+        merged = ChangeNotification(
+            subscription_id=notification.subscription_id,
+            query_id=notification.query_id,
+            match_type=net,
+            key=notification.key,
+            document=notification.document
+            if notification.document is not None
+            else pending.document,
+            index=notification.index,
+            old_index=pending.old_index
+            if pending.old_index is not None
+            else notification.old_index,
+            error=notification.error,
+            timestamp=notification.timestamp,
+        )
+        self._pending[key] = merged
+
+    # ------------------------------------------------------------------
+    # Flushing
+    # ------------------------------------------------------------------
+
+    def flush(self) -> int:
+        """Deliver all buffered net notifications in arrival order."""
+        with self._lock:
+            batch = list(self._pending.values())
+            self._pending.clear()
+            self._window_started = None
+            self.delivered += len(batch)
+        for notification in batch:
+            self.sink(notification)
+        return len(batch)
+
+    @property
+    def pending_count(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    @property
+    def compression_ratio(self) -> float:
+        """received / delivered — 1.0 means nothing was saved."""
+        with self._lock:
+            return self.received / self.delivered if self.delivered else 0.0

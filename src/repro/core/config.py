@@ -1,0 +1,79 @@
+"""Configuration for an InvaliDB deployment.
+
+Defaults mirror the paper's production/evaluation setup where one is
+documented: a retention time of "few seconds", a configurable heartbeat
+interval bounding data freshness, four write-ingestion and one
+query-ingestion node in the evaluation, and a slack that can be adapted
+on re-execution (Section 5.2, footnote 5).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ClusterConfigError
+
+Clock = Callable[[], float]
+
+
+@dataclass
+class InvaliDBConfig:
+    """Tunables of the cluster and the client protocol."""
+
+    #: Number of query partitions (the read-scalability dimension).
+    query_partitions: int = 1
+    #: Number of write partitions (the write-scalability dimension).
+    write_partitions: int = 1
+    #: Parallelism of the sorting stage (partitioned by query).
+    sorting_nodes: int = 1
+    #: Stateless ingestion parallelism (the evaluation used 4 and 1).
+    write_ingestion_nodes: int = 4
+    query_ingestion_nodes: int = 1
+    #: Write stream retention window in seconds ("few seconds" at Baqend).
+    retention_seconds: float = 5.0
+    #: Items maintained beyond a sorted query's limit (Section 5.2).
+    default_slack: int = 5
+    #: Multiply slack by this factor on every query renewal (footnote 5:
+    #: "a higher slack value to increase robustness against deletes").
+    renewal_slack_factor: float = 2.0
+    #: Heartbeat cadence of the cluster and the client's patience.
+    heartbeat_interval: float = 1.0
+    heartbeat_timeout: float = 5.0
+    #: Subscription time-to-live and the extension cadence.
+    subscription_ttl: float = 60.0
+    ttl_extension_interval: float = 20.0
+    #: Poll frequency rate limit: minimum seconds between query renewals
+    #: (makes database load "predictable and configurable").
+    renewal_min_interval: float = 1.0
+    #: Time source (injectable for deterministic tests).
+    clock: Clock = field(default=time.time, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.query_partitions < 1:
+            raise ClusterConfigError("query_partitions must be >= 1")
+        if self.write_partitions < 1:
+            raise ClusterConfigError("write_partitions must be >= 1")
+        if self.sorting_nodes < 1:
+            raise ClusterConfigError("sorting_nodes must be >= 1")
+        if self.write_ingestion_nodes < 1 or self.query_ingestion_nodes < 1:
+            raise ClusterConfigError("ingestion node counts must be >= 1")
+        if self.retention_seconds < 0:
+            raise ClusterConfigError("retention_seconds must be >= 0")
+        if self.default_slack < 1:
+            raise ClusterConfigError("default_slack must be >= 1")
+        if self.renewal_slack_factor < 1.0:
+            raise ClusterConfigError("renewal_slack_factor must be >= 1.0")
+        if self.heartbeat_timeout <= self.heartbeat_interval:
+            raise ClusterConfigError(
+                "heartbeat_timeout must exceed heartbeat_interval"
+            )
+        if self.subscription_ttl <= 0:
+            raise ClusterConfigError("subscription_ttl must be positive")
+        if self.renewal_min_interval < 0:
+            raise ClusterConfigError("renewal_min_interval must be >= 0")
+
+    @property
+    def matching_node_count(self) -> int:
+        return self.query_partitions * self.write_partitions

@@ -1,0 +1,194 @@
+"""The filtering stage: per-node query matching (Sections 5.1-5.2).
+
+A :class:`FilteringNode` is one matching node in the 2D grid.  It holds
+a subset of all queries (its query partition) and sees a fraction of
+all written data items (its write partition).  For every incoming
+after-image it matches all of its queries and compares the current
+against the former matching status of the entity, producing
+:class:`MatchEvent` objects:
+
+* ``add`` — the item newly satisfies the query;
+* ``change`` — a current result member was updated;
+* ``remove`` — the item just ceased matching;
+* anything else "is filtered out", so downstream stages only see
+  relevant traffic.
+
+The node also implements write stream retention: retained after-images
+are replayed against newly registered queries, closing the
+write-subscription race, and version numbers let it ignore stale
+writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.core.partitioning import NodeCoordinates
+from repro.core.retention import RetentionBuffer
+from repro.query.engine import MongoQueryEngine, PluggableQueryEngine, Query
+from repro.types import AfterImage, Document, MatchType
+
+
+@dataclass(frozen=True)
+class MatchEvent:
+    """A result transition detected by the filtering stage.
+
+    For sorted queries these flow into the sorting stage; for unsorted
+    queries they translate directly into change notifications.
+    """
+
+    query_id: str
+    match_type: MatchType
+    key: Any
+    document: Optional[Document]
+    version: int
+    timestamp: float
+    needs_sorting: bool
+
+
+@dataclass
+class _ActiveQuery:
+    query: Query
+    #: Keys of this node's result partition with their last version.
+    matching: Dict[Any, int]
+    #: Last seen document per matching key (needed so a delete can emit
+    #: a remove event that still carries the item's content).
+    documents: Dict[Any, Document]
+
+
+class FilteringNode:
+    """One matching node of the filtering stage."""
+
+    def __init__(
+        self,
+        coordinates: NodeCoordinates,
+        retention_seconds: float = 5.0,
+        engine: Optional[PluggableQueryEngine] = None,
+    ):
+        self.coordinates = coordinates
+        self.engine = engine if engine is not None else MongoQueryEngine()
+        self.retention = RetentionBuffer(retention_seconds)
+        self._queries: Dict[str, _ActiveQuery] = {}
+        self.matched_operations = 0
+
+    # ------------------------------------------------------------------
+    # Query lifecycle
+    # ------------------------------------------------------------------
+
+    def register_query(
+        self,
+        query: Query,
+        bootstrap: List[Document],
+        versions: Dict[Any, int],
+        now: float,
+    ) -> List[MatchEvent]:
+        """Activate *query* with its result partition.
+
+        *bootstrap* is the slice of the initial result whose keys fall
+        into this node's write partition; *versions* maps those keys to
+        the version the database reported.  Retained after-images newer
+        than the bootstrap are replayed, so writes racing the
+        subscription are not lost (Section 5.1).  Replay may produce
+        events; the caller forwards them like live ones.
+
+        Re-registration (query renewal or a second app server
+        subscribing) replaces the previous bootstrap state wholesale.
+        """
+        state = _ActiveQuery(
+            query=query,
+            matching={doc["_id"]: versions.get(doc["_id"], 0) for doc in bootstrap},
+            documents={doc["_id"]: doc for doc in bootstrap},
+        )
+        self._queries[query.query_id] = state
+        events: List[MatchEvent] = []
+        for after in self.retention.replay(now):
+            known_version = state.matching.get(after.key, 0)
+            bootstrap_version = versions.get(after.key, known_version)
+            if after.version <= max(known_version, bootstrap_version):
+                continue
+            events.extend(self._evaluate(state, after))
+        return events
+
+    def deactivate_query(self, query_id: str) -> bool:
+        """Drop a query; True when it was active."""
+        return self._queries.pop(query_id, None) is not None
+
+    def active_queries(self) -> List[str]:
+        return list(self._queries)
+
+    def result_partition(self, query_id: str) -> List[Document]:
+        """Current partition of the given query's result on this node."""
+        state = self._queries.get(query_id)
+        if state is None:
+            return []
+        return list(state.documents.values())
+
+    # ------------------------------------------------------------------
+    # Write processing
+    # ------------------------------------------------------------------
+
+    def process_write(self, after: AfterImage, now: float) -> List[MatchEvent]:
+        """Match an after-image against all active queries.
+
+        Stale after-images (older than an already-processed version of
+        the same entity) are dropped entirely.
+        """
+        if not self.retention.observe(after, now):
+            return []
+        events: List[MatchEvent] = []
+        for state in self._queries.values():
+            events.extend(self._evaluate(state, after))
+            self.matched_operations += 1
+        return events
+
+    def _evaluate(self, state: _ActiveQuery, after: AfterImage) -> List[MatchEvent]:
+        query = state.query
+        matches_now = (
+            not after.is_delete
+            and after.collection == query.collection
+            and self.engine.matches(query, after.document)  # type: ignore[arg-type]
+        )
+        was_matching = after.key in state.matching
+        if matches_now:
+            state.matching[after.key] = after.version
+            state.documents[after.key] = after.document  # type: ignore[assignment]
+            match_type = MatchType.CHANGE if was_matching else MatchType.ADD
+            return [self._event(query, match_type, after, after.document)]
+        if was_matching:
+            del state.matching[after.key]
+            last_document = state.documents.pop(after.key, None)
+            document = after.document if after.document is not None else last_document
+            return [self._event(query, MatchType.REMOVE, after, document)]
+        return []
+
+    @staticmethod
+    def _event(
+        query: Query,
+        match_type: MatchType,
+        after: AfterImage,
+        document: Optional[Document],
+    ) -> MatchEvent:
+        return MatchEvent(
+            query_id=query.query_id,
+            match_type=match_type,
+            key=after.key,
+            document=document,
+            version=after.version,
+            timestamp=after.timestamp,
+            needs_sorting=query.needs_sorting_stage,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def query_count(self) -> int:
+        return len(self._queries)
+
+    def __repr__(self) -> str:
+        return (
+            f"FilteringNode({self.coordinates}, {len(self._queries)} queries, "
+            f"{len(self.retention)} retained)"
+        )

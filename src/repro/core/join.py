@@ -1,0 +1,304 @@
+"""The join stage — equi-joins over two real-time queries (§8.1).
+
+The paper names join queries as future work enabled by the staged
+architecture.  This module implements an incremental two-way equi-join
+as a downstream processing stage: a :class:`JoinNode` consumes the
+filtering-stage event streams of a *left* and a *right* query and
+maintains the set of joined pairs
+
+    {(l, r) | l ∈ result(left), r ∈ result(right),
+              l[left_on] == r[right_on]}
+
+emitting one change notification per pair transition.  Joins are
+self-maintainable given complete bootstraps of both sides: every pair
+transition is derivable from a single incoming event plus the indexes
+maintained here, so — like unsorted filter queries — the join stage
+never needs query renewals.
+
+Pair documents have the shape ``{"_id": "<l>|<r>", "left": ...,
+"right": ...}``; the pair key is stable across updates of either side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.core.filtering import MatchEvent
+from repro.core.notifications import QueryChange
+from repro.errors import QueryParseError
+from repro.query.engine import Query
+from repro.query.operators import values_equal
+from repro.store.documents import get_path
+from repro.types import Document, MatchType
+
+_ABSENT = object()
+
+
+@dataclass(frozen=True)
+class JoinSpec:
+    """An equi-join of two queries: ``left.left_on == right.right_on``."""
+
+    left: Query
+    right: Query
+    left_on: str
+    right_on: str
+
+    def __post_init__(self) -> None:
+        if not self.left_on or not self.right_on:
+            raise QueryParseError("join requires field paths on both sides")
+        if self.left.query_id == self.right.query_id:
+            raise QueryParseError("self-joins need distinct query objects")
+
+    @property
+    def join_id(self) -> str:
+        return (
+            f"join-{self.left.query_id}-{self.left_on}"
+            f"-{self.right.query_id}-{self.right_on}"
+        )
+
+
+def _bucket_key(value: Any) -> Any:
+    """Hashable representation of a join value (BSON-equality aware)."""
+    if isinstance(value, bool):
+        return ("bool", value)
+    if isinstance(value, (int, float)):
+        return ("num", float(value))
+    if isinstance(value, (list, tuple)):
+        return ("arr", tuple(_bucket_key(item) for item in value))
+    if isinstance(value, dict):
+        return ("obj", tuple(sorted(
+            (key, _bucket_key(val)) for key, val in value.items()
+        )))
+    return ("raw", value)
+
+
+class _Side:
+    """One side of the join: members + index on the join value."""
+
+    def __init__(self, on: str):
+        self.on = on
+        self.documents: Dict[Any, Document] = {}
+        self._by_value: Dict[Any, Set[Any]] = {}
+
+    def join_value(self, document: Document) -> Any:
+        return get_path(document, self.on, _ABSENT)
+
+    def add(self, key: Any, document: Document) -> None:
+        self.remove(key)
+        self.documents[key] = document
+        value = self.join_value(document)
+        if value is not _ABSENT:
+            self._by_value.setdefault(_bucket_key(value), set()).add(key)
+
+    def remove(self, key: Any) -> Optional[Document]:
+        document = self.documents.pop(key, None)
+        if document is None:
+            return None
+        value = self.join_value(document)
+        if value is not _ABSENT:
+            bucket = self._by_value.get(_bucket_key(value))
+            if bucket is not None:
+                bucket.discard(key)
+                if not bucket:
+                    del self._by_value[_bucket_key(value)]
+        return document
+
+    def partners_of(self, value: Any) -> Iterator[Tuple[Any, Document]]:
+        if value is _ABSENT:
+            return
+        for key in self._by_value.get(_bucket_key(value), ()):
+            yield key, self.documents[key]
+
+
+class JoinNode:
+    """Join-stage node: owns a partition of join subscriptions."""
+
+    def __init__(self, node_index: int = 0):
+        self.node_index = node_index
+        self._joins: Dict[str, JoinSpec] = {}
+        self._sides: Dict[str, Tuple[_Side, _Side]] = {}
+        #: Maps a source query_id to the (join_id, side) pairs it feeds —
+        #: one query may participate in several joins.
+        self._routes: Dict[str, List[Tuple[str, str]]] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def register_join(
+        self,
+        spec: JoinSpec,
+        left_bootstrap: List[Document],
+        right_bootstrap: List[Document],
+    ) -> List[QueryChange]:
+        """Activate (or refresh) a join with both sides' full results."""
+        previous_pairs: Optional[Set[Any]] = None
+        if spec.join_id in self._sides:
+            previous_pairs = set(self._pair_keys(spec.join_id))
+            self._drop_routes(spec.join_id)
+        left = _Side(spec.left_on)
+        right = _Side(spec.right_on)
+        for document in left_bootstrap:
+            left.add(document["_id"], document)
+        for document in right_bootstrap:
+            right.add(document["_id"], document)
+        self._joins[spec.join_id] = spec
+        self._sides[spec.join_id] = (left, right)
+        self._routes.setdefault(spec.left.query_id, []).append(
+            (spec.join_id, "left")
+        )
+        self._routes.setdefault(spec.right.query_id, []).append(
+            (spec.join_id, "right")
+        )
+        if previous_pairs is None:
+            return []
+        changes: List[QueryChange] = []
+        fresh = set(self._pair_keys(spec.join_id))
+        for pair in previous_pairs - fresh:
+            changes.append(self._pair_change(spec, MatchType.REMOVE, pair,
+                                             None, 0.0))
+        for pair in fresh - previous_pairs:
+            left_key, right_key = pair
+            document = self._pair_document(
+                spec, left.documents[left_key], right.documents[right_key]
+            )
+            changes.append(self._pair_change(spec, MatchType.ADD, pair,
+                                             document, 0.0))
+        return changes
+
+    def deactivate_join(self, join_id: str) -> bool:
+        if join_id not in self._joins:
+            return False
+        self._drop_routes(join_id)
+        del self._joins[join_id]
+        del self._sides[join_id]
+        return True
+
+    def _drop_routes(self, join_id: str) -> None:
+        for query_id in list(self._routes):
+            self._routes[query_id] = [
+                route for route in self._routes[query_id]
+                if route[0] != join_id
+            ]
+            if not self._routes[query_id]:
+                del self._routes[query_id]
+
+    # ------------------------------------------------------------------
+    # Event processing
+    # ------------------------------------------------------------------
+
+    def handle_event(self, event: MatchEvent) -> List[QueryChange]:
+        """Consume one filtering-stage event for either side."""
+        changes: List[QueryChange] = []
+        for join_id, side_name in self._routes.get(event.query_id, ()):
+            changes.extend(self._apply(join_id, side_name, event))
+        return changes
+
+    def _apply(self, join_id: str, side_name: str,
+               event: MatchEvent) -> List[QueryChange]:
+        spec = self._joins[join_id]
+        left, right = self._sides[join_id]
+        own, other = (left, right) if side_name == "left" else (right, left)
+        changes: List[QueryChange] = []
+
+        def pair_of(own_key: Any, other_key: Any) -> Tuple[Any, Any]:
+            return (
+                (own_key, other_key) if side_name == "left"
+                else (other_key, own_key)
+            )
+
+        def emit(match_type: MatchType, own_doc: Optional[Document],
+                 other_key: Any, other_doc: Optional[Document]) -> None:
+            pair = pair_of(event.key, other_key)
+            document = None
+            if own_doc is not None and other_doc is not None:
+                left_doc = own_doc if side_name == "left" else other_doc
+                right_doc = other_doc if side_name == "left" else own_doc
+                document = self._pair_document(spec, left_doc, right_doc)
+            changes.append(self._pair_change(spec, match_type, pair, document,
+                                             event.timestamp))
+
+        old_document = own.documents.get(event.key)
+        if event.match_type is MatchType.REMOVE:
+            removed = own.remove(event.key)
+            if removed is not None:
+                for other_key, other_doc in other.partners_of(
+                        own.join_value(removed)):
+                    emit(MatchType.REMOVE, removed, other_key, other_doc)
+            return changes
+
+        if event.document is None:
+            return changes
+        new_document = event.document
+        old_value = _ABSENT if old_document is None else (
+            own.join_value(old_document)
+        )
+        new_value = own.join_value(new_document)
+        own.add(event.key, new_document)
+
+        same_partner_set = (
+            old_document is not None
+            and old_value is not _ABSENT
+            and new_value is not _ABSENT
+            and values_equal(old_value, new_value)
+        )
+        if same_partner_set:
+            for other_key, other_doc in other.partners_of(new_value):
+                emit(MatchType.CHANGE, new_document, other_key, other_doc)
+            return changes
+        if old_document is not None and old_value is not _ABSENT:
+            for other_key, other_doc in other.partners_of(old_value):
+                emit(MatchType.REMOVE, old_document, other_key, other_doc)
+        for other_key, other_doc in other.partners_of(new_value):
+            emit(MatchType.ADD, new_document, other_key, other_doc)
+        return changes
+
+    # ------------------------------------------------------------------
+    # Introspection & helpers
+    # ------------------------------------------------------------------
+
+    def _pair_keys(self, join_id: str) -> Iterator[Tuple[Any, Any]]:
+        spec = self._joins[join_id]
+        left, right = self._sides[join_id]
+        for left_key, left_doc in left.documents.items():
+            value = left.join_value(left_doc)
+            for right_key, _ in right.partners_of(value):
+                yield (left_key, right_key)
+
+    def pairs(self, join_id: str) -> List[Document]:
+        """The current joined result (for tests and pull-style reads)."""
+        spec = self._joins[join_id]
+        left, right = self._sides[join_id]
+        result = []
+        for left_key, right_key in sorted(self._pair_keys(join_id),
+                                          key=repr):
+            result.append(self._pair_document(
+                spec, left.documents[left_key], right.documents[right_key]
+            ))
+        return result
+
+    @staticmethod
+    def _pair_document(spec: JoinSpec, left_doc: Document,
+                       right_doc: Document) -> Document:
+        return {
+            "_id": f"{left_doc['_id']}|{right_doc['_id']}",
+            "left": left_doc,
+            "right": right_doc,
+        }
+
+    @staticmethod
+    def _pair_change(spec: JoinSpec, match_type: MatchType,
+                     pair: Tuple[Any, Any], document: Optional[Document],
+                     timestamp: float) -> QueryChange:
+        return QueryChange(
+            query_id=spec.join_id,
+            match_type=match_type,
+            key=f"{pair[0]}|{pair[1]}",
+            document=document,
+            timestamp=timestamp,
+        )
+
+    @property
+    def join_count(self) -> int:
+        return len(self._joins)

@@ -1,0 +1,89 @@
+"""Change-notification construction and fan-out helpers.
+
+The cluster works in terms of :class:`QueryChange` — a result
+transition of one *query*.  Application servers fan a query change out
+to every local subscription of that query, tagging each copy with the
+client-generated subscription ID (footnote 2 of the paper); that tagged
+form is :class:`~repro.types.ChangeNotification`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.core.filtering import MatchEvent
+from repro.types import ChangeNotification, Document, MatchType
+
+
+@dataclass(frozen=True)
+class QueryChange:
+    """A result transition of one query, not yet bound to a subscriber."""
+
+    query_id: str
+    match_type: MatchType
+    key: Any = None
+    document: Optional[Document] = None
+    index: Optional[int] = None
+    old_index: Optional[int] = None
+    error: Optional[str] = None
+    timestamp: float = 0.0
+
+    @property
+    def is_error(self) -> bool:
+        return self.match_type is MatchType.ERROR
+
+
+def change_from_match_event(event: MatchEvent) -> QueryChange:
+    """Unsorted queries: a filtering-stage event IS the result change."""
+    return QueryChange(
+        query_id=event.query_id,
+        match_type=event.match_type,
+        key=event.key,
+        document=event.document,
+        timestamp=event.timestamp,
+    )
+
+
+def bind_to_subscription(
+    change: QueryChange, subscription_id: str
+) -> ChangeNotification:
+    """Tag a query change with one subscription ID for client delivery."""
+    return ChangeNotification(
+        subscription_id=subscription_id,
+        query_id=change.query_id,
+        match_type=change.match_type,
+        key=change.key,
+        document=change.document,
+        index=change.index,
+        old_index=change.old_index,
+        error=change.error,
+        timestamp=change.timestamp,
+    )
+
+
+def serialize_change(change: QueryChange) -> Dict[str, Any]:
+    """Wire representation of a change (event-layer payloads are JSON)."""
+    return {
+        "query_id": change.query_id,
+        "match_type": change.match_type.value,
+        "key": change.key,
+        "document": change.document,
+        "index": change.index,
+        "old_index": change.old_index,
+        "error": change.error,
+        "timestamp": change.timestamp,
+    }
+
+
+def deserialize_change(payload: Dict[str, Any]) -> QueryChange:
+    return QueryChange(
+        query_id=payload["query_id"],
+        match_type=MatchType(payload["match_type"]),
+        key=payload.get("key"),
+        document=payload.get("document"),
+        index=payload.get("index"),
+        old_index=payload.get("old_index"),
+        error=payload.get("error"),
+        timestamp=payload.get("timestamp", 0.0),
+    )

@@ -1,0 +1,79 @@
+"""Temporary write stream retention (Section 5.1 of the paper).
+
+Every matching node "stores received after-images and matches them
+against a new query on subscription", closing the *write-subscription
+race*: a write processed before the query was activated is replayed
+when the subscription arrives.  The buffer serves double duty for
+*staleness avoidance*: writes are versioned, so an after-image is
+ignored "whenever a delete (or more recent version) for the same item
+has already been received".
+
+Retention is bounded by time (the production deployment enforces "a
+retention time of few seconds"); only the latest version per key is
+retained because older versions are superseded by definition.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List
+
+from repro.types import AfterImage
+
+
+class RetentionBuffer:
+    """Time-bounded per-key after-image retention with version checks."""
+
+    def __init__(self, retention_seconds: float):
+        self.retention_seconds = retention_seconds
+        self._latest: Dict[Any, AfterImage] = {}
+        #: Highest version ever observed per key — survives eviction so
+        #: staleness checks keep working even after the after-image aged
+        #: out of the replay window.
+        self._versions: Dict[Any, int] = {}
+
+    def observe(self, after: AfterImage, now: float) -> bool:
+        """Record *after*; returns False when it is stale (superseded).
+
+        A stale after-image must be dropped by the caller — processing
+        it would regress the maintained result.
+        """
+        seen = self._versions.get(after.key, 0)
+        if after.version <= seen:
+            return False
+        self._versions[after.key] = after.version
+        self._latest[after.key] = after
+        return True
+
+    def is_stale(self, after: AfterImage) -> bool:
+        """Check staleness without recording."""
+        return after.version <= self._versions.get(after.key, 0)
+
+    def evict(self, now: float) -> int:
+        """Drop after-images older than the retention window."""
+        horizon = now - self.retention_seconds
+        expired = [
+            key
+            for key, image in self._latest.items()
+            if image.timestamp < horizon
+        ]
+        for key in expired:
+            del self._latest[key]
+        return len(expired)
+
+    def replay(self, now: float) -> List[AfterImage]:
+        """After-images to match against a newly subscribed query.
+
+        Only entries still inside the retention window are replayed;
+        eviction happens first so the replay set is exactly the window.
+        """
+        self.evict(now)
+        return list(self._latest.values())
+
+    def latest_version(self, key: Any) -> int:
+        return self._versions.get(key, 0)
+
+    def __len__(self) -> int:
+        return len(self._latest)
+
+    def __iter__(self) -> Iterator[AfterImage]:
+        return iter(self._latest.values())

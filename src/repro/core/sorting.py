@@ -1,0 +1,349 @@
+"""The sorting stage: ordered result maintenance (Section 5.2).
+
+Sorted filter queries are not self-maintainable from per-record match
+events alone: result membership can depend on an item's position, on
+the items in the query's *offset*, and on items *beyond* the limit.
+The sorting stage therefore maintains, per query, an ordered window of
+
+    offset items | visible result (limit) | slack items beyond limit
+
+bootstrapped from the rewritten query (``OFFSET 0``, ``LIMIT offset +
+limit + slack``).  The implementation tracks a *knowledge horizon*: the
+sort position below which matching items are unknown.  Invariant: the
+maintained entries are exactly the true matching items ranking at or
+above the horizon.  Consequences:
+
+* an incoming item ranking above the horizon is inserted at its true
+  position; one ranking below is ignored (it cannot be placed
+  correctly relative to unknown items);
+* a removal shrinks the window; when fewer than ``offset + limit``
+  items remain and knowledge is incomplete, the query becomes
+  unmaintainable — a **query maintenance error** deactivates it and an
+  error notification doubling as a *query renewal request* is emitted;
+* when the window outgrows its capacity it is truncated and the
+  horizon moves up, keeping per-query memory bounded.
+
+Change notifications are derived by diffing the visible window before
+and after each event: items entering get ``add`` (with index), items
+leaving get ``remove``, and the written item itself gets ``change`` or
+``changeIndex`` depending on whether its position moved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.filtering import MatchEvent
+from repro.core.notifications import QueryChange
+from repro.errors import QueryMaintenanceError
+from repro.query.engine import MongoQueryEngine, PluggableQueryEngine, Query
+from repro.types import Document, MatchType
+
+
+@dataclass
+class _Entry:
+    sort_key: Tuple[Any, ...]
+    key: Any
+    document: Document
+    version: int
+
+
+class _SortedQueryState:
+    """Ordered window of one sorted query."""
+
+    def __init__(self, query: Query, slack: int):
+        if query.sort is None:
+            raise ValueError("sorting stage only accepts sorted queries")
+        self.query = query
+        self.slack = slack
+        self.offset = query.offset
+        self.limit = query.limit
+        self.capacity: Optional[int] = (
+            None if query.limit is None else query.offset + query.limit + slack
+        )
+        self.entries: List[_Entry] = []
+        self.complete = True
+        #: Sort key of the worst-ranked item we have full knowledge down
+        #: to; only meaningful when ``complete`` is False.
+        self.horizon: Optional[Tuple[Any, ...]] = None
+        self.active = True
+
+    # -- window geometry -----------------------------------------------------
+
+    def visible(self) -> List[Tuple[Any, Document]]:
+        """The user-facing result window: entries[offset : offset+limit]."""
+        window = self.entries[self.offset :]
+        if self.limit is not None:
+            window = window[: self.limit]
+        return [(entry.key, entry.document) for entry in window]
+
+    def current_slack(self) -> Optional[int]:
+        """Items known beyond the limit — removals survivable right now."""
+        if self.limit is None:
+            return None
+        return max(0, len(self.entries) - (self.offset + self.limit))
+
+    # -- mutation -------------------------------------------------------------
+
+    def bootstrap(self, documents: List[Document], versions: Dict[Any, int]) -> None:
+        sort = self.query.sort
+        assert sort is not None
+        self.entries = [
+            _Entry(sort.key(doc), doc["_id"], doc, versions.get(doc["_id"], 0))
+            for doc in documents
+        ]
+        self.entries.sort(key=lambda entry: entry.sort_key)
+        if self.capacity is None or len(self.entries) < self.capacity:
+            self.complete = True
+            self.horizon = None
+        else:
+            del self.entries[self.capacity :]
+            self.complete = False
+            self.horizon = self.entries[-1].sort_key
+        self.active = True
+
+    def _position_of(self, key: Any) -> Optional[int]:
+        for index, entry in enumerate(self.entries):
+            if entry.key == key:
+                return index
+        return None
+
+    def _insert(self, entry: _Entry) -> None:
+        lo, hi = 0, len(self.entries)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.entries[mid].sort_key < entry.sort_key:
+                lo = mid + 1
+            else:
+                hi = mid
+        self.entries.insert(lo, entry)
+
+    def _truncate(self) -> None:
+        if self.capacity is not None and len(self.entries) > self.capacity:
+            del self.entries[self.capacity :]
+            self.complete = False
+            self.horizon = self.entries[-1].sort_key
+
+    def upsert(self, key: Any, document: Document, version: int) -> bool:
+        """Apply an add/change event for a matching item.
+
+        Returns False when the window became unmaintainable: an update
+        that demotes a window member below the knowledge horizon acts
+        like a removal and can exhaust the slack just the same.
+        """
+        sort = self.query.sort
+        assert sort is not None
+        position = self._position_of(key)
+        was_member = position is not None
+        if position is not None:
+            if version and version < self.entries[position].version:
+                return True
+            del self.entries[position]
+        entry = _Entry(sort.key(document), key, document, version)
+        if not self.complete and self.horizon is not None:
+            if entry.sort_key > self.horizon:
+                # Below the knowledge horizon: cannot be placed correctly.
+                if (
+                    was_member
+                    and self.limit is not None
+                    and len(self.entries) < self.offset + self.limit
+                ):
+                    return False
+                return True
+        self._insert(entry)
+        self._truncate()
+        return True
+
+    def remove(self, key: Any, version: int) -> bool:
+        """Apply a remove event.
+
+        Returns False when the window became unmaintainable (a query
+        maintenance error the caller must surface).
+        """
+        position = self._position_of(key)
+        if position is None:
+            return True
+        if version and version < self.entries[position].version:
+            return True
+        del self.entries[position]
+        if self.complete:
+            return True
+        if self.limit is not None and len(self.entries) < self.offset + self.limit:
+            return False
+        return True
+
+
+class SortingNode:
+    """One node of the sorting stage; owns a partition of sorted queries."""
+
+    def __init__(self, node_index: int = 0,
+                 engine: Optional[PluggableQueryEngine] = None):
+        self.node_index = node_index
+        self.engine = engine if engine is not None else MongoQueryEngine()
+        self._states: Dict[str, _SortedQueryState] = {}
+        #: Last valid visible window per query — survives deactivation so
+        #: a renewal can emit the delta "from the last valid to the
+        #: current result representation" (Section 5.2).
+        self._last_visible: Dict[str, List[Tuple[Any, Document]]] = {}
+
+    # ------------------------------------------------------------------
+    # Query lifecycle
+    # ------------------------------------------------------------------
+
+    def register_query(
+        self,
+        query: Query,
+        bootstrap: List[Document],
+        versions: Dict[Any, int],
+        slack: int,
+        timestamp: float = 0.0,
+    ) -> List[QueryChange]:
+        """Activate (or renew) a sorted query with its extended result.
+
+        *bootstrap* must come from the rewritten query (offset removed,
+        limit extended by offset + slack).  On first registration no
+        notifications are produced — the initial result reaches the
+        subscriber through the application server.  On re-registration
+        (renewal, or another app server subscribing) the delta between
+        the last valid and the fresh visible window is emitted.
+        """
+        state = _SortedQueryState(query, slack)
+        state.bootstrap(bootstrap, versions)
+        self._states[query.query_id] = state
+        previous = self._last_visible.get(query.query_id)
+        current = state.visible()
+        self._last_visible[query.query_id] = current
+        if previous is None:
+            return []
+        return self._diff(query, previous, current, written_key=None,
+                          timestamp=timestamp)
+
+    def deactivate_query(self, query_id: str) -> bool:
+        state = self._states.pop(query_id, None)
+        return state is not None
+
+    def active_queries(self) -> List[str]:
+        return [qid for qid, state in self._states.items() if state.active]
+
+    def state_of(self, query_id: str) -> Optional[_SortedQueryState]:
+        return self._states.get(query_id)
+
+    # ------------------------------------------------------------------
+    # Event processing
+    # ------------------------------------------------------------------
+
+    def handle_event(self, event: MatchEvent) -> List[QueryChange]:
+        """Consume one filtering-stage event, emit visible-window changes."""
+        state = self._states.get(event.query_id)
+        if state is None or not state.active:
+            return []
+        before = state.visible()
+        if event.match_type is MatchType.REMOVE:
+            ok = state.remove(event.key, event.version)
+        else:
+            if event.document is None:
+                return []
+            ok = state.upsert(event.key, event.document, event.version)
+        if not ok:
+            return [self._maintenance_error(state, event)]
+        after = state.visible()
+        self._last_visible[event.query_id] = after
+        return self._diff(
+            state.query, before, after, written_key=event.key,
+            timestamp=event.timestamp,
+        )
+
+    def _maintenance_error(
+        self, state: _SortedQueryState, event: MatchEvent
+    ) -> QueryChange:
+        """Deactivate the query and emit the renewal-request error."""
+        state.active = False
+        query_id = state.query.query_id
+        # The last *valid* window precedes the failing operation; it is
+        # already stored in _last_visible and intentionally kept there.
+        self._states.pop(query_id, None)
+        error = QueryMaintenanceError(query_id)
+        return QueryChange(
+            query_id=query_id,
+            match_type=MatchType.ERROR,
+            key=event.key,
+            document=None,
+            error=str(error),
+            timestamp=event.timestamp,
+        )
+
+    # ------------------------------------------------------------------
+    # Visible-window diffing
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _diff(
+        query: Query,
+        before: List[Tuple[Any, Document]],
+        after: List[Tuple[Any, Document]],
+        written_key: Any,
+        timestamp: float,
+    ) -> List[QueryChange]:
+        before_index = {key: index for index, (key, _) in enumerate(before)}
+        after_index = {key: index for index, (key, _) in enumerate(after)}
+        changes: List[QueryChange] = []
+        # Items that left the visible window.
+        for key, document in before:
+            if key not in after_index:
+                changes.append(
+                    QueryChange(
+                        query_id=query.query_id,
+                        match_type=MatchType.REMOVE,
+                        key=key,
+                        document=document,
+                        old_index=before_index[key],
+                        timestamp=timestamp,
+                    )
+                )
+        # Items that entered, plus transitions of surviving items.
+        for key, document in after:
+            new_index = after_index[key]
+            old_index = before_index.get(key)
+            if old_index is None:
+                changes.append(
+                    QueryChange(
+                        query_id=query.query_id,
+                        match_type=MatchType.ADD,
+                        key=key,
+                        document=document,
+                        index=new_index,
+                        timestamp=timestamp,
+                    )
+                )
+            elif written_key is None or key == written_key:
+                document_changed = before[old_index][1] != document
+                if old_index != new_index:
+                    changes.append(
+                        QueryChange(
+                            query_id=query.query_id,
+                            match_type=MatchType.CHANGE_INDEX,
+                            key=key,
+                            document=document,
+                            index=new_index,
+                            old_index=old_index,
+                            timestamp=timestamp,
+                        )
+                    )
+                elif document_changed:
+                    changes.append(
+                        QueryChange(
+                            query_id=query.query_id,
+                            match_type=MatchType.CHANGE,
+                            key=key,
+                            document=document,
+                            index=new_index,
+                            old_index=old_index,
+                            timestamp=timestamp,
+                        )
+                    )
+        return changes
+
+    @property
+    def query_count(self) -> int:
+        return len(self._states)

@@ -1,0 +1,182 @@
+"""Live materialized views: aggregation and joins over the full stack.
+
+The §8.1 stages (:mod:`repro.core.aggregation`, :mod:`repro.core.join`)
+are pure event processors.  This module composes them with real
+subscriptions on an :class:`~repro.core.server.AppServer`, giving end
+users push-maintained *scalar views* and *joined views* without any
+cluster-side changes: the stage consumes exactly the filtering-stage
+output that reaches the app server as change notifications — the same
+events it would see were it deployed inside the cluster, as the paper
+envisions.
+
+* :class:`LiveAggregateView` — ``count/sum/avg/min/max`` over one
+  real-time query;
+* :class:`LiveJoinView` — an incremental equi-join over two real-time
+  queries.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.aggregation import AggregateSpec, AggregationNode
+from repro.core.filtering import MatchEvent
+from repro.core.join import JoinNode, JoinSpec
+from repro.core.server import AppServer
+from repro.query.engine import Query
+from repro.types import ChangeNotification, Document, MatchType
+
+AggregateCallback = Callable[[Document], None]
+PairCallback = Callable[[ChangeNotification], None]
+
+
+def _to_match_event(query: Query, notification: ChangeNotification) -> MatchEvent:
+    """Reinterpret a change notification as a filtering-stage event."""
+    return MatchEvent(
+        query_id=query.query_id,
+        match_type=notification.match_type,
+        key=notification.key,
+        document=notification.document,
+        version=0,  # notifications are already version-deduplicated
+        timestamp=notification.timestamp,
+        needs_sorting=False,
+    )
+
+
+class LiveAggregateView:
+    """A push-maintained aggregate over one real-time query."""
+
+    def __init__(
+        self,
+        app_server: AppServer,
+        collection: str,
+        filter_doc: Dict[str, Any],
+        aggregates: Sequence[AggregateSpec],
+        on_change: Optional[AggregateCallback] = None,
+    ):
+        self._node = AggregationNode()
+        self._on_change = on_change
+        self._lock = threading.Lock()
+        self._app_server = app_server
+        self._query = Query(filter_doc, collection=collection)
+        self.updates = 0
+        #: Notifications arriving before registration are buffered and
+        #: replayed afterwards (bootstrap deduplicates by membership).
+        self._ready = False
+        self._backlog: List[ChangeNotification] = []
+        self._subscription = app_server.subscribe(
+            collection, filter_doc, on_change=self._consume
+        )
+        with self._lock:
+            self._node.register_query(
+                self._query,
+                self._subscription.initial.documents,
+                {},
+                aggregates=tuple(aggregates),
+            )
+            self._ready = True
+            backlog, self._backlog = self._backlog, []
+        for notification in backlog:
+            self._consume(notification)
+
+    def _consume(self, notification: ChangeNotification) -> None:
+        if notification.is_error:
+            return
+        with self._lock:
+            if not self._ready:
+                self._backlog.append(notification)
+                return
+            changes = self._node.handle_event(
+                _to_match_event(self._query, notification)
+            )
+            if changes:
+                self.updates += len(changes)
+        for change in changes:
+            if self._on_change is not None and change.document is not None:
+                self._on_change(change.document)
+
+    def value(self) -> Document:
+        """The current aggregate document."""
+        with self._lock:
+            snapshot = self._node.aggregate_of(self._query.query_id)
+        assert snapshot is not None
+        return snapshot
+
+    def close(self) -> None:
+        self._app_server.unsubscribe(self._subscription)
+
+
+class LiveJoinView:
+    """A push-maintained equi-join over two real-time queries."""
+
+    def __init__(
+        self,
+        app_server: AppServer,
+        left: Tuple[str, Dict[str, Any], str],
+        right: Tuple[str, Dict[str, Any], str],
+        on_pair_change: Optional[PairCallback] = None,
+    ):
+        """``left``/``right`` are ``(collection, filter, join_field)``."""
+        left_collection, left_filter, left_on = left
+        right_collection, right_filter, right_on = right
+        self._left_query = Query(left_filter, collection=left_collection)
+        self._right_query = Query(right_filter, collection=right_collection)
+        self._spec = JoinSpec(self._left_query, self._right_query,
+                              left_on=left_on, right_on=right_on)
+        self._node = JoinNode()
+        self._on_pair_change = on_pair_change
+        self._lock = threading.Lock()
+        self._app_server = app_server
+        self.pair_changes = 0
+        self._ready = False
+        self._backlog: List[Tuple[Query, ChangeNotification]] = []
+        self._left_sub = app_server.subscribe(
+            left_collection, left_filter,
+            on_change=lambda n: self._consume(self._left_query, n),
+        )
+        self._right_sub = app_server.subscribe(
+            right_collection, right_filter,
+            on_change=lambda n: self._consume(self._right_query, n),
+        )
+        with self._lock:
+            self._node.register_join(
+                self._spec,
+                self._left_sub.initial.documents,
+                self._right_sub.initial.documents,
+            )
+            self._ready = True
+            backlog, self._backlog = self._backlog, []
+        for query, notification in backlog:
+            self._consume(query, notification)
+
+    def _consume(self, query: Query, notification: ChangeNotification) -> None:
+        if notification.is_error:
+            return
+        with self._lock:
+            if not self._ready:
+                self._backlog.append((query, notification))
+                return
+            changes = self._node.handle_event(
+                _to_match_event(query, notification)
+            )
+            self.pair_changes += len(changes)
+        if self._on_pair_change is not None:
+            for change in changes:
+                self._on_pair_change(ChangeNotification(
+                    subscription_id=self._spec.join_id,
+                    query_id=self._spec.join_id,
+                    match_type=change.match_type,
+                    key=change.key,
+                    document=change.document,
+                    timestamp=change.timestamp,
+                ))
+
+    def pairs(self) -> List[Document]:
+        """The current joined result."""
+        with self._lock:
+            return self._node.pairs(self._spec.join_id)
+
+    def close(self) -> None:
+        self._app_server.unsubscribe(self._left_sub)
+        self._app_server.unsubscribe(self._right_sub)

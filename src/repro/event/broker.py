@@ -1,0 +1,231 @@
+"""An in-memory pub/sub broker with per-channel FIFO delivery.
+
+Semantics follow Redis pub/sub, the event layer of the paper's
+prototype:
+
+* at-most-once, fire-and-forget delivery — a message published while
+  nobody subscribes is dropped (the paper accepts this: on InvaliDB
+  outage "requests sent against the event layer remain unanswered");
+* per-channel FIFO order per subscriber (messages of one channel share
+  one delay, so their relative order is preserved);
+* cross-channel reordering when channels carry different delays — the
+  asynchronous skew behind the paper's race conditions;
+* ``psubscribe``-style pattern subscriptions with ``*`` wildcards.
+
+Delivery runs on a dedicated dispatcher thread per broker, so
+publishers never execute subscriber callbacks — this is the asynchrony
+that decouples the app server from the InvaliDB cluster, and it is also
+what makes the paper's two race conditions (write-query and
+write-subscription, Section 5.1) actually reproducible in tests: the
+broker can be configured with an artificial delivery delay or a
+per-channel delay function to skew message arrival.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import heapq
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import BrokerClosedError
+from repro.event.codec import Codec, JsonCodec
+
+Listener = Callable[[str, Any], None]
+DelayFn = Callable[[str], float]
+
+
+@dataclass
+class Subscription:
+    """Handle returned by subscribe/psubscribe; cancel via ``close()``."""
+
+    pattern: str
+    listener: Listener
+    is_pattern: bool
+    _broker: "Broker" = field(repr=False, compare=False, default=None)  # type: ignore[assignment]
+    active: bool = True
+
+    def close(self) -> None:
+        if self.active and self._broker is not None:
+            self._broker._unsubscribe(self)
+            self.active = False
+
+
+class Broker:
+    """The event layer: channels, subscribers, one dispatcher thread."""
+
+    def __init__(
+        self,
+        codec: Optional[Codec] = None,
+        delivery_delay: float = 0.0,
+        delay_fn: Optional[DelayFn] = None,
+        name: str = "event-layer",
+    ):
+        self.name = name
+        self._codec = codec if codec is not None else JsonCodec()
+        self._delivery_delay = delivery_delay
+        self._delay_fn = delay_fn
+        self._exact: Dict[str, List[Subscription]] = {}
+        self._patterns: List[Subscription] = []
+        self._lock = threading.RLock()
+        # Min-heap on (deliver_at, sequence): delayed messages do NOT
+        # block later undelayed ones — exactly the skewed/reordered
+        # delivery an asynchronous message broker can exhibit, which the
+        # paper's race conditions (Section 5.1) are about.
+        self._heap: List[Tuple[float, int, str, bytes]] = []
+        self._heap_cv = threading.Condition(self._lock)
+        self._sequence = itertools.count()
+        self._closed = False
+        self._in_flight = False
+        self._published = 0
+        self._delivered = 0
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name=f"{name}-dispatch", daemon=True
+        )
+        self._dispatcher.start()
+
+    # ------------------------------------------------------------------
+    # Publishing
+    # ------------------------------------------------------------------
+
+    def publish(self, channel: str, payload: Any) -> None:
+        """Encode *payload* and enqueue it for asynchronous delivery."""
+        if self._closed:
+            raise BrokerClosedError(f"broker {self.name!r} is closed")
+        wire = self._codec.encode(payload)
+        delay = self._delivery_delay
+        if self._delay_fn is not None:
+            delay = max(delay, self._delay_fn(channel))
+        deliver_at = time.monotonic() + delay
+        with self._heap_cv:
+            self._published += 1
+            heapq.heappush(
+                self._heap, (deliver_at, next(self._sequence), channel, wire)
+            )
+            self._heap_cv.notify()
+
+    # ------------------------------------------------------------------
+    # Subscribing
+    # ------------------------------------------------------------------
+
+    def subscribe(self, channel: str, listener: Listener) -> Subscription:
+        """Subscribe to exactly *channel*."""
+        if self._closed:
+            raise BrokerClosedError(f"broker {self.name!r} is closed")
+        subscription = Subscription(channel, listener, is_pattern=False, _broker=self)
+        with self._lock:
+            self._exact.setdefault(channel, []).append(subscription)
+        return subscription
+
+    def psubscribe(self, pattern: str, listener: Listener) -> Subscription:
+        """Subscribe to all channels matching a ``fnmatch`` pattern."""
+        if self._closed:
+            raise BrokerClosedError(f"broker {self.name!r} is closed")
+        subscription = Subscription(pattern, listener, is_pattern=True, _broker=self)
+        with self._lock:
+            self._patterns.append(subscription)
+        return subscription
+
+    def _unsubscribe(self, subscription: Subscription) -> None:
+        with self._lock:
+            if subscription.is_pattern:
+                if subscription in self._patterns:
+                    self._patterns.remove(subscription)
+            else:
+                bucket = self._exact.get(subscription.pattern)
+                if bucket and subscription in bucket:
+                    bucket.remove(subscription)
+                    if not bucket:
+                        del self._exact[subscription.pattern]
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._heap_cv:
+                while True:
+                    if self._closed and not self._heap:
+                        return
+                    if not self._heap:
+                        self._heap_cv.wait(timeout=0.5)
+                        continue
+                    deliver_at = self._heap[0][0]
+                    remaining = deliver_at - time.monotonic()
+                    if remaining <= 0:
+                        _, _, channel, wire = heapq.heappop(self._heap)
+                        break
+                    # An earlier-deliverable message may arrive meanwhile.
+                    self._heap_cv.wait(timeout=min(remaining, 0.5))
+                self._in_flight = True
+            try:
+                self._dispatch_one(channel, wire)
+            finally:
+                self._in_flight = False
+
+    def _dispatch_one(self, channel: str, wire: bytes) -> None:
+        payload = self._codec.decode(wire)
+        for subscription in self._subscribers_for(channel):
+            try:
+                subscription.listener(channel, payload)
+            except Exception:  # noqa: BLE001 - a bad subscriber must
+                # never take down the dispatcher (isolated failure
+                # domains are the point of the event layer).
+                pass
+            else:
+                with self._lock:
+                    self._delivered += 1
+
+    def _subscribers_for(self, channel: str) -> List[Subscription]:
+        with self._lock:
+            subs = list(self._exact.get(channel, ()))
+            subs.extend(
+                s for s in self._patterns if fnmatch.fnmatchcase(channel, s.pattern)
+            )
+        return subs
+
+    # ------------------------------------------------------------------
+    # Lifecycle & introspection
+    # ------------------------------------------------------------------
+
+    def drain(self, timeout: float = 5.0) -> bool:
+        """Block until all queued messages were dispatched (for tests)."""
+        deadline = time.monotonic() + timeout
+
+        def quiescent() -> bool:
+            with self._lock:
+                return not self._heap and not self._in_flight
+
+        while time.monotonic() < deadline:
+            if quiescent():
+                # One more beat so a just-popped message finishes delivery.
+                time.sleep(0.01)
+                if quiescent():
+                    return True
+            time.sleep(0.005)
+        return False
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {"published": self._published, "delivered": self._delivered}
+
+    def close(self) -> None:
+        """Stop the dispatcher; pending messages are dropped."""
+        if self._closed:
+            return
+        with self._heap_cv:
+            self._closed = True
+            self._heap.clear()
+            self._heap_cv.notify_all()
+        self._dispatcher.join(timeout=2.0)
+
+    def __enter__(self) -> "Broker":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -1,0 +1,28 @@
+"""Channel naming scheme for InvaliDB traffic over the event layer.
+
+Routing and partitioning "only rely on primary keys (write operations)
+and the server-generated query identifiers (change notifications, query
+subscriptions, etc.)" — Section 5.3.  These helpers centralize the
+naming so every component agrees on where traffic flows.
+"""
+
+from __future__ import annotations
+
+WRITE_PREFIX = "invalidb:writes"
+QUERY_PREFIX = "invalidb:queries"
+NOTIFY_PREFIX = "invalidb:notify"
+
+
+def write_channel(tenant: str = "default") -> str:
+    """Channel on which app servers publish after-images."""
+    return f"{WRITE_PREFIX}:{tenant}"
+
+
+def query_channel(tenant: str = "default") -> str:
+    """Channel on which app servers publish subscription requests."""
+    return f"{QUERY_PREFIX}:{tenant}"
+
+
+def notification_channel(app_server_id: str) -> str:
+    """Channel on which one app server receives change notifications."""
+    return f"{NOTIFY_PREFIX}:{app_server_id}"

@@ -1,0 +1,121 @@
+"""Predicate AST for MongoDB-style queries.
+
+A parsed query is a tree of :class:`Node` objects.  Logical nodes
+(:class:`AllOf` ≙ ``$and``, :class:`AnyOf` ≙ ``$or``, :class:`NoneOf`
+≙ ``$nor``, :class:`Not` ≙ ``$not``) combine children;
+:class:`FieldPredicate` leaves bind a dotted field path to one
+:class:`~repro.query.operators.Operator`.
+
+AST nodes are immutable and hashable so that they can serve as parts of
+canonical query identity (see :mod:`repro.query.normalize`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.query.operators import Operator
+
+
+class Node:
+    """Base class for predicate AST nodes."""
+
+    __slots__ = ()
+
+    def children(self) -> Tuple["Node", ...]:
+        """Return the direct sub-nodes (empty for leaves)."""
+        return ()
+
+
+@dataclass(frozen=True)
+class AllOf(Node):
+    """Conjunction: every branch must match (``$and`` / implicit AND)."""
+
+    branches: Tuple[Node, ...]
+
+    def children(self) -> Tuple[Node, ...]:
+        return self.branches
+
+    def __repr__(self) -> str:
+        return f"AllOf({', '.join(map(repr, self.branches))})"
+
+
+@dataclass(frozen=True)
+class AnyOf(Node):
+    """Disjunction: at least one branch must match (``$or``)."""
+
+    branches: Tuple[Node, ...]
+
+    def children(self) -> Tuple[Node, ...]:
+        return self.branches
+
+    def __repr__(self) -> str:
+        return f"AnyOf({', '.join(map(repr, self.branches))})"
+
+
+@dataclass(frozen=True)
+class NoneOf(Node):
+    """Joint denial: no branch may match (``$nor``)."""
+
+    branches: Tuple[Node, ...]
+
+    def children(self) -> Tuple[Node, ...]:
+        return self.branches
+
+    def __repr__(self) -> str:
+        return f"NoneOf({', '.join(map(repr, self.branches))})"
+
+
+@dataclass(frozen=True)
+class Not(Node):
+    """Negation of a single field predicate (``field: {$not: ...}``)."""
+
+    branch: Node
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.branch,)
+
+    def __repr__(self) -> str:
+        return f"Not({self.branch!r})"
+
+
+@dataclass(frozen=True)
+class FieldPredicate(Node):
+    """A leaf predicate: *operator* applied to the value at *path*.
+
+    ``path`` is a dotted path (``"address.city"``).  Path resolution and
+    MongoDB array semantics live in :mod:`repro.query.matcher`; the
+    operator only ever sees candidate values.
+    """
+
+    path: str
+    operator: Operator
+
+    def __repr__(self) -> str:
+        return f"Field({self.path!r} {self.operator!r})"
+
+
+@dataclass(frozen=True)
+class Always(Node):
+    """The empty filter ``{}`` — matches every document."""
+
+    def __repr__(self) -> str:
+        return "Always()"
+
+
+def iter_nodes(root: Node):
+    """Yield *root* and all descendants in pre-order."""
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(reversed(node.children()))
+
+
+def referenced_paths(root: Node) -> Tuple[str, ...]:
+    """Return the sorted, de-duplicated field paths a query references."""
+    paths = {
+        node.path for node in iter_nodes(root) if isinstance(node, FieldPredicate)
+    }
+    return tuple(sorted(paths))

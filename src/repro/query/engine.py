@@ -1,0 +1,203 @@
+"""The pluggable query engine interface and its MongoDB implementation.
+
+Section 5.3 of the paper: the pluggable query engine "contains all
+logic related to (1) parsing queries according to one specific query
+language, (2) interpreting the incoming after-images according to the
+prevalent format and encoding, (3) computing the actual matching
+decision, and (4) sorting the result according to database semantics".
+:class:`PluggableQueryEngine` is that interface;
+:class:`MongoQueryEngine` is the MongoDB-compatible implementation used
+by the prototype.
+
+:class:`Query` is the parsed, immutable representation that flows
+through the system — app server, ingestion nodes and matching nodes all
+share it.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import QueryParseError
+from repro.query.ast import Node, referenced_paths
+from repro.query.matcher import matches_node
+from repro.query.normalize import canonical_query_form, query_hash
+from repro.query.parser import parse_query
+from repro.query.sortspec import SortInput, SortSpec
+from repro.types import Document
+
+
+class Query:
+    """A parsed, normalized query over one collection.
+
+    Carries the filter AST, the optional sort specification, limit and
+    offset, plus the stable :attr:`hash` used for query partitioning
+    and the derived :attr:`query_id`.
+    """
+
+    __slots__ = (
+        "collection",
+        "filter_doc",
+        "node",
+        "sort",
+        "limit",
+        "offset",
+        "hash",
+        "query_id",
+    )
+
+    def __init__(
+        self,
+        filter_doc: Dict[str, Any],
+        collection: str = "default",
+        sort: Optional[SortInput] = None,
+        limit: Optional[int] = None,
+        offset: int = 0,
+    ):
+        if limit is not None and (isinstance(limit, bool) or limit < 0):
+            raise QueryParseError(f"limit must be a non-negative int: {limit!r}")
+        if isinstance(offset, bool) or offset < 0:
+            raise QueryParseError(f"offset must be a non-negative int: {offset!r}")
+        if offset and sort is None:
+            raise QueryParseError("offset requires an explicit sort order")
+        if limit is not None and sort is None:
+            raise QueryParseError("limit requires an explicit sort order")
+        self.collection = collection
+        self.filter_doc = filter_doc
+        self.node: Node = parse_query(filter_doc)
+        self.sort: Optional[SortSpec] = None if sort is None else SortSpec.coerce(sort)
+        self.limit = limit
+        self.offset = offset
+        self.hash = query_hash(filter_doc, collection, self.sort, limit, offset)
+        self.query_id = f"q-{self.hash:016x}"
+
+    # -- classification ----------------------------------------------------
+
+    @property
+    def is_sorted(self) -> bool:
+        """True when the query carries an explicit sort order.
+
+        Unsorted filter queries are *self-maintainable* in the filtering
+        stage; sorted queries additionally go through the sorting stage
+        (Section 5.2).
+        """
+        return self.sort is not None
+
+    @property
+    def needs_sorting_stage(self) -> bool:
+        return self.is_sorted
+
+    # -- behaviour ----------------------------------------------------------
+
+    def matches(self, document: Document) -> bool:
+        """Does *document* satisfy the filter predicate?"""
+        return matches_node(document, self.node)
+
+    def referenced_paths(self) -> Tuple[str, ...]:
+        """Field paths the filter references (useful for index planning)."""
+        return referenced_paths(self.node)
+
+    def canonical(self) -> Tuple[Any, ...]:
+        return canonical_query_form(
+            self.filter_doc, self.collection, self.sort, self.limit, self.offset
+        )
+
+    def rewritten_for_subscription(self, slack: int) -> "Query":
+        """The paper's query rewriting for sorted queries (Section 5.2).
+
+        The offset clause is removed (``OFFSET → 0``) so the initial
+        result contains the offset items, and the limit is extended by
+        the original offset plus *slack* items beyond the limit.
+        Unsorted queries are returned unchanged.
+        """
+        if not self.is_sorted or (self.limit is None and self.offset == 0):
+            return self
+        extended_limit = None
+        if self.limit is not None:
+            extended_limit = self.offset + self.limit + slack
+        return Query(
+            self.filter_doc,
+            collection=self.collection,
+            sort=self.sort,
+            limit=extended_limit,
+            offset=0,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Query) and self.canonical() == other.canonical()
+
+    def __hash__(self) -> int:
+        return self.hash
+
+    def __repr__(self) -> str:
+        parts = [f"Query({self.collection}: {self.filter_doc!r}"]
+        if self.sort is not None:
+            parts.append(f" sort={self.sort!r}")
+        if self.limit is not None:
+            parts.append(f" limit={self.limit}")
+        if self.offset:
+            parts.append(f" offset={self.offset}")
+        return "".join(parts) + ")"
+
+
+class PluggableQueryEngine(abc.ABC):
+    """Database-specific query logic behind a generic interface.
+
+    Implementations must guarantee that :meth:`matches` and
+    :meth:`sort` produce exactly the same outcomes as the underlying
+    pull-based database's query engine — the alignment requirement of
+    Section 5.3.
+    """
+
+    @abc.abstractmethod
+    def parse(
+        self,
+        filter_doc: Dict[str, Any],
+        collection: str = "default",
+        sort: Optional[SortInput] = None,
+        limit: Optional[int] = None,
+        offset: int = 0,
+    ) -> Query:
+        """Parse a raw query document into a :class:`Query`."""
+
+    @abc.abstractmethod
+    def interpret_after_image(self, payload: Any) -> Document:
+        """Decode an after-image payload into a document."""
+
+    @abc.abstractmethod
+    def matches(self, query: Query, document: Document) -> bool:
+        """Compute the matching decision for one document."""
+
+    @abc.abstractmethod
+    def sort(self, query: Query, documents: Iterable[Document]) -> List[Document]:
+        """Order *documents* under the query's sort specification."""
+
+
+class MongoQueryEngine(PluggableQueryEngine):
+    """The MongoDB-compatible engine used by the InvaliDB prototype."""
+
+    def parse(
+        self,
+        filter_doc: Dict[str, Any],
+        collection: str = "default",
+        sort: Optional[SortInput] = None,
+        limit: Optional[int] = None,
+        offset: int = 0,
+    ) -> Query:
+        return Query(filter_doc, collection, sort, limit, offset)
+
+    def interpret_after_image(self, payload: Any) -> Document:
+        if not isinstance(payload, dict):
+            raise QueryParseError(
+                f"after-image payload must be a document, got {type(payload)}"
+            )
+        return payload
+
+    def matches(self, query: Query, document: Document) -> bool:
+        return query.matches(document)
+
+    def sort(self, query: Query, documents: Iterable[Document]) -> List[Document]:
+        if query.sort is None:
+            return list(documents)
+        return query.sort.sort(documents)

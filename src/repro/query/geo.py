@@ -1,0 +1,264 @@
+"""Geo query operators: ``$geoWithin`` and ``$nearSphere``.
+
+The paper's MongoDB-compatible engine supports geo queries (Section
+5.4).  We implement the two families the paper names:
+
+* ``$geoWithin`` with ``$box``, ``$polygon``, ``$center``,
+  ``$centerSphere`` and GeoJSON ``$geometry`` (Polygon) shapes;
+* ``$nearSphere`` as a spherical distance filter with ``$maxDistance``
+  and ``$minDistance`` (meters).
+
+Coordinates follow the MongoDB convention ``[longitude, latitude]`` in
+degrees.  ``$nearSphere`` in a find-query also implies distance
+ordering in MongoDB; in the real-time engine it acts as a pure distance
+predicate, which is the semantics relevant for change detection.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.errors import GeoError, QueryParseError
+from repro.query.operators import Operator
+
+EARTH_RADIUS_METERS = 6_371_008.8
+
+Point = Tuple[float, float]
+
+
+def _as_point(value: Any) -> Optional[Point]:
+    """Coerce a stored field value into ``(lon, lat)`` or return None.
+
+    Accepts legacy coordinate pairs ``[lon, lat]`` and GeoJSON Points
+    ``{"type": "Point", "coordinates": [lon, lat]}``.
+    """
+    if isinstance(value, dict) and value.get("type") == "Point":
+        value = value.get("coordinates")
+    if (
+        isinstance(value, (list, tuple))
+        and len(value) == 2
+        and all(isinstance(coord, (int, float)) and not isinstance(coord, bool)
+                for coord in value)
+    ):
+        return float(value[0]), float(value[1])
+    return None
+
+
+def _require_point(value: Any, what: str) -> Point:
+    point = _as_point(value)
+    if point is None:
+        raise GeoError(f"{what} must be a [lon, lat] pair or GeoJSON Point")
+    return point
+
+
+def haversine_meters(a: Point, b: Point) -> float:
+    """Great-circle distance between two ``(lon, lat)`` points in meters."""
+    lon1, lat1 = map(math.radians, a)
+    lon2, lat2 = map(math.radians, b)
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = math.sin(dlat / 2) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(
+        dlon / 2
+    ) ** 2
+    return 2 * EARTH_RADIUS_METERS * math.asin(min(1.0, math.sqrt(h)))
+
+
+def point_in_polygon(point: Point, vertices: Sequence[Point]) -> bool:
+    """Ray-casting point-in-polygon test on planar (lon, lat) coordinates.
+
+    Points exactly on an edge are considered inside, which matches the
+    inclusive behaviour users expect from ``$geoWithin``.
+    """
+    x, y = point
+    inside = False
+    count = len(vertices)
+    for i in range(count):
+        x1, y1 = vertices[i]
+        x2, y2 = vertices[(i + 1) % count]
+        if (x1, y1) == (x, y):
+            return True
+        # Edge hit: collinear and within the segment's bounding box.
+        cross = (x2 - x1) * (y - y1) - (y2 - y1) * (x - x1)
+        if (
+            cross == 0
+            and min(x1, x2) <= x <= max(x1, x2)
+            and min(y1, y2) <= y <= max(y1, y2)
+        ):
+            return True
+        if (y1 > y) != (y2 > y):
+            x_intersect = x1 + (y - y1) * (x2 - x1) / (y2 - y1)
+            if x < x_intersect:
+                inside = not inside
+    return inside
+
+
+class _GeoShape:
+    """A shape that can answer containment for a point."""
+
+    kind = "abstract"
+
+    def contains(self, point: Point) -> bool:
+        raise NotImplementedError
+
+    def canonical(self) -> Tuple[Any, ...]:
+        raise NotImplementedError
+
+
+class Box(_GeoShape):
+    kind = "$box"
+
+    def __init__(self, corners: Any):
+        if not isinstance(corners, (list, tuple)) or len(corners) != 2:
+            raise QueryParseError("$box requires [bottom-left, top-right]")
+        bottom_left = _require_point(corners[0], "$box corner")
+        top_right = _require_point(corners[1], "$box corner")
+        self.min_x = min(bottom_left[0], top_right[0])
+        self.max_x = max(bottom_left[0], top_right[0])
+        self.min_y = min(bottom_left[1], top_right[1])
+        self.max_y = max(bottom_left[1], top_right[1])
+
+    def contains(self, point: Point) -> bool:
+        x, y = point
+        return self.min_x <= x <= self.max_x and self.min_y <= y <= self.max_y
+
+    def canonical(self) -> Tuple[Any, ...]:
+        return (self.kind, self.min_x, self.min_y, self.max_x, self.max_y)
+
+
+class Polygon(_GeoShape):
+    kind = "$polygon"
+
+    def __init__(self, vertices: Any):
+        if not isinstance(vertices, (list, tuple)) or len(vertices) < 3:
+            raise QueryParseError("$polygon requires at least three vertices")
+        self.vertices: List[Point] = [
+            _require_point(vertex, "$polygon vertex") for vertex in vertices
+        ]
+        # A GeoJSON ring repeats the first vertex at the end; drop it.
+        if len(self.vertices) > 3 and self.vertices[0] == self.vertices[-1]:
+            self.vertices = self.vertices[:-1]
+
+    def contains(self, point: Point) -> bool:
+        return point_in_polygon(point, self.vertices)
+
+    def canonical(self) -> Tuple[Any, ...]:
+        return (self.kind, tuple(self.vertices))
+
+
+class Circle(_GeoShape):
+    """``$center`` (planar degrees) or ``$centerSphere`` (radians)."""
+
+    def __init__(self, spec: Any, spherical: bool):
+        if not isinstance(spec, (list, tuple)) or len(spec) != 2:
+            raise QueryParseError("$center/$centerSphere requires [center, radius]")
+        self.center = _require_point(spec[0], "circle center")
+        radius = spec[1]
+        if isinstance(radius, bool) or not isinstance(radius, (int, float)) or radius < 0:
+            raise QueryParseError("circle radius must be a non-negative number")
+        self.radius = float(radius)
+        self.spherical = spherical
+        self.kind = "$centerSphere" if spherical else "$center"
+
+    def contains(self, point: Point) -> bool:
+        if self.spherical:
+            # Radius is in radians of great-circle arc.
+            distance = haversine_meters(self.center, point) / EARTH_RADIUS_METERS
+        else:
+            distance = math.hypot(
+                point[0] - self.center[0], point[1] - self.center[1]
+            )
+        return distance <= self.radius
+
+    def canonical(self) -> Tuple[Any, ...]:
+        return (self.kind, self.center, self.radius)
+
+
+def parse_shape(spec: Any) -> _GeoShape:
+    """Parse the operand of ``$geoWithin`` into a shape object."""
+    if not isinstance(spec, dict) or len(spec) != 1:
+        raise QueryParseError("$geoWithin requires exactly one shape operator")
+    (shape_name, operand), = spec.items()
+    if shape_name == "$box":
+        return Box(operand)
+    if shape_name == "$polygon":
+        return Polygon(operand)
+    if shape_name == "$center":
+        return Circle(operand, spherical=False)
+    if shape_name == "$centerSphere":
+        return Circle(operand, spherical=True)
+    if shape_name == "$geometry":
+        if not isinstance(operand, dict) or operand.get("type") != "Polygon":
+            raise QueryParseError("$geometry only supports Polygon geometries")
+        rings = operand.get("coordinates")
+        if not isinstance(rings, (list, tuple)) or not rings:
+            raise QueryParseError("$geometry Polygon needs a coordinate ring")
+        return Polygon(rings[0])
+    raise QueryParseError(f"unsupported $geoWithin shape: {shape_name!r}")
+
+
+class GeoWithin(Operator):
+    """``$geoWithin`` — the point value lies inside the shape."""
+
+    name = "$geoWithin"
+
+    def __init__(self, spec: Any):
+        self.shape = parse_shape(spec)
+
+    def evaluate(self, value: Any) -> bool:
+        point = _as_point(value)
+        return point is not None and self.shape.contains(point)
+
+    def canonical(self) -> Tuple[Any, ...]:
+        return (self.name, self.shape.canonical())
+
+
+class NearSphere(Operator):
+    """``$nearSphere`` — spherical distance filter in meters."""
+
+    name = "$nearSphere"
+
+    def __init__(self, spec: Any):
+        if isinstance(spec, dict) and "$geometry" in spec:
+            center = spec["$geometry"]
+            max_distance = spec.get("$maxDistance")
+            min_distance = spec.get("$minDistance", 0)
+        elif isinstance(spec, dict):
+            center = {"type": "Point", "coordinates": spec.get("coordinates")} if (
+                spec.get("type") == "Point"
+            ) else None
+            if center is None:
+                raise QueryParseError("$nearSphere requires a point or $geometry")
+            max_distance = None
+            min_distance = 0
+        else:
+            center = spec
+            max_distance = None
+            min_distance = 0
+        self.center = _require_point(center, "$nearSphere center")
+        if max_distance is not None and (
+            isinstance(max_distance, bool)
+            or not isinstance(max_distance, (int, float))
+            or max_distance < 0
+        ):
+            raise QueryParseError("$maxDistance must be a non-negative number")
+        if (
+            isinstance(min_distance, bool)
+            or not isinstance(min_distance, (int, float))
+            or min_distance < 0
+        ):
+            raise QueryParseError("$minDistance must be a non-negative number")
+        self.max_distance = None if max_distance is None else float(max_distance)
+        self.min_distance = float(min_distance)
+
+    def evaluate(self, value: Any) -> bool:
+        point = _as_point(value)
+        if point is None:
+            return False
+        distance = haversine_meters(self.center, point)
+        if distance < self.min_distance:
+            return False
+        return self.max_distance is None or distance <= self.max_distance
+
+    def canonical(self) -> Tuple[Any, ...]:
+        return (self.name, self.center, self.min_distance, self.max_distance)

@@ -1,0 +1,125 @@
+"""``$text`` full-text search support.
+
+MongoDB's ``$text`` operator matches documents whose indexed text
+fields contain the searched terms.  Our engine indexes *all* string
+fields of a document (recursively), which is the behaviour a text index
+over every string attribute would give, and supports the core syntax:
+
+* whitespace-separated terms are OR-combined;
+* ``"quoted phrases"`` must appear verbatim (case-folded);
+* ``-term`` negates a term;
+* matching is case-insensitive and diacritics-insensitive-lite
+  (ASCII case folding).
+
+``$text`` is a *document-level* predicate in MongoDB (it cannot be
+nested under a field), so it is represented as its own AST node,
+:class:`TextSearch`, rather than as a field operator.
+"""
+
+from __future__ import annotations
+
+import re
+import unicodedata
+from dataclasses import dataclass
+from typing import Any, FrozenSet, Iterator, List, Tuple
+
+from repro.errors import QueryParseError
+from repro.query.ast import Node
+
+_TOKEN_RE = re.compile(r"[\w']+", re.UNICODE)
+
+
+def fold(text: str) -> str:
+    """Case-fold and strip combining marks from *text*."""
+    decomposed = unicodedata.normalize("NFKD", text)
+    stripped = "".join(ch for ch in decomposed if not unicodedata.combining(ch))
+    return stripped.casefold()
+
+
+def tokenize(text: str) -> List[str]:
+    """Split *text* into folded word tokens."""
+    return _TOKEN_RE.findall(fold(text))
+
+
+def _iter_strings(value: Any) -> Iterator[str]:
+    """Yield every string reachable inside a JSON value."""
+    if isinstance(value, str):
+        yield value
+    elif isinstance(value, dict):
+        for child in value.values():
+            yield from _iter_strings(child)
+    elif isinstance(value, (list, tuple)):
+        for child in value:
+            yield from _iter_strings(child)
+
+
+@dataclass(frozen=True)
+class ParsedSearch:
+    """The decomposed form of a ``$search`` string."""
+
+    terms: Tuple[str, ...]
+    phrases: Tuple[str, ...]
+    negated: Tuple[str, ...]
+
+
+def parse_search(search: str) -> ParsedSearch:
+    """Parse a ``$search`` string into terms, phrases and negations."""
+    phrases: List[str] = []
+
+    def grab_phrase(match: "re.Match[str]") -> str:
+        phrases.append(fold(match.group(1)))
+        return " "
+
+    remainder = re.sub(r'"([^"]*)"', grab_phrase, search)
+    terms: List[str] = []
+    negated: List[str] = []
+    for raw in remainder.split():
+        if raw.startswith("-") and len(raw) > 1:
+            negated.extend(tokenize(raw[1:]))
+        else:
+            terms.extend(tokenize(raw))
+    return ParsedSearch(tuple(terms), tuple(phrases), tuple(negated))
+
+
+@dataclass(frozen=True)
+class TextSearch(Node):
+    """AST node for the document-level ``$text`` predicate."""
+
+    search: str
+    parsed: ParsedSearch
+
+    @classmethod
+    def from_spec(cls, spec: Any) -> "TextSearch":
+        if not isinstance(spec, dict) or not isinstance(spec.get("$search"), str):
+            raise QueryParseError('$text requires {"$search": "<terms>"}')
+        unsupported = set(spec) - {"$search", "$caseSensitive", "$language"}
+        if unsupported:
+            raise QueryParseError(
+                f"unsupported $text options: {sorted(unsupported)}"
+            )
+        if spec.get("$caseSensitive"):
+            raise QueryParseError("case-sensitive $text search is not supported")
+        return cls(spec["$search"], parse_search(spec["$search"]))
+
+    def matches_document(self, document: Any) -> bool:
+        """Evaluate the text predicate over all string fields."""
+        token_set: FrozenSet[str] = frozenset(
+            token
+            for text in _iter_strings(document)
+            for token in tokenize(text)
+        )
+        if any(token in token_set for token in self.parsed.negated):
+            return False
+        folded_texts = None
+        if self.parsed.phrases:
+            folded_texts = [fold(text) for text in _iter_strings(document)]
+            for phrase in self.parsed.phrases:
+                if not any(phrase in text for text in folded_texts):
+                    return False
+        if not self.parsed.terms:
+            # Phrase-only (or negation-only) search: phrases decided above.
+            return bool(self.parsed.phrases) or bool(token_set)
+        return any(token in token_set for token in self.parsed.terms)
+
+    def __repr__(self) -> str:
+        return f"TextSearch({self.search!r})"

@@ -1,0 +1,54 @@
+"""Discrete-event evaluation substrate.
+
+The paper's scalability experiments (Figures 4-6, Table 3) ran on a
+five-machine OpenStack cluster we do not have.  This package replaces
+the testbed with a calibrated discrete-event simulation: matching
+nodes are FIFO CPU servers whose per-write service time is
+
+    parse_cost + match_cost x (queries on the node)
+
+and messages pay sampled network hop delays.  Saturation knees, SLA
+orderings and linear scaling *emerge* from the queueing dynamics; only
+the per-node cost constants are calibrated (see
+:mod:`repro.sim.cluster_model` and EXPERIMENTS.md).
+"""
+
+from repro.sim.des import Event, Simulator
+from repro.sim.metrics import LatencyRecorder, LatencyStats
+from repro.sim.network import HopModel
+from repro.sim.resources import FifoServer
+from repro.sim.cluster_model import ClusterCosts, SimulatedInvaliDB, QuaestorModel
+from repro.sim.workload import PaperWorkload, generate_document, generate_range_query
+from repro.sim.experiment import (
+    max_sustainable_queries,
+    max_sustainable_write_rate,
+    measure_latency,
+    sweep_query_load,
+    sweep_write_load,
+)
+from repro.sim.planning import CapacityPlan, headroom, plan_capacity
+from repro.sim.plotting import ascii_plot
+
+__all__ = [
+    "CapacityPlan",
+    "ClusterCosts",
+    "Event",
+    "FifoServer",
+    "HopModel",
+    "LatencyRecorder",
+    "LatencyStats",
+    "PaperWorkload",
+    "QuaestorModel",
+    "SimulatedInvaliDB",
+    "Simulator",
+    "ascii_plot",
+    "generate_document",
+    "generate_range_query",
+    "headroom",
+    "max_sustainable_queries",
+    "max_sustainable_write_rate",
+    "measure_latency",
+    "plan_capacity",
+    "sweep_query_load",
+    "sweep_write_load",
+]

@@ -1,0 +1,202 @@
+"""Experiment harnesses reproducing the paper's measurement protocol.
+
+Section 6.1: "We increased the workload in each experiment series until
+99th percentile latency exceeded a given threshold (latency SLA)."
+Read scalability increments query load by 500; write scalability sweeps
+the insert rate.  These helpers run those sweeps over the simulated
+cluster and report sustainable capacities per SLA.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.cluster_model import ClusterCosts, QuaestorModel, SimulatedInvaliDB
+from repro.sim.metrics import LatencyStats
+
+#: The paper's SLA thresholds in milliseconds (Figures 4 and 5).
+DEFAULT_SLAS_MS = (20.0, 30.0, 50.0, 100.0)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One measured workload point of a sweep."""
+
+    load: float  # active queries (read sweep) or ops/s (write sweep)
+    stats: LatencyStats
+
+
+def measure_latency(
+    query_partitions: int,
+    write_partitions: int,
+    queries: int,
+    write_rate: float,
+    duration: float = 10.0,
+    warmup: float = 2.0,
+    costs: Optional[ClusterCosts] = None,
+    quaestor: bool = False,
+    seed: int = 42,
+) -> LatencyStats:
+    """Latency stats (ms) for one cluster configuration and workload."""
+    # Derive a per-configuration seed so distinct deployments see
+    # distinct (but reproducible) stochastic histories, like distinct
+    # experiment runs on a real testbed.
+    run_seed = seed + 131 * query_partitions + 17 * write_partitions + queries
+    if quaestor:
+        model: object = QuaestorModel(
+            query_partitions, write_partitions, costs, seed=run_seed
+        )
+    else:
+        model = SimulatedInvaliDB(
+            query_partitions, write_partitions, costs, seed=run_seed
+        )
+    return model.run(queries, write_rate, duration=duration, warmup=warmup)  # type: ignore[union-attr]
+
+
+def sweep_query_load(
+    query_partitions: int,
+    write_partitions: int = 1,
+    write_rate: float = 1000.0,
+    step: int = 500,
+    max_sla_ms: float = 100.0,
+    duration: float = 10.0,
+    costs: Optional[ClusterCosts] = None,
+    quaestor: bool = False,
+    seed: int = 42,
+    extra_points: int = 1,
+) -> List[SweepPoint]:
+    """Read-scalability sweep: grow the query count until the worst SLA
+    is violated (plus *extra_points* beyond, to show the knee)."""
+    points: List[SweepPoint] = []
+    queries = step
+    beyond = 0
+    while True:
+        stats = measure_latency(
+            query_partitions, write_partitions, queries, write_rate,
+            duration=duration, costs=costs, quaestor=quaestor, seed=seed,
+        )
+        points.append(SweepPoint(queries, stats))
+        if stats.exceeds(max_sla_ms):
+            beyond += 1
+            if beyond > extra_points or math.isinf(stats.p99):
+                break
+        queries += step
+    return points
+
+
+def sweep_write_load(
+    write_partitions: int,
+    query_partitions: int = 1,
+    queries: int = 1000,
+    step: float = 500.0,
+    max_sla_ms: float = 100.0,
+    duration: float = 10.0,
+    costs: Optional[ClusterCosts] = None,
+    quaestor: bool = False,
+    seed: int = 42,
+    extra_points: int = 1,
+) -> List[SweepPoint]:
+    """Write-scalability sweep: grow the insert rate until saturation."""
+    points: List[SweepPoint] = []
+    rate = step
+    beyond = 0
+    while True:
+        stats = measure_latency(
+            query_partitions, write_partitions, queries, rate,
+            duration=duration, costs=costs, quaestor=quaestor, seed=seed,
+        )
+        points.append(SweepPoint(rate, stats))
+        if stats.exceeds(max_sla_ms):
+            beyond += 1
+            if beyond > extra_points or math.isinf(stats.p99):
+                break
+        rate += step
+    return points
+
+
+def sustainable_per_sla(
+    points: Sequence[SweepPoint],
+    slas_ms: Sequence[float] = DEFAULT_SLAS_MS,
+) -> Dict[float, float]:
+    """Largest load per SLA whose p99 stayed within the threshold.
+
+    Matches the paper's definition of sustainable load: the last
+    workload increment before the SLA was exceeded (0 when even the
+    first point violates it).
+    """
+    sustainable: Dict[float, float] = {}
+    for sla in slas_ms:
+        best = 0.0
+        for point in points:
+            if not point.stats.exceeds(sla):
+                best = max(best, point.load)
+        sustainable[sla] = best
+    return sustainable
+
+
+def max_sustainable_queries(
+    query_partitions: int,
+    sla_ms: float,
+    write_rate: float = 1000.0,
+    step: int = 500,
+    duration: float = 10.0,
+    costs: Optional[ClusterCosts] = None,
+    seed: int = 42,
+) -> int:
+    """Figure 4's y-value for one cluster size and SLA."""
+    points = sweep_query_load(
+        query_partitions,
+        write_rate=write_rate,
+        step=step,
+        max_sla_ms=sla_ms,
+        duration=duration,
+        costs=costs,
+        seed=seed,
+        extra_points=0,
+    )
+    return int(sustainable_per_sla(points, [sla_ms])[sla_ms])
+
+
+def max_sustainable_write_rate(
+    write_partitions: int,
+    sla_ms: float,
+    queries: int = 1000,
+    step: float = 500.0,
+    duration: float = 10.0,
+    costs: Optional[ClusterCosts] = None,
+    seed: int = 42,
+) -> float:
+    """Figure 5's y-value for one cluster size and SLA."""
+    points = sweep_write_load(
+        write_partitions,
+        queries=queries,
+        step=step,
+        max_sla_ms=sla_ms,
+        duration=duration,
+        costs=costs,
+        seed=seed,
+        extra_points=0,
+    )
+    return sustainable_per_sla(points, [sla_ms])[sla_ms]
+
+
+def latency_histogram(
+    samples_ms: Sequence[float],
+    bin_width_ms: float = 2.0,
+    max_ms: float = 100.0,
+) -> List[Tuple[float, float]]:
+    """(bin_start_ms, relative_frequency) pairs — Figures 6c/6d."""
+    if not samples_ms:
+        return []
+    bins = int(max_ms / bin_width_ms)
+    counts = [0] * (bins + 1)
+    for value in samples_ms:
+        index = min(bins, int(value / bin_width_ms))
+        counts[index] += 1
+    total = len(samples_ms)
+    return [
+        (index * bin_width_ms, count / total)
+        for index, count in enumerate(counts)
+    ]

@@ -1,0 +1,83 @@
+"""Latency collection and summary statistics.
+
+The paper reports average, standard deviation, 99th percentile and
+maximum (Table 3); :class:`LatencyStats` mirrors those columns.
+Percentiles use the nearest-rank method on the sorted sample.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary of a latency sample, in the unit the samples used."""
+
+    count: int
+    average: float
+    std_dev: float
+    p50: float
+    p99: float
+    maximum: float
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "LatencyStats":
+        if not samples:
+            return cls(0, math.nan, math.nan, math.nan, math.nan, math.nan)
+        ordered = sorted(samples)
+        count = len(ordered)
+        mean = sum(ordered) / count
+        variance = sum((value - mean) ** 2 for value in ordered) / count
+        return cls(
+            count=count,
+            average=mean,
+            std_dev=math.sqrt(variance),
+            p50=_nearest_rank(ordered, 0.50),
+            p99=_nearest_rank(ordered, 0.99),
+            maximum=ordered[-1],
+        )
+
+    def exceeds(self, sla: float) -> bool:
+        """True when the p99 violates the latency SLA (or is undefined)."""
+        return math.isnan(self.p99) or self.p99 > sla
+
+    def row(self) -> str:
+        """One Table-3-style text row: avg / std / p99 / max."""
+        return (
+            f"avg={self.average:6.1f}  std={self.std_dev:5.1f}  "
+            f"p99={self.p99:6.1f}  max={self.maximum:6.0f}"
+        )
+
+
+def _nearest_rank(ordered: List[float], quantile: float) -> float:
+    rank = max(1, math.ceil(quantile * len(ordered)))
+    return ordered[rank - 1]
+
+
+class LatencyRecorder:
+    """Accumulates latency samples during a simulation run."""
+
+    def __init__(self, warmup_until: float = 0.0):
+        self.warmup_until = warmup_until
+        self._samples: List[float] = []
+        self.dropped = 0
+
+    def record(self, now: float, latency: float) -> None:
+        """Record a sample unless it falls into the warm-up window."""
+        if now < self.warmup_until:
+            self.dropped += 1
+            return
+        self._samples.append(latency)
+
+    @property
+    def samples(self) -> List[float]:
+        return list(self._samples)
+
+    def stats(self) -> LatencyStats:
+        return LatencyStats.from_samples(self._samples)
+
+    def __len__(self) -> int:
+        return len(self._samples)

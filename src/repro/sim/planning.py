@@ -1,0 +1,146 @@
+"""Capacity planning on the calibrated cluster model.
+
+Answers the operator's question the paper's linear-scalability result
+makes answerable: *how many query and write partitions do I need to
+serve Q concurrent real-time queries at W writes/s within a p99 SLA?*
+
+The planner first uses the closed-form utilization model to find the
+smallest grids worth simulating (queues explode near utilization 1, so
+a target utilization below the knee is enforced), then validates the
+chosen grid with a short simulation run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import SaturationError
+from repro.sim.cluster_model import ClusterCosts, SimulatedInvaliDB
+from repro.sim.metrics import LatencyStats
+
+
+@dataclass(frozen=True)
+class CapacityPlan:
+    """A validated deployment recommendation."""
+
+    query_partitions: int
+    write_partitions: int
+    utilization: float
+    predicted: LatencyStats
+
+    @property
+    def matching_nodes(self) -> int:
+        return self.query_partitions * self.write_partitions
+
+    def describe(self) -> str:
+        return (
+            f"{self.query_partitions} query x {self.write_partitions} write "
+            f"partitions ({self.matching_nodes} matching nodes), "
+            f"predicted utilization {self.utilization:.0%}, "
+            f"p99 {self.predicted.p99:.1f} ms"
+        )
+
+
+def _candidate_grids(
+    queries: int,
+    write_rate: float,
+    target_utilization: float,
+    costs: ClusterCosts,
+    max_partitions: int,
+) -> List[Tuple[int, int]]:
+    """Feasible (QP, WP) grids under the utilization target, smallest
+    node count first (ties broken toward balanced shapes)."""
+    feasible = []
+    for qp in range(1, max_partitions + 1):
+        for wp in range(1, max_partitions + 1):
+            model = SimulatedInvaliDB(qp, wp, costs)
+            utilization = model.matching_utilization(queries, write_rate)
+            if utilization <= target_utilization:
+                feasible.append((qp * wp, abs(qp - wp), qp, wp))
+    feasible.sort()
+    return [(qp, wp) for _, _, qp, wp in feasible]
+
+
+def plan_capacity(
+    queries: int,
+    write_rate: float,
+    sla_ms: float = 30.0,
+    target_utilization: float = 0.8,
+    costs: Optional[ClusterCosts] = None,
+    max_partitions: int = 64,
+    validation_duration: float = 6.0,
+    seed: int = 17,
+) -> CapacityPlan:
+    """Smallest grid that sustains the workload within the SLA.
+
+    Candidates are screened analytically and the cheapest ones are
+    validated by simulation until one meets the p99 SLA; raises
+    :class:`~repro.errors.SaturationError` when no grid up to
+    ``max_partitions`` per dimension suffices.
+    """
+    if queries < 0 or write_rate < 0:
+        raise ValueError("workload parameters must be non-negative")
+    costs = costs if costs is not None else ClusterCosts()
+    candidates = _candidate_grids(
+        queries, write_rate, target_utilization, costs, max_partitions
+    )
+    if not candidates:
+        raise SaturationError(
+            f"no grid up to {max_partitions}x{max_partitions} sustains "
+            f"{queries} queries at {write_rate:.0f} ops/s"
+        )
+    last_stats: Optional[LatencyStats] = None
+    for qp, wp in candidates[:8]:  # validate only the cheapest few
+        model = SimulatedInvaliDB(qp, wp, costs, seed=seed)
+        stats = model.run(queries, write_rate,
+                          duration=validation_duration)
+        last_stats = stats
+        if not stats.exceeds(sla_ms):
+            return CapacityPlan(
+                query_partitions=qp,
+                write_partitions=wp,
+                utilization=model.matching_utilization(queries, write_rate),
+                predicted=stats,
+            )
+    assert last_stats is not None
+    raise SaturationError(
+        f"screened grids met the utilization target but violated the "
+        f"{sla_ms:.0f} ms SLA (best p99: {last_stats.p99:.1f} ms); "
+        "lower target_utilization or relax the SLA"
+    )
+
+
+def headroom(
+    plan: CapacityPlan,
+    queries: int,
+    write_rate: float,
+    costs: Optional[ClusterCosts] = None,
+) -> Tuple[float, float]:
+    """How far each dimension can grow before the plan saturates.
+
+    Returns (query_factor, write_factor): multiply the workload by
+    these before utilization reaches 1.0 with the other held constant.
+    """
+    costs = costs if costs is not None else ClusterCosts()
+    model = SimulatedInvaliDB(plan.query_partitions, plan.write_partitions,
+                              costs)
+
+    def utilization(q: float, w: float) -> float:
+        return model.matching_utilization(int(q), w)
+
+    base = utilization(queries, write_rate)
+    if base <= 0:
+        return math.inf, math.inf
+    # Closed form: utilization is affine in each dimension.
+    per_node_rate = write_rate / plan.write_partitions
+    parse_term = per_node_rate * costs.parse_cost * costs.contention_factor(
+        plan.matching_nodes
+    )
+    match_term = base - parse_term
+    query_factor = (
+        math.inf if match_term <= 0 else (1.0 - parse_term) / match_term
+    )
+    write_factor = 1.0 / base
+    return query_factor, write_factor

@@ -1,0 +1,85 @@
+"""Minimal ASCII plotting for benchmark reports.
+
+The figure benchmarks print the paper's series as tables; this module
+adds a terminal-friendly visual so the *shape* (linear scaling, knees,
+SLA orderings) is visible at a glance without matplotlib.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+Point = Tuple[float, float]
+
+
+def _transform(value: float, log: bool) -> float:
+    if log:
+        return math.log10(max(value, 1e-12))
+    return value
+
+
+def ascii_plot(
+    series: Dict[str, Sequence[Point]],
+    width: int = 64,
+    height: int = 16,
+    log_x: bool = True,
+    log_y: bool = False,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render named point series into a character grid.
+
+    Each series gets the first character of its label as marker;
+    overlapping points show ``*``.  Infinite/NaN y-values are skipped.
+    """
+    cleaned: Dict[str, List[Point]] = {}
+    for label, points in series.items():
+        kept = [
+            (x, y) for x, y in points
+            if math.isfinite(x) and math.isfinite(y)
+        ]
+        if kept:
+            cleaned[label] = kept
+    if not cleaned:
+        return "(no finite data points)"
+    xs = [
+        _transform(x, log_x) for points in cleaned.values()
+        for x, _ in points
+    ]
+    ys = [
+        _transform(y, log_y) for points in cleaned.values()
+        for _, y in points
+    ]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for label, points in cleaned.items():
+        marker = label[0]
+        for x, y in points:
+            column = int((_transform(x, log_x) - x_lo) / x_span * (width - 1))
+            row = int((_transform(y, log_y) - y_lo) / y_span * (height - 1))
+            row = height - 1 - row  # origin bottom-left
+            current = grid[row][column]
+            grid[row][column] = "*" if current not in (" ", marker) else marker
+    border = "+" + "-" * width + "+"
+    lines = [f"{y_label} (top={_fmt(y_hi, log_y)}, bottom={_fmt(y_lo, log_y)})"]
+    lines.append(border)
+    lines.extend("|" + "".join(row) + "|" for row in grid)
+    lines.append(border)
+    lines.append(
+        f"{x_label}: {_fmt(x_lo, log_x)} .. {_fmt(x_hi, log_x)}"
+        f"{' (log scale)' if log_x else ''}"
+    )
+    legend = "  ".join(f"{label[0]}={label}" for label in cleaned)
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def _fmt(transformed: float, log: bool) -> str:
+    value = 10 ** transformed if log else transformed
+    if value >= 1000:
+        return f"{value / 1000:.1f}k"
+    return f"{value:.1f}"

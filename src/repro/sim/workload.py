@@ -1,0 +1,117 @@
+"""The paper's evaluation workload (Section 6.1).
+
+"Each written document had five 10-literal string attributes and five
+integer attributes, one of which was a unique random number.  The
+queries were defined with comparison predicates on the random number
+field, corresponding to the following SQL query:
+``SELECT * FROM test WHERE random >= i AND random < j``.  To minimize
+(de-)serialization overhead for change notifications, we made sure
+only 1 000 of the queries would match exactly one written item each."
+
+:class:`PaperWorkload` reproduces that construction for the functional
+benchmarks (real documents, real queries); the pure-throughput figures
+only need its *parameters* (counts and rates).
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+_LETTERS = string.ascii_lowercase
+
+
+def generate_document(rng: random.Random, key: Any, unique_random: int,
+                      int_range: int = 1_000_000) -> Dict[str, Any]:
+    """One evaluation document: 5 x 10-char strings + 5 ints."""
+    document: Dict[str, Any] = {"_id": key}
+    for index in range(5):
+        document[f"s{index}"] = "".join(rng.choice(_LETTERS) for _ in range(10))
+    for index in range(4):
+        document[f"i{index}"] = rng.randrange(int_range)
+    document["random"] = unique_random
+    return document
+
+
+def generate_range_query(low: int, high: int) -> Dict[str, Any]:
+    """``random >= low AND random < high`` as a MongoDB filter."""
+    return {"random": {"$gte": low, "$lt": high}}
+
+
+@dataclass
+class PaperWorkload:
+    """Generator for the evaluation's queries and write stream.
+
+    The value space is laid out so that the first ``matching_queries``
+    queries each own one disjoint unit-width slot that exactly one
+    written document falls into (the paper's "only 1 000 of the queries
+    would match exactly one written item each"); all other queries
+    cover ranges that no written document hits.
+    """
+
+    total_queries: int = 1_000
+    matching_queries: int = 1_000
+    seed: int = 7
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.matching_queries > self.total_queries:
+            raise ValueError("matching_queries cannot exceed total_queries")
+        self._rng = random.Random(self.seed)
+
+    # Value-space layout: slot i (for i < matching_queries) covers
+    # [i, i+1); non-matching queries live above WRITE_CEILING where no
+    # document is ever written.
+    @property
+    def write_ceiling(self) -> int:
+        return self.matching_queries
+
+    def queries(self) -> List[Dict[str, Any]]:
+        """All query filters, matching slots first."""
+        filters = [
+            generate_range_query(slot, slot + 1)
+            for slot in range(self.matching_queries)
+        ]
+        for index in range(self.total_queries - self.matching_queries):
+            low = self.write_ceiling + 10 + index * 2
+            filters.append(generate_range_query(low, low + 1))
+        return filters
+
+    def matching_documents(self) -> List[Dict[str, Any]]:
+        """One document per matching query, hitting exactly its slot."""
+        return [
+            generate_document(self._rng, f"doc-{slot}", slot)
+            for slot in range(self.matching_queries)
+        ]
+
+    def non_matching_documents(self, count: int) -> List[Dict[str, Any]]:
+        """Documents whose random value no query covers."""
+        # Non-matching query slots are even offsets above the ceiling;
+        # odd offsets are guaranteed uncovered.
+        return [
+            generate_document(
+                self._rng,
+                f"noise-{index}",
+                self.write_ceiling + 11 + index * 2,
+            )
+            for index in range(count)
+        ]
+
+    def write_stream(self, total_writes: int) -> List[Dict[str, Any]]:
+        """A write stream where exactly ``matching_queries`` writes match.
+
+        Matching writes are spread evenly through the stream, mirroring
+        the paper's steady ~17 matches/s during a one-minute run.
+        """
+        if total_writes < self.matching_queries:
+            raise ValueError(
+                "write stream too short to deliver one match per query"
+            )
+        stream = self.non_matching_documents(total_writes - self.matching_queries)
+        matches = self.matching_documents()
+        interval = max(1, total_writes // self.matching_queries)
+        for index, document in enumerate(matches):
+            stream.insert(min(index * interval, len(stream)), document)
+        return stream

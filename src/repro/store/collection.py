@@ -1,0 +1,424 @@
+"""A single document collection with MongoDB-style operations.
+
+The operations InvaliDB's application server needs from the underlying
+database (Section 5.4 of the paper):
+
+* ``find_and_modify`` — executes a write and *returns the after-image*
+  so the app server can forward it to the InvaliDB cluster;
+* per-record version numbers, initialized on insert and incremented on
+  every write (used for staleness avoidance);
+* ``find`` with filter / sort / skip / limit for initial results.
+
+Every write is appended to the collection's :class:`~repro.store.oplog.
+Oplog`, which the log-tailing baseline consumes.  All reads return deep
+copies.  The collection is thread-safe.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Set
+
+from repro.errors import (
+    DocumentNotFoundError,
+    DuplicateKeyError,
+    InvalidDocumentError,
+)
+from repro.query.ast import AllOf, Always, FieldPredicate, Node
+from repro.query.engine import MongoQueryEngine, Query
+from repro.query.operators import Eq, Gt, Gte, In, Lt, Lte
+from repro.query.operators import values_equal
+from repro.query.sortspec import SortInput
+from repro.store.documents import deep_copy, validate_document
+from repro.store.projection import apply_projection
+from repro.store.indexes import HashIndex, OrderedIndex, make_index
+from repro.store.oplog import Oplog
+from repro.store.updates import apply_update, is_update_document
+from repro.types import PRIMARY_KEY, AfterImage, Document, WriteKind
+
+Clock = Callable[[], float]
+
+_DISTINCT_ABSENT = object()
+
+
+class Collection:
+    """A named collection of documents keyed by ``_id``."""
+
+    def __init__(
+        self,
+        name: str = "default",
+        oplog: Optional[Oplog] = None,
+        clock: Clock = time.time,
+        engine: Optional[MongoQueryEngine] = None,
+    ):
+        self.name = name
+        self.oplog = oplog if oplog is not None else Oplog()
+        self._clock = clock
+        self._engine = engine if engine is not None else MongoQueryEngine()
+        self._documents: Dict[Any, Document] = {}
+        self._versions: Dict[Any, int] = {}
+        self._indexes: Dict[str, Any] = {}
+        self._lock = threading.RLock()
+        self._write_listeners: List[Callable[[AfterImage], None]] = []
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+
+    def insert(self, document: Document) -> AfterImage:
+        """Insert a new document; raises on duplicate primary key."""
+        validate_document(document)
+        key = document[PRIMARY_KEY]
+        with self._lock:
+            if key in self._documents:
+                raise DuplicateKeyError(key)
+            stored = deep_copy(document)
+            self._documents[key] = stored
+            self._versions[key] = 1
+            self._index_add(key, stored)
+            after = self._after_image(key, WriteKind.INSERT, stored)
+        self._publish(after)
+        return after
+
+    def replace(self, document: Document) -> AfterImage:
+        """Replace an existing document wholesale."""
+        validate_document(document)
+        key = document[PRIMARY_KEY]
+        with self._lock:
+            if key not in self._documents:
+                raise DocumentNotFoundError(key)
+            self._index_remove(key, self._documents[key])
+            stored = deep_copy(document)
+            self._documents[key] = stored
+            self._versions[key] += 1
+            self._index_add(key, stored)
+            after = self._after_image(key, WriteKind.UPDATE, stored)
+        self._publish(after)
+        return after
+
+    def save(self, document: Document) -> AfterImage:
+        """Insert-or-replace (upsert by primary key)."""
+        validate_document(document)
+        key = document[PRIMARY_KEY]
+        with self._lock:
+            if key in self._documents:
+                return self.replace(document)
+            return self.insert(document)
+
+    def update(self, key: Any, update_spec: Dict[str, Any]) -> AfterImage:
+        """Apply update operators (``$set``/``$inc``/...) to one document."""
+        with self._lock:
+            current = self._documents.get(key)
+            if current is None:
+                raise DocumentNotFoundError(key)
+            updated = apply_update(current, update_spec, now=self._clock())
+            validate_document(updated)
+            self._index_remove(key, current)
+            self._documents[key] = updated
+            self._versions[key] += 1
+            self._index_add(key, updated)
+            after = self._after_image(key, WriteKind.UPDATE, updated)
+        self._publish(after)
+        return after
+
+    def delete(self, key: Any) -> AfterImage:
+        """Delete a document; the after-image carries no document."""
+        with self._lock:
+            current = self._documents.pop(key, None)
+            if current is None:
+                raise DocumentNotFoundError(key)
+            self._index_remove(key, current)
+            self._versions[key] += 1
+            after = self._after_image(key, WriteKind.DELETE, None)
+        self._publish(after)
+        return after
+
+    def find_and_modify(
+        self,
+        key: Any,
+        update_spec: Optional[Dict[str, Any]] = None,
+        upsert: bool = False,
+        remove: bool = False,
+    ) -> AfterImage:
+        """MongoDB-style ``findAndModify`` returning the after-image.
+
+        * ``remove=True`` deletes the document (after-image is null);
+        * an operator document applies an in-place update;
+        * a plain document replaces (or, with ``upsert``, inserts).
+        """
+        if remove:
+            return self.delete(key)
+        if update_spec is None:
+            raise InvalidDocumentError("find_and_modify needs an update or remove")
+        with self._lock:
+            exists = key in self._documents
+            if is_update_document(update_spec):
+                if not exists:
+                    if not upsert:
+                        raise DocumentNotFoundError(key)
+                    seed: Document = {PRIMARY_KEY: key}
+                    updated = apply_update(seed, update_spec, now=self._clock())
+                    return self.insert(updated)
+                return self.update(key, update_spec)
+            replacement = dict(update_spec)
+            replacement.setdefault(PRIMARY_KEY, key)
+            if replacement[PRIMARY_KEY] != key:
+                raise InvalidDocumentError("replacement _id must match key")
+            if exists:
+                return self.replace(replacement)
+            if not upsert:
+                raise DocumentNotFoundError(key)
+            return self.insert(replacement)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def get(self, key: Any) -> Optional[Document]:
+        """Point lookup by primary key (deep copy, or None)."""
+        with self._lock:
+            document = self._documents.get(key)
+            return None if document is None else deep_copy(document)
+
+    def version_of(self, key: Any) -> int:
+        """Current version of *key* (0 when never written)."""
+        with self._lock:
+            return self._versions.get(key, 0)
+
+    def find(
+        self,
+        filter_doc: Optional[Dict[str, Any]] = None,
+        sort: Optional[SortInput] = None,
+        skip: int = 0,
+        limit: Optional[int] = None,
+        projection: Optional[Dict[str, Any]] = None,
+    ) -> List[Document]:
+        """Evaluate a pull-based query: filter → sort → skip → limit →
+        projection."""
+        query = self._engine.parse(
+            filter_doc if filter_doc is not None else {},
+            collection=self.name,
+            sort=sort,
+            limit=None,  # limit/offset applied after the full sort below
+            offset=0,
+        )
+        with self._lock:
+            candidates = self._candidate_keys(query.node)
+            if candidates is None:
+                matching = [
+                    deep_copy(doc)
+                    for doc in self._documents.values()
+                    if query.matches(doc)
+                ]
+            else:
+                matching = []
+                for key in candidates:
+                    doc = self._documents.get(key)
+                    if doc is not None and query.matches(doc):
+                        matching.append(deep_copy(doc))
+        if sort is not None:
+            matching = self._engine.sort(query, matching)
+        if skip:
+            matching = matching[skip:]
+        if limit is not None:
+            matching = matching[:limit]
+        return apply_projection(matching, projection)
+
+    def distinct(
+        self, path: str, filter_doc: Optional[Dict[str, Any]] = None
+    ) -> List[Any]:
+        """Distinct values of *path* over matching documents.
+
+        Array fields contribute their elements (MongoDB semantics);
+        results are returned in BSON order.
+        """
+        from repro.query.sortspec import value_sort_key
+        from repro.store.documents import get_path
+
+        seen: List[Any] = []
+        for document in self.find(filter_doc):
+            value = get_path(document, path, _DISTINCT_ABSENT)
+            if value is _DISTINCT_ABSENT:
+                continue
+            candidates = value if isinstance(value, list) else [value]
+            for candidate in candidates:
+                if not any(
+                    values_equal(candidate, existing) for existing in seen
+                ):
+                    seen.append(candidate)
+        return sorted(seen, key=value_sort_key)
+
+    def execute(self, query: Query) -> List[Document]:
+        """Run a parsed :class:`Query` (filter + sort + offset + limit)."""
+        return self.find(
+            query.filter_doc, sort=query.sort, skip=query.offset, limit=query.limit
+        )
+
+    def explain(self, filter_doc: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """Describe how ``find`` would execute *filter_doc*.
+
+        Returns the access plan: ``"index"`` with the candidate count
+        when index pre-filtering applies, otherwise ``"full-scan"`` —
+        the per-query cost visibility the app server needs to keep the
+        pull-based side from becoming a bottleneck (Section 5.4).
+        """
+        query = self._engine.parse(
+            filter_doc if filter_doc is not None else {}, collection=self.name
+        )
+        with self._lock:
+            candidates = self._candidate_keys(query.node)
+            total = len(self._documents)
+        if candidates is None:
+            return {
+                "plan": "full-scan",
+                "documents_examined": total,
+                "indexes_available": sorted(self._indexes),
+            }
+        return {
+            "plan": "index",
+            "documents_examined": len(candidates),
+            "documents_total": total,
+            "indexes_available": sorted(self._indexes),
+        }
+
+    def find_one(
+        self, filter_doc: Optional[Dict[str, Any]] = None
+    ) -> Optional[Document]:
+        results = self.find(filter_doc, limit=None)
+        return results[0] if results else None
+
+    def count(self, filter_doc: Optional[Dict[str, Any]] = None) -> int:
+        if filter_doc is None or not filter_doc:
+            with self._lock:
+                return len(self._documents)
+        return len(self.find(filter_doc))
+
+    def all_keys(self) -> List[Any]:
+        with self._lock:
+            return list(self._documents.keys())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._documents)
+
+    def __contains__(self, key: Any) -> bool:
+        with self._lock:
+            return key in self._documents
+
+    # ------------------------------------------------------------------
+    # Indexes
+    # ------------------------------------------------------------------
+
+    def ensure_index(self, path: str, kind: str = "hash") -> None:
+        """Create an index on *path* (``"hash"`` or ``"ordered"``)."""
+        with self._lock:
+            if path in self._indexes and self._indexes[path].kind == kind:
+                return
+            index = make_index(path, kind)
+            for key, document in self._documents.items():
+                index.add(key, document)
+            self._indexes[path] = index
+
+    def _index_add(self, key: Any, document: Document) -> None:
+        for index in self._indexes.values():
+            index.add(key, document)
+
+    def _index_remove(self, key: Any, document: Document) -> None:
+        for index in self._indexes.values():
+            index.remove(key, document)
+
+    def _candidate_keys(self, node: Node) -> Optional[Set[Any]]:
+        """Use indexes to pre-filter candidates; None means full scan.
+
+        Only top-level conjunctive equality/range predicates are
+        considered — the index is a pure accelerator, every candidate is
+        re-checked against the full predicate.
+        """
+        if isinstance(node, Always) or not self._indexes:
+            return None
+        predicates: List[FieldPredicate] = []
+        if isinstance(node, FieldPredicate):
+            predicates = [node]
+        elif isinstance(node, AllOf):
+            predicates = [
+                branch for branch in node.branches
+                if isinstance(branch, FieldPredicate)
+            ]
+        best: Optional[Set[Any]] = None
+        for predicate in predicates:
+            index = self._indexes.get(predicate.path)
+            if index is None:
+                continue
+            keys = self._keys_from_index(index, predicate)
+            if keys is None:
+                continue
+            best = keys if best is None else best & keys
+        return best
+
+    @staticmethod
+    def _keys_from_index(index: Any, predicate: FieldPredicate) -> Optional[Set[Any]]:
+        operator = predicate.operator
+        if isinstance(index, HashIndex):
+            if isinstance(operator, Eq):
+                return index.lookup(operator.value)
+            if isinstance(operator, In):
+                return index.lookup_any(operator.values)
+            return None
+        if isinstance(index, OrderedIndex):
+            if isinstance(operator, Eq):
+                return index.range(operator.value, operator.value)
+            if isinstance(operator, Gt):
+                return index.range(lower=operator.value, include_lower=False)
+            if isinstance(operator, Gte):
+                return index.range(lower=operator.value)
+            if isinstance(operator, Lt):
+                return index.range(upper=operator.value, include_upper=False)
+            if isinstance(operator, Lte):
+                return index.range(upper=operator.value)
+        return None
+
+    # ------------------------------------------------------------------
+    # Change publication
+    # ------------------------------------------------------------------
+
+    def on_write(self, listener: Callable[[AfterImage], None]) -> Callable[[], None]:
+        """Register a per-write listener (the app server uses this to
+        forward after-images to InvaliDB).  Returns an unsubscriber."""
+        with self._lock:
+            self._write_listeners.append(listener)
+
+        def unsubscribe() -> None:
+            with self._lock:
+                if listener in self._write_listeners:
+                    self._write_listeners.remove(listener)
+
+        return unsubscribe
+
+    def _after_image(
+        self, key: Any, kind: WriteKind, document: Optional[Document]
+    ) -> AfterImage:
+        timestamp = self._clock()
+        after = AfterImage(
+            key=key,
+            version=self._versions[key],
+            kind=kind,
+            document=None if document is None else deep_copy(document),
+            collection=self.name,
+            timestamp=timestamp,
+        )
+        self.oplog.append(
+            collection=self.name,
+            kind=kind,
+            key=key,
+            version=after.version,
+            after_image=after.document,
+            timestamp=timestamp,
+        )
+        return after
+
+    def _publish(self, after: AfterImage) -> None:
+        with self._lock:
+            listeners = list(self._write_listeners)
+        for listener in listeners:
+            listener(after)

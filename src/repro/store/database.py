@@ -1,0 +1,67 @@
+"""A database: a namespace of collections sharing one oplog.
+
+Mirrors a MongoDB deployment where all collections replicate through a
+single oplog — which is exactly what the log-tailing baseline tails.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Iterator, List
+
+from repro.errors import CollectionNotFoundError
+from repro.query.engine import MongoQueryEngine
+from repro.store.collection import Collection
+from repro.store.oplog import Oplog
+
+
+class Database:
+    """Named collections with lazy creation and a shared oplog."""
+
+    def __init__(
+        self,
+        name: str = "db",
+        oplog_capacity: int = 100_000,
+        clock: Callable[[], float] = time.time,
+    ):
+        self.name = name
+        self.oplog = Oplog(capacity=oplog_capacity)
+        self._clock = clock
+        self._engine = MongoQueryEngine()
+        self._collections: Dict[str, Collection] = {}
+        self._lock = threading.Lock()
+
+    def collection(self, name: str, create: bool = True) -> Collection:
+        """Return (and lazily create) the collection called *name*."""
+        with self._lock:
+            existing = self._collections.get(name)
+            if existing is not None:
+                return existing
+            if not create:
+                raise CollectionNotFoundError(name)
+            fresh = Collection(
+                name=name, oplog=self.oplog, clock=self._clock, engine=self._engine
+            )
+            self._collections[name] = fresh
+            return fresh
+
+    def __getitem__(self, name: str) -> Collection:
+        return self.collection(name)
+
+    def drop_collection(self, name: str) -> None:
+        with self._lock:
+            self._collections.pop(name, None)
+
+    def collection_names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._collections)
+
+    def __iter__(self) -> Iterator[Collection]:
+        with self._lock:
+            snapshot = list(self._collections.values())
+        return iter(snapshot)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._collections

@@ -1,0 +1,130 @@
+"""Document helpers: validation, deep copies, dotted-path access.
+
+Documents are plain dicts.  The store never hands out references to
+its internal state — every read and every after-image is a deep copy,
+so callers cannot mutate stored documents behind the store's back
+(the isolation a real out-of-process database gives for free).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Tuple
+
+from repro.errors import InvalidDocumentError
+from repro.types import PRIMARY_KEY, Document
+
+_SCALARS = (str, int, float, bool, type(None))
+
+
+def deep_copy(value: Any) -> Any:
+    """Deep-copy a JSON-like value.
+
+    Hand-rolled instead of :func:`copy.deepcopy` because documents only
+    contain dicts, lists and scalars — this is several times faster and
+    rejects foreign types early.
+    """
+    if isinstance(value, _SCALARS):
+        return value
+    if isinstance(value, dict):
+        return {key: deep_copy(val) for key, val in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [deep_copy(item) for item in value]
+    raise InvalidDocumentError(f"unsupported value type in document: {type(value)}")
+
+
+def validate_value(value: Any, context: str) -> None:
+    """Recursively validate a document value."""
+    if isinstance(value, _SCALARS):
+        return
+    if isinstance(value, dict):
+        for key, val in value.items():
+            if not isinstance(key, str):
+                raise InvalidDocumentError(
+                    f"non-string field name {key!r} under {context}"
+                )
+            if key.startswith("$"):
+                raise InvalidDocumentError(
+                    f"field name {key!r} under {context} must not start with '$'"
+                )
+            if "." in key:
+                raise InvalidDocumentError(
+                    f"field name {key!r} under {context} must not contain '.'"
+                )
+            validate_value(val, f"{context}.{key}")
+        return
+    if isinstance(value, (list, tuple)):
+        for index, item in enumerate(value):
+            validate_value(item, f"{context}[{index}]")
+        return
+    raise InvalidDocumentError(
+        f"unsupported value type {type(value).__name__} under {context}"
+    )
+
+
+def validate_document(document: Document) -> None:
+    """Validate a top-level document: dict shape, field names, ``_id``."""
+    if not isinstance(document, dict):
+        raise InvalidDocumentError(f"document must be a dict, got {type(document)}")
+    if PRIMARY_KEY not in document:
+        raise InvalidDocumentError(f"document is missing {PRIMARY_KEY!r}")
+    key = document[PRIMARY_KEY]
+    if isinstance(key, bool) or not isinstance(key, (str, int, float)):
+        raise InvalidDocumentError(
+            f"{PRIMARY_KEY!r} must be a string or number, got {type(key)}"
+        )
+    validate_value(document, "<root>")
+
+
+def get_path(document: Document, path: str, default: Any = None) -> Any:
+    """Return the value at dotted *path*, or *default* when absent.
+
+    Unlike the query matcher this performs no array fan-out; list
+    segments must be addressed by numeric index.
+    """
+    current: Any = document
+    for part in path.split("."):
+        if isinstance(current, dict) and part in current:
+            current = current[part]
+        elif (
+            isinstance(current, (list, tuple))
+            and part.isdigit()
+            and int(part) < len(current)
+        ):
+            current = current[int(part)]
+        else:
+            return default
+    return current
+
+
+def set_path(document: Document, path: str, value: Any) -> None:
+    """Set dotted *path* to *value*, creating intermediate objects."""
+    parts = path.split(".")
+    current: Any = document
+    for part in parts[:-1]:
+        if isinstance(current, dict):
+            nxt = current.get(part)
+            if not isinstance(nxt, (dict, list)):
+                nxt = {}
+                current[part] = nxt
+            current = nxt
+        elif isinstance(current, list) and part.isdigit():
+            current = current[int(part)]
+        else:
+            raise InvalidDocumentError(f"cannot descend into {part!r} of {path!r}")
+    last = parts[-1]
+    if isinstance(current, dict):
+        current[last] = value
+    elif isinstance(current, list) and last.isdigit():
+        current[int(last)] = value
+    else:
+        raise InvalidDocumentError(f"cannot set {last!r} of {path!r}")
+
+
+def iter_paths(document: Document, prefix: str = "") -> Iterator[Tuple[str, Any]]:
+    """Yield every ``(dotted_path, scalar_value)`` pair of *document*."""
+    for key, value in document.items():
+        path = f"{prefix}.{key}" if prefix else key
+        if isinstance(value, dict):
+            yield from iter_paths(value, path)
+        else:
+            yield path, value

@@ -1,0 +1,124 @@
+"""MongoDB-style projections for ``find``.
+
+A projection document selects which fields a query returns:
+
+* inclusion: ``{"title": 1, "year": 1}`` — only the listed paths (plus
+  ``_id`` unless suppressed with ``{"_id": 0}``);
+* exclusion: ``{"secret": 0}`` — everything except the listed paths;
+* mixing inclusion and exclusion is rejected (except the ``_id``
+  special case), exactly like MongoDB.
+
+Projections are applied to copies after filtering, so they never affect
+matching or sorting semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.errors import QueryParseError
+from repro.store.documents import deep_copy
+from repro.types import PRIMARY_KEY, Document
+
+
+class Projection:
+    """A validated, reusable projection."""
+
+    def __init__(self, spec: Dict[str, Any]):
+        if not isinstance(spec, dict) or not spec:
+            raise QueryParseError("projection must be a non-empty dict")
+        include_id = True
+        paths: Dict[str, bool] = {}
+        modes = set()
+        for path, flag in spec.items():
+            if not isinstance(path, str) or not path:
+                raise QueryParseError(f"invalid projection path: {path!r}")
+            if flag not in (0, 1, True, False):
+                raise QueryParseError(
+                    f"projection values must be 0 or 1, got {flag!r}"
+                )
+            included = bool(flag)
+            if path == PRIMARY_KEY:
+                include_id = included
+                continue
+            paths[path] = included
+            modes.add(included)
+        if len(modes) > 1:
+            raise QueryParseError(
+                "cannot mix inclusion and exclusion in one projection"
+            )
+        #: True = inclusion projection; an empty path set means
+        #: "_id-only adjustments" which behaves like exclusion of nothing.
+        self.inclusive = modes == {True}
+        self.paths = [path.split(".") for path in paths]
+        self.include_id = include_id
+
+    def apply(self, document: Document) -> Document:
+        if self.inclusive:
+            projected = self._pick(document)
+        else:
+            projected = deep_copy(document)
+            for parts in self.paths:
+                _prune(projected, parts)
+        if self.include_id:
+            if PRIMARY_KEY in document:
+                projected[PRIMARY_KEY] = document[PRIMARY_KEY]
+        else:
+            projected.pop(PRIMARY_KEY, None)
+        return projected
+
+    def _pick(self, document: Document) -> Document:
+        result: Document = {}
+        for parts in self.paths:
+            _graft(document, result, parts)
+        return result
+
+
+def _graft(source: Any, target: Document, parts: List[str]) -> None:
+    """Copy the value at *parts* from source into target, keeping shape."""
+    head, rest = parts[0], parts[1:]
+    if not isinstance(source, dict) or head not in source:
+        return
+    value = source[head]
+    if not rest:
+        target[head] = deep_copy(value)
+        return
+    if isinstance(value, dict):
+        child = target.setdefault(head, {})
+        _graft(value, child, rest)
+        if not child:
+            target.pop(head, None)
+    elif isinstance(value, list):
+        collected = []
+        for element in value:
+            if isinstance(element, dict):
+                sub: Document = {}
+                _graft(element, sub, rest)
+                if sub:
+                    collected.append(sub)
+        if collected:
+            target[head] = collected
+
+
+def _prune(document: Any, parts: List[str]) -> None:
+    head, rest = parts[0], parts[1:]
+    if not isinstance(document, dict):
+        if isinstance(document, list):
+            for element in document:
+                _prune(element, parts)
+        return
+    if not rest:
+        document.pop(head, None)
+        return
+    if head in document:
+        _prune(document[head], rest)
+
+
+def apply_projection(
+    documents: List[Document], spec: Optional[Dict[str, Any]]
+) -> List[Document]:
+    """Project a result list (no-op when *spec* is None)."""
+    if spec is None:
+        return documents
+    projection = Projection(spec)
+    return [projection.apply(document) for document in documents]

@@ -1,0 +1,220 @@
+"""MongoDB-style update operators.
+
+``find_and_modify`` accepts either a *replacement document* (no ``$``
+keys) or an *update document* built from the operators implemented
+here: ``$set``, ``$unset``, ``$inc``, ``$mul``, ``$min``, ``$max``,
+``$push``, ``$addToSet``, ``$pop``, ``$pull``, ``$rename``,
+``$currentDate``.  The update is applied to a copy; the caller decides
+what to do with the result.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+from repro.errors import InvalidDocumentError
+from repro.query.operators import values_equal
+from repro.store.documents import deep_copy, get_path, set_path
+from repro.types import PRIMARY_KEY, Document
+
+_ABSENT = object()
+
+
+def is_update_document(spec: Dict[str, Any]) -> bool:
+    """True when *spec* uses update operators (vs. a full replacement)."""
+    return bool(spec) and all(key.startswith("$") for key in spec)
+
+
+def _delete_path(document: Document, path: str) -> None:
+    parts = path.split(".")
+    current: Any = document
+    for part in parts[:-1]:
+        if isinstance(current, dict) and part in current:
+            current = current[part]
+        else:
+            return
+    if isinstance(current, dict):
+        current.pop(parts[-1], None)
+
+
+def _numeric(value: Any, operator: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise InvalidDocumentError(f"{operator} requires a numeric operand")
+    return value
+
+
+def _apply_set(document: Document, args: Dict[str, Any], now: float) -> None:
+    for path, value in args.items():
+        set_path(document, path, deep_copy(value))
+
+
+def _apply_unset(document: Document, args: Dict[str, Any], now: float) -> None:
+    for path in args:
+        _delete_path(document, path)
+
+
+def _apply_inc(document: Document, args: Dict[str, Any], now: float) -> None:
+    for path, delta in args.items():
+        _numeric(delta, "$inc")
+        current = get_path(document, path, 0)
+        set_path(document, path, _numeric(current, "$inc") + delta)
+
+
+def _apply_mul(document: Document, args: Dict[str, Any], now: float) -> None:
+    for path, factor in args.items():
+        _numeric(factor, "$mul")
+        current = get_path(document, path, 0)
+        set_path(document, path, _numeric(current, "$mul") * factor)
+
+
+def _apply_min(document: Document, args: Dict[str, Any], now: float) -> None:
+    from repro.query.sortspec import compare_values
+
+    for path, bound in args.items():
+        current = get_path(document, path, _ABSENT)
+        if current is _ABSENT or compare_values(bound, current) < 0:
+            set_path(document, path, deep_copy(bound))
+
+
+def _apply_max(document: Document, args: Dict[str, Any], now: float) -> None:
+    from repro.query.sortspec import compare_values
+
+    for path, bound in args.items():
+        current = get_path(document, path, _ABSENT)
+        if current is _ABSENT or compare_values(bound, current) > 0:
+            set_path(document, path, deep_copy(bound))
+
+
+def _target_list(document: Document, path: str, operator: str) -> list:
+    current = get_path(document, path, _ABSENT)
+    if current is _ABSENT:
+        fresh: list = []
+        set_path(document, path, fresh)
+        return fresh
+    if not isinstance(current, list):
+        raise InvalidDocumentError(f"{operator} target {path!r} is not an array")
+    return current
+
+
+def _apply_push(document: Document, args: Dict[str, Any], now: float) -> None:
+    for path, value in args.items():
+        target = _target_list(document, path, "$push")
+        if isinstance(value, dict) and "$each" in value:
+            items = value["$each"]
+            if not isinstance(items, list):
+                raise InvalidDocumentError("$each requires an array")
+            target.extend(deep_copy(item) for item in items)
+        else:
+            target.append(deep_copy(value))
+
+
+def _apply_add_to_set(document: Document, args: Dict[str, Any], now: float) -> None:
+    for path, value in args.items():
+        target = _target_list(document, path, "$addToSet")
+        items = (
+            value["$each"]
+            if isinstance(value, dict) and "$each" in value
+            else [value]
+        )
+        for item in items:
+            if not any(values_equal(existing, item) for existing in target):
+                target.append(deep_copy(item))
+
+
+def _apply_pop(document: Document, args: Dict[str, Any], now: float) -> None:
+    for path, direction in args.items():
+        if direction not in (1, -1):
+            raise InvalidDocumentError("$pop direction must be 1 or -1")
+        current = get_path(document, path, _ABSENT)
+        if current is _ABSENT:
+            continue
+        if not isinstance(current, list):
+            raise InvalidDocumentError(f"$pop target {path!r} is not an array")
+        if current:
+            current.pop(-1 if direction == 1 else 0)
+
+
+def _apply_pull(document: Document, args: Dict[str, Any], now: float) -> None:
+    from repro.query.matcher import matches
+
+    def _is_operator_dict(value: Any) -> bool:
+        return (
+            isinstance(value, dict)
+            and bool(value)
+            and all(isinstance(k, str) and k.startswith("$") for k in value)
+        )
+
+    for path, condition in args.items():
+        current = get_path(document, path, _ABSENT)
+        if current is _ABSENT:
+            continue
+        if not isinstance(current, list):
+            raise InvalidDocumentError(f"$pull target {path!r} is not an array")
+        if _is_operator_dict(condition):
+            keep = [
+                item for item in current if not matches({"it": item}, {"it": condition})
+            ]
+        elif isinstance(condition, dict):
+            keep = [
+                item
+                for item in current
+                if not (isinstance(item, dict) and matches(item, condition))
+            ]
+        else:
+            keep = [item for item in current if not values_equal(item, condition)]
+        current[:] = keep
+
+
+def _apply_rename(document: Document, args: Dict[str, Any], now: float) -> None:
+    for old_path, new_path in args.items():
+        if not isinstance(new_path, str) or not new_path:
+            raise InvalidDocumentError("$rename target must be a non-empty string")
+        value = get_path(document, old_path, _ABSENT)
+        if value is _ABSENT:
+            continue
+        _delete_path(document, old_path)
+        set_path(document, new_path, value)
+
+
+def _apply_current_date(document: Document, args: Dict[str, Any], now: float) -> None:
+    for path, flag in args.items():
+        if flag not in (True, {"$type": "timestamp"}, {"$type": "date"}):
+            raise InvalidDocumentError("$currentDate operand must be true or $type")
+        set_path(document, path, now)
+
+
+_OPERATORS: Dict[str, Callable[[Document, Dict[str, Any], float], None]] = {
+    "$set": _apply_set,
+    "$unset": _apply_unset,
+    "$inc": _apply_inc,
+    "$mul": _apply_mul,
+    "$min": _apply_min,
+    "$max": _apply_max,
+    "$push": _apply_push,
+    "$addToSet": _apply_add_to_set,
+    "$pop": _apply_pop,
+    "$pull": _apply_pull,
+    "$rename": _apply_rename,
+    "$currentDate": _apply_current_date,
+}
+
+
+def apply_update(document: Document, spec: Dict[str, Any], now: float = 0.0) -> Document:
+    """Apply an update *spec* to a copy of *document* and return it.
+
+    The primary key is immutable: updates may restate the same ``_id``
+    but never change it.
+    """
+    result = deep_copy(document)
+    for operator, args in spec.items():
+        handler = _OPERATORS.get(operator)
+        if handler is None:
+            raise InvalidDocumentError(f"unsupported update operator: {operator!r}")
+        if not isinstance(args, dict) or not args:
+            raise InvalidDocumentError(f"{operator} requires a non-empty document")
+        if any(path == PRIMARY_KEY for path in args):
+            raise InvalidDocumentError(f"{operator} must not touch {PRIMARY_KEY!r}")
+        handler(result, args, now)
+    if result.get(PRIMARY_KEY) != document.get(PRIMARY_KEY):
+        raise InvalidDocumentError("update must not change the primary key")
+    return result

@@ -1,0 +1,43 @@
+"""Storm-like stream-processing substrate.
+
+The paper's prototype distributes the query-matching workload with
+Apache Storm (Section 5.4).  This package provides the subset of
+Storm's model that InvaliDB needs:
+
+* :class:`Spout` — a source component pulling tuples into the topology;
+* :class:`Bolt` — a processing component with ``process`` and ``emit``;
+* groupings — *fields* (hash-partitioned), *all* (broadcast),
+  *shuffle* (round-robin), *direct* and *custom* (a function from tuple
+  to explicit task indices — used for InvaliDB's 2D grid);
+* :class:`TopologyBuilder` / :class:`Topology` — declarative wiring;
+* :class:`LocalRuntime` — a threaded executor giving each task its own
+  input queue and worker thread.
+"""
+
+from repro.stream.topology import (
+    AllGrouping,
+    Bolt,
+    CustomGrouping,
+    DirectGrouping,
+    FieldsGrouping,
+    Grouping,
+    ShuffleGrouping,
+    Spout,
+    Topology,
+    TopologyBuilder,
+)
+from repro.stream.runtime import LocalRuntime
+
+__all__ = [
+    "AllGrouping",
+    "Bolt",
+    "CustomGrouping",
+    "DirectGrouping",
+    "FieldsGrouping",
+    "Grouping",
+    "LocalRuntime",
+    "ShuffleGrouping",
+    "Spout",
+    "Topology",
+    "TopologyBuilder",
+]

@@ -1,0 +1,195 @@
+"""Threaded local executor for topologies.
+
+Each task (component instance) gets its own unbounded input queue and
+worker thread; spout tasks additionally get a pull loop.  Emission from
+inside ``process``/``next_batch`` routes through the topology's edges:
+the grouping selects destination task indices and the tuple is enqueued
+there.  This mirrors Storm's local mode closely enough for InvaliDB's
+needs — partitioned, ordered-per-edge, asynchronous dataflow.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Any, Dict, List, Mapping, Tuple
+
+from repro.errors import RuntimeStateError
+from repro.stream.topology import Bolt, Component, ComponentSpec, Spout, Topology
+
+_STOP = object()
+
+
+class _Task:
+    """One running component instance with its queue and thread."""
+
+    def __init__(
+        self,
+        runtime: "LocalRuntime",
+        spec: ComponentSpec,
+        task_index: int,
+    ):
+        self.runtime = runtime
+        self.spec = spec
+        self.task_index = task_index
+        self.component: Component = spec.build_task()
+        self.queue: "queue.Queue[Any]" = queue.Queue()
+        self.processed = 0
+        name = f"{spec.name}[{task_index}]"
+        self.thread = threading.Thread(target=self._run, name=name, daemon=True)
+
+    def _emit(self, tuple_: Mapping[str, Any]) -> None:
+        self.runtime._route(self.spec.name, tuple_)
+
+    def _run(self) -> None:
+        component = self.component
+        component.prepare(self.task_index, self.spec.parallelism, self._emit)
+        try:
+            if isinstance(component, Spout):
+                self._run_spout(component)
+            else:
+                self._run_bolt(component)
+        finally:
+            component.cleanup()
+
+    def _run_spout(self, spout: Spout) -> None:
+        while not self.runtime._stopping.is_set():
+            batch = spout.next_batch()
+            if batch is None:
+                return
+            if not batch:
+                time.sleep(0.001)
+                continue
+            for tuple_ in batch:
+                self._emit(tuple_)
+                self.processed += 1
+
+    def _run_bolt(self, bolt: Bolt) -> None:
+        while True:
+            item = self.queue.get()
+            if item is _STOP:
+                return
+            try:
+                bolt.process(item)
+            except Exception:  # noqa: BLE001 - a failing tuple must not
+                # kill the task; Storm would replay/ack, we log-and-go.
+                self.runtime.record_failure(self.spec.name, self.task_index)
+            self.processed += 1
+            self.queue.task_done()
+
+
+class LocalRuntime:
+    """Runs a :class:`Topology` on local threads."""
+
+    def __init__(self, topology: Topology):
+        self.topology = topology
+        self._tasks: Dict[str, List[_Task]] = {}
+        self._started = False
+        self._stopped = False
+        self._stopping = threading.Event()
+        self._failures: List[Tuple[str, int]] = []
+        self._failure_lock = threading.Lock()
+        for spec in topology.components.values():
+            self._tasks[spec.name] = [
+                _Task(self, spec, index) for index in range(spec.parallelism)
+            ]
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "LocalRuntime":
+        if self._started:
+            raise RuntimeStateError("runtime already started")
+        self._started = True
+        for tasks in self._tasks.values():
+            for task in tasks:
+                task.thread.start()
+        return self
+
+    def stop(self, timeout: float = 2.0) -> None:
+        if not self._started or self._stopped:
+            return
+        self._stopped = True
+        self._stopping.set()
+        for tasks in self._tasks.values():
+            for task in tasks:
+                if isinstance(task.component, Bolt):
+                    task.queue.put(_STOP)
+        deadline = time.monotonic() + timeout
+        for tasks in self._tasks.values():
+            for task in tasks:
+                remaining = max(0.0, deadline - time.monotonic())
+                task.thread.join(timeout=remaining)
+
+    def __enter__(self) -> "LocalRuntime":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    # -- injection & routing ---------------------------------------------------
+
+    def inject(self, component: str, tuple_: Mapping[str, Any]) -> None:
+        """Push a tuple into *component* from outside the topology.
+
+        The tuple is routed exactly as if an upstream component had
+        emitted it on an edge into *component* — i.e. through that
+        component's incoming groupings is NOT applied; instead the
+        caller addresses the component and the runtime shuffles across
+        its tasks unless a ``__task__`` field selects one directly.
+        """
+        tasks = self._tasks.get(component)
+        if tasks is None:
+            raise RuntimeStateError(f"unknown component: {component!r}")
+        task_field = tuple_.get("__task__")
+        if isinstance(task_field, int):
+            tasks[task_field % len(tasks)].queue.put(tuple_)
+            return
+        index = hash(id(tuple_)) % len(tasks) if len(tasks) > 1 else 0
+        tasks[index].queue.put(tuple_)
+
+    def _route(self, source: str, tuple_: Mapping[str, Any]) -> None:
+        for edge in self.topology.outgoing(source):
+            targets = self._tasks[edge.target]
+            for index in edge.grouping.select(tuple_, len(targets)):
+                targets[index].queue.put(tuple_)
+
+    # -- introspection -----------------------------------------------------------
+
+    def record_failure(self, component: str, task_index: int) -> None:
+        with self._failure_lock:
+            self._failures.append((component, task_index))
+
+    @property
+    def failures(self) -> List[Tuple[str, int]]:
+        with self._failure_lock:
+            return list(self._failures)
+
+    def task_components(self, component: str) -> List[Component]:
+        """The live component instances of *component* (for inspection)."""
+        return [task.component for task in self._tasks[component]]
+
+    def processed_counts(self) -> Dict[str, int]:
+        return {
+            name: sum(task.processed for task in tasks)
+            for name, tasks in self._tasks.items()
+        }
+
+    def idle(self) -> bool:
+        """True when every bolt queue is empty (approximate quiescence)."""
+        return all(
+            task.queue.empty()
+            for tasks in self._tasks.values()
+            for task in tasks
+        )
+
+    def drain(self, timeout: float = 5.0) -> bool:
+        """Wait until all queues are empty twice in a row."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.idle():
+                time.sleep(0.01)
+                if self.idle():
+                    return True
+            time.sleep(0.005)
+        return False

@@ -1,0 +1,221 @@
+"""Topology model: spouts, bolts, groupings, and the builder.
+
+A topology is a DAG of named components.  Each component runs with a
+*parallelism* (number of tasks).  Edges carry a :class:`Grouping` that
+maps an emitted tuple to the destination task indices:
+
+* :class:`FieldsGrouping` — stable hash of selected tuple fields; the
+  partitioning primitive ("compute their respective partitions by
+  hashing static attributes" — Section 5.1);
+* :class:`AllGrouping` — broadcast to every task (query subscriptions
+  are "broadcasted to all partition members");
+* :class:`ShuffleGrouping` — round-robin load balancing;
+* :class:`DirectGrouping` — the emitter names the task explicitly;
+* :class:`CustomGrouping` — arbitrary function, used for InvaliDB's
+  two-dimensional grid routing.
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.partitioning import stable_hash
+from repro.errors import TopologyError
+
+Tuple_ = Mapping[str, Any]
+Emit = Callable[[Tuple_], None]
+
+
+class Component(abc.ABC):
+    """Base class for spouts and bolts.
+
+    One *instance* of the component class is created per task via
+    :meth:`clone`, so per-task state never needs locking.
+    """
+
+    def prepare(self, task_index: int, parallelism: int, emit: Emit) -> None:
+        """Called once per task before any tuple flows."""
+        self.task_index = task_index
+        self.parallelism = parallelism
+        self.emit = emit
+
+    def clone(self) -> "Component":
+        """Create a fresh instance for one task (default: same class,
+        constructed with no arguments of its own — override when the
+        component carries configuration)."""
+        return type(self)()
+
+    def cleanup(self) -> None:
+        """Called once per task on shutdown."""
+
+
+class Spout(Component):
+    """A source: the runtime calls ``next_batch`` until it returns None."""
+
+    @abc.abstractmethod
+    def next_batch(self) -> Optional[List[Tuple_]]:
+        """Return the next tuples, an empty list to idle, None to stop."""
+
+
+class Bolt(Component):
+    """A processor: receives tuples, may emit downstream."""
+
+    @abc.abstractmethod
+    def process(self, tuple_: Tuple_) -> None:
+        ...
+
+
+class Grouping(abc.ABC):
+    """Maps an emitted tuple to destination task indices."""
+
+    @abc.abstractmethod
+    def select(self, tuple_: Tuple_, target_parallelism: int) -> Sequence[int]:
+        ...
+
+
+class FieldsGrouping(Grouping):
+    """Hash-partition on the named tuple fields."""
+
+    def __init__(self, *fields: str):
+        if not fields:
+            raise TopologyError("fields grouping needs at least one field")
+        self.fields = fields
+
+    def select(self, tuple_: Tuple_, target_parallelism: int) -> Sequence[int]:
+        key = tuple(tuple_.get(name) for name in self.fields)
+        return (stable_hash(key) % target_parallelism,)
+
+
+class AllGrouping(Grouping):
+    """Broadcast to every task of the target component."""
+
+    def select(self, tuple_: Tuple_, target_parallelism: int) -> Sequence[int]:
+        return range(target_parallelism)
+
+
+class ShuffleGrouping(Grouping):
+    """Round-robin across target tasks (thread-safe)."""
+
+    def __init__(self) -> None:
+        self._counter = itertools.count()
+        self._lock = threading.Lock()
+
+    def select(self, tuple_: Tuple_, target_parallelism: int) -> Sequence[int]:
+        with self._lock:
+            nxt = next(self._counter)
+        return (nxt % target_parallelism,)
+
+
+class DirectGrouping(Grouping):
+    """The emitting component chooses the task via a tuple field."""
+
+    def __init__(self, task_field: str = "__task__"):
+        self.task_field = task_field
+
+    def select(self, tuple_: Tuple_, target_parallelism: int) -> Sequence[int]:
+        task = tuple_.get(self.task_field)
+        if not isinstance(task, int) or not 0 <= task < target_parallelism:
+            raise TopologyError(
+                f"direct grouping needs {self.task_field!r} in [0, "
+                f"{target_parallelism}), got {task!r}"
+            )
+        return (task,)
+
+
+class CustomGrouping(Grouping):
+    """Arbitrary routing — e.g. InvaliDB's 2D grid fan-out."""
+
+    def __init__(self, selector: Callable[[Tuple_, int], Sequence[int]]):
+        self._selector = selector
+
+    def select(self, tuple_: Tuple_, target_parallelism: int) -> Sequence[int]:
+        return self._selector(tuple_, target_parallelism)
+
+
+@dataclass(frozen=True)
+class Edge:
+    source: str
+    target: str
+    grouping: Grouping
+
+
+@dataclass
+class ComponentSpec:
+    name: str
+    prototype: Component
+    parallelism: int
+    factory: Optional[Callable[[], Component]] = None
+
+    def build_task(self) -> Component:
+        if self.factory is not None:
+            return self.factory()
+        return self.prototype.clone()
+
+
+@dataclass
+class Topology:
+    """An immutable, validated topology definition."""
+
+    components: Dict[str, ComponentSpec] = field(default_factory=dict)
+    edges: List[Edge] = field(default_factory=list)
+
+    def outgoing(self, source: str) -> List[Edge]:
+        return [edge for edge in self.edges if edge.source == source]
+
+
+class TopologyBuilder:
+    """Fluent builder mirroring Storm's ``TopologyBuilder``."""
+
+    def __init__(self) -> None:
+        self._components: Dict[str, ComponentSpec] = {}
+        self._edges: List[Edge] = []
+
+    def add_spout(
+        self,
+        name: str,
+        spout: Spout,
+        parallelism: int = 1,
+        factory: Optional[Callable[[], Component]] = None,
+    ) -> "TopologyBuilder":
+        return self._add(name, spout, parallelism, factory)
+
+    def add_bolt(
+        self,
+        name: str,
+        bolt: Bolt,
+        parallelism: int = 1,
+        factory: Optional[Callable[[], Component]] = None,
+    ) -> "TopologyBuilder":
+        return self._add(name, bolt, parallelism, factory)
+
+    def _add(
+        self,
+        name: str,
+        component: Component,
+        parallelism: int,
+        factory: Optional[Callable[[], Component]],
+    ) -> "TopologyBuilder":
+        if name in self._components:
+            raise TopologyError(f"duplicate component name: {name!r}")
+        if parallelism < 1:
+            raise TopologyError(f"parallelism must be >= 1 for {name!r}")
+        self._components[name] = ComponentSpec(name, component, parallelism, factory)
+        return self
+
+    def connect(self, source: str, target: str, grouping: Grouping) -> "TopologyBuilder":
+        for endpoint in (source, target):
+            if endpoint not in self._components:
+                raise TopologyError(f"unknown component: {endpoint!r}")
+        if isinstance(self._components[target].prototype, Spout):
+            raise TopologyError(f"cannot connect into a spout: {target!r}")
+        self._edges.append(Edge(source, target, grouping))
+        return self
+
+    def build(self) -> Topology:
+        if not self._components:
+            raise TopologyError("topology has no components")
+        return Topology(dict(self._components), list(self._edges))

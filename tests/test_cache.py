@@ -1,0 +1,110 @@
+"""Quaestor-style query cache tests."""
+
+import time
+
+import pytest
+
+from repro.cache.query_cache import InvalidatingQueryCache
+
+from tests.conftest import settle
+
+
+def wait_for(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return False
+
+
+@pytest.fixture
+def stack(broker, cluster_factory, app_server_factory):
+    cluster = cluster_factory(2, 2)
+    app = app_server_factory()
+    for index in range(20):
+        app.insert("items", {"_id": index, "v": index})
+    settle(cluster, broker)
+    return cluster, app
+
+
+class TestCaching:
+    def test_miss_then_hit(self, broker, stack):
+        cluster, app = stack
+        cache = InvalidatingQueryCache(app)
+        first = cache.find("items", {"v": {"$gte": 15}})
+        second = cache.find("items", {"v": {"$gte": 15}})
+        assert first == second
+        assert cache.stats.misses == 1 and cache.stats.hits == 1
+        cache.close()
+
+    def test_write_invalidates(self, broker, stack):
+        cluster, app = stack
+        cache = InvalidatingQueryCache(app)
+        cache.find("items", {"v": {"$gte": 15}})
+        assert cache.is_cached("items", {"v": {"$gte": 15}})
+        app.insert("items", {"_id": 100, "v": 50})
+        settle(cluster, broker)
+        assert wait_for(
+            lambda: not cache.is_cached("items", {"v": {"$gte": 15}})
+        )
+        assert cache.stats.invalidations >= 1
+        # The next read re-executes and sees the new document.
+        fresh = cache.find("items", {"v": {"$gte": 15}})
+        assert any(d["_id"] == 100 for d in fresh)
+        cache.close()
+
+    def test_irrelevant_write_does_not_invalidate(self, broker, stack):
+        cluster, app = stack
+        cache = InvalidatingQueryCache(app)
+        cache.find("items", {"v": {"$gte": 15}})
+        app.insert("items", {"_id": 101, "v": 1})  # below the bound
+        settle(cluster, broker)
+        assert cache.is_cached("items", {"v": {"$gte": 15}})
+        assert cache.stats.invalidations == 0
+        cache.close()
+
+    def test_refresh_on_invalidation(self, broker, stack):
+        cluster, app = stack
+        cache = InvalidatingQueryCache(app, refresh_on_invalidation=True)
+        cache.find("items", {"v": {"$gte": 15}})
+        app.insert("items", {"_id": 102, "v": 60})
+        settle(cluster, broker)
+        assert wait_for(lambda: cache.stats.refreshes >= 1)
+        # Still cached AND fresh: the next find is a hit with new data.
+        result = cache.find("items", {"v": {"$gte": 15}})
+        assert any(d["_id"] == 102 for d in result)
+        assert cache.stats.hits >= 1
+        cache.close()
+
+    def test_lru_eviction_bounds_entries(self, broker, stack):
+        cluster, app = stack
+        cache = InvalidatingQueryCache(app, max_entries=3)
+        for bound in range(6):
+            cache.find("items", {"v": {"$gte": bound}})
+        assert cache.entry_count() == 3
+        cache.close()
+
+    def test_cached_sorted_query(self, broker, stack):
+        cluster, app = stack
+        cache = InvalidatingQueryCache(app)
+        result = cache.find("items", {}, sort=[("v", -1)], limit=3)
+        assert [d["_id"] for d in result] == [19, 18, 17]
+        app.insert("items", {"_id": 200, "v": 99})
+        settle(cluster, broker)
+        assert wait_for(
+            lambda: not cache.is_cached("items", {}, sort=[("v", -1)],
+                                        limit=3)
+        )
+        fresh = cache.find("items", {}, sort=[("v", -1)], limit=3)
+        assert [d["_id"] for d in fresh] == [200, 19, 18]
+        cache.close()
+
+    def test_hit_rate(self, broker, stack):
+        cluster, app = stack
+        cache = InvalidatingQueryCache(app)
+        cache.find("items", {"v": 1})
+        cache.find("items", {"v": 1})
+        cache.find("items", {"v": 1})
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+        cache.close()

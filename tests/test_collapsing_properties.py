@@ -1,0 +1,86 @@
+"""Property test: collapsing preserves the net result.
+
+Applying the collapsed notification stream to a materialized result
+must produce exactly the same final membership and documents as
+applying the raw stream — compression must never change semantics.
+"""
+
+from typing import Dict, List
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.collapsing import NotificationCollapser
+from repro.types import ChangeNotification, MatchType
+
+
+def apply_stream(notifications: List[ChangeNotification]) -> Dict:
+    """Reference applier: membership + latest document per key."""
+    state: Dict = {}
+    for notification in notifications:
+        if notification.match_type is MatchType.REMOVE:
+            state.pop(notification.key, None)
+        elif notification.document is not None:
+            state[notification.key] = notification.document
+    return state
+
+
+def make_stream(ops) -> List[ChangeNotification]:
+    """Turn (key, kind, value) triples into a *consistent* stream: adds
+    only for absent keys, changes/removes only for present keys."""
+    present = set()
+    stream = []
+    for key, kind, value in ops:
+        if key in present:
+            if kind == 0:
+                match_type = MatchType.REMOVE
+                present.discard(key)
+                document = None
+            else:
+                match_type = (
+                    MatchType.CHANGE if kind == 1 else MatchType.CHANGE_INDEX
+                )
+                document = {"_id": key, "v": value}
+        else:
+            match_type = MatchType.ADD
+            present.add(key)
+            document = {"_id": key, "v": value}
+        stream.append(ChangeNotification(
+            subscription_id="s", query_id="q", match_type=match_type,
+            key=key, document=document,
+        ))
+    return stream
+
+
+operations = st.lists(
+    st.tuples(st.integers(0, 4), st.integers(0, 2), st.integers(0, 50)),
+    max_size=40,
+)
+
+
+class TestCollapsingEquivalence:
+    @given(operations)
+    @settings(max_examples=150, deadline=None)
+    def test_collapsed_stream_preserves_final_state(self, ops):
+        stream = make_stream(ops)
+        delivered: List[ChangeNotification] = []
+        collapser = NotificationCollapser(delivered.append,
+                                          window_seconds=10**9)
+        for notification in stream:
+            collapser.offer(notification)
+        collapser.flush()
+        assert apply_stream(delivered) == apply_stream(stream)
+
+    @given(operations)
+    @settings(max_examples=100, deadline=None)
+    def test_collapsing_never_inflates(self, ops):
+        stream = make_stream(ops)
+        delivered: List[ChangeNotification] = []
+        collapser = NotificationCollapser(delivered.append,
+                                          window_seconds=10**9)
+        for notification in stream:
+            collapser.offer(notification)
+        collapser.flush()
+        assert len(delivered) <= len(stream)
+        # At most one notification per distinct key in one window.
+        keys = [notification.key for notification in delivered]
+        assert len(keys) == len(set(keys))

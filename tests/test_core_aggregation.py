@@ -1,0 +1,193 @@
+"""Aggregation-stage tests (the Section 8.1 extension)."""
+
+import pytest
+
+from repro.core.aggregation import AggregateSpec, AggregationNode
+from repro.core.filtering import FilteringNode, MatchEvent
+from repro.core.partitioning import NodeCoordinates
+from repro.core.stages import ProcessingStage, pipe
+from repro.errors import QueryParseError
+from repro.query.engine import Query
+from repro.types import AfterImage, MatchType, WriteKind
+
+QUERY = Query({"category": "bikes"})
+
+SPECS = (
+    AggregateSpec("count"),
+    AggregateSpec("sum", "price"),
+    AggregateSpec("avg", "price"),
+    AggregateSpec("min", "price"),
+    AggregateSpec("max", "price"),
+)
+
+
+def event(match_type, key, document=None, version=1):
+    return MatchEvent(QUERY.query_id, match_type, key, document, version,
+                      0.0, False)
+
+
+def bike(key, price):
+    return {"_id": key, "category": "bikes", "price": price}
+
+
+@pytest.fixture
+def node():
+    aggregation = AggregationNode()
+    aggregation.register_query(QUERY, [], {}, aggregates=SPECS)
+    return aggregation
+
+
+class TestSpecs:
+    def test_spec_validation(self):
+        with pytest.raises(QueryParseError):
+            AggregateSpec("median", "price")
+        with pytest.raises(QueryParseError):
+            AggregateSpec("sum")  # needs a field
+        assert AggregateSpec("count").name == "count"
+        assert AggregateSpec("avg", "price").name == "avg(price)"
+
+    def test_registration_requires_aggregates(self):
+        with pytest.raises(QueryParseError):
+            AggregationNode().register_query(QUERY, [], {})
+
+    def test_is_a_processing_stage(self, node):
+        assert isinstance(node, ProcessingStage)
+
+
+class TestIncrementalAggregates:
+    def test_adds_update_all_aggregates(self, node):
+        node.handle_event(event(MatchType.ADD, 1, bike(1, 100)))
+        changes = node.handle_event(event(MatchType.ADD, 2, bike(2, 300)))
+        snapshot = changes[0].document
+        assert snapshot["count"] == 2
+        assert snapshot["sum(price)"] == 400
+        assert snapshot["avg(price)"] == 200
+        assert snapshot["min(price)"] == 100
+        assert snapshot["max(price)"] == 300
+
+    def test_remove_updates_extrema(self, node):
+        for key, price in ((1, 100), (2, 300), (3, 200)):
+            node.handle_event(event(MatchType.ADD, key, bike(key, price)))
+        changes = node.handle_event(event(MatchType.REMOVE, 2, version=2))
+        snapshot = changes[0].document
+        assert snapshot["count"] == 2
+        assert snapshot["max(price)"] == 200
+        assert snapshot["sum(price)"] == 300
+
+    def test_change_replaces_contribution(self, node):
+        node.handle_event(event(MatchType.ADD, 1, bike(1, 100)))
+        changes = node.handle_event(
+            event(MatchType.CHANGE, 1, bike(1, 150), version=2)
+        )
+        snapshot = changes[0].document
+        assert snapshot["count"] == 1
+        assert snapshot["sum(price)"] == 150
+        assert snapshot["min(price)"] == 150
+
+    def test_no_notification_when_aggregate_unchanged(self, node):
+        node.handle_event(event(MatchType.ADD, 1, bike(1, 100)))
+        # A change that does not move any aggregate (same price).
+        changes = node.handle_event(
+            event(MatchType.CHANGE, 1,
+                  {**bike(1, 100), "color": "red"}, version=2)
+        )
+        assert changes == []
+
+    def test_empty_result_aggregates(self, node):
+        snapshot = node.aggregate_of(QUERY.query_id)
+        assert snapshot["count"] == 0
+        assert snapshot["sum(price)"] == 0
+        assert snapshot["avg(price)"] is None
+        assert snapshot["min(price)"] is None
+
+    def test_non_numeric_price_skipped_by_sum_included_by_minmax(self, node):
+        node.handle_event(event(MatchType.ADD, 1, bike(1, 100)))
+        node.handle_event(
+            event(MatchType.ADD, 2,
+                  {"_id": 2, "category": "bikes", "price": "call us"})
+        )
+        snapshot = node.aggregate_of(QUERY.query_id)
+        assert snapshot["sum(price)"] == 100
+        assert snapshot["avg(price)"] == 100  # only numeric contributions
+        assert snapshot["max(price)"] == "call us"  # strings sort above numbers
+
+    def test_remove_unknown_member_is_noop(self, node):
+        assert node.handle_event(event(MatchType.REMOVE, 99, version=1)) == []
+
+    def test_bootstrap_members_counted(self):
+        aggregation = AggregationNode()
+        aggregation.register_query(
+            QUERY, [bike(1, 10), bike(2, 20)], {}, aggregates=SPECS
+        )
+        snapshot = aggregation.aggregate_of(QUERY.query_id)
+        assert snapshot["count"] == 2 and snapshot["sum(price)"] == 30
+
+    def test_re_registration_emits_delta_change(self):
+        aggregation = AggregationNode()
+        aggregation.register_query(QUERY, [bike(1, 10)], {}, aggregates=SPECS)
+        changes = aggregation.register_query(
+            QUERY, [bike(1, 10), bike(2, 20)], {}, aggregates=SPECS
+        )
+        assert len(changes) == 1
+        assert changes[0].document["count"] == 2
+
+    def test_deactivation(self, node):
+        assert node.deactivate_query(QUERY.query_id)
+        assert node.handle_event(event(MatchType.ADD, 1, bike(1, 1))) == []
+
+
+class TestPipelineComposition:
+    def test_filtering_into_aggregation(self):
+        """The SEDA composition: filtering stage output drives the
+        aggregation stage, end to end."""
+        filtering = FilteringNode(NodeCoordinates(0, 0))
+        aggregation = AggregationNode()
+        filtering.register_query(QUERY, [], {}, now=0.0)
+        aggregation.register_query(QUERY, [], {}, aggregates=SPECS)
+
+        def write(key, doc, version, kind=WriteKind.INSERT):
+            after = AfterImage(key, version, kind, doc)
+            return pipe(aggregation, filtering.process_write(after, now=0.0))
+
+        write(1, bike(1, 100), 1)
+        write(2, bike(2, 200), 1)
+        write(3, {"_id": 3, "category": "boards", "price": 999}, 1)  # no match
+        changes = write(1, None, 2, WriteKind.DELETE)
+        snapshot = changes[0].document
+        assert snapshot["count"] == 1
+        assert snapshot["sum(price)"] == 200
+
+    def test_aggregate_equals_recomputation_under_property_churn(self):
+        import random
+
+        rng = random.Random(3)
+        filtering = FilteringNode(NodeCoordinates(0, 0))
+        aggregation = AggregationNode()
+        filtering.register_query(QUERY, [], {}, now=0.0)
+        aggregation.register_query(QUERY, [], {}, aggregates=SPECS)
+        state = {}
+        versions = {}
+        for step in range(300):
+            key = rng.randrange(20)
+            versions[key] = versions.get(key, 0) + 1
+            roll = rng.random()
+            if roll < 0.25 and key in state:
+                del state[key]
+                after = AfterImage(key, versions[key], WriteKind.DELETE, None)
+            else:
+                category = rng.choice(["bikes", "boards"])
+                doc = {"_id": key, "category": category,
+                       "price": rng.randrange(1000)}
+                state[key] = doc
+                after = AfterImage(key, versions[key], WriteKind.UPDATE, doc)
+            pipe(aggregation, filtering.process_write(after, now=0.0))
+        snapshot = aggregation.aggregate_of(QUERY.query_id)
+        matching = [doc for doc in state.values()
+                    if doc["category"] == "bikes"]
+        assert snapshot["count"] == len(matching)
+        assert snapshot["sum(price)"] == sum(d["price"] for d in matching)
+        if matching:
+            assert snapshot["min(price)"] == min(d["price"] for d in matching)
+            assert snapshot["max(price)"] == max(d["price"] for d in matching)
+        else:
+            assert snapshot["min(price)"] is None

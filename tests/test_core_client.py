@@ -1,0 +1,239 @@
+"""Client protocol tests: heartbeats, renewals, rate limits, tables."""
+
+import time
+
+import pytest
+
+from repro.core.config import InvaliDBConfig
+from repro.core.subscriptions import (
+    QueryRegistration,
+    SubscriptionRecord,
+    SubscriptionTable,
+)
+from repro.errors import SubscriptionError
+from repro.query.engine import Query
+from repro.types import MatchType
+
+from tests.conftest import settle
+
+
+class TestSubscriptionTable:
+    def make_record(self, sub_id="s1", filter_doc=None):
+        return SubscriptionRecord(sub_id, Query(filter_doc or {"a": 1}), 0.0)
+
+    def test_add_get_remove(self):
+        table = SubscriptionTable()
+        record = self.make_record()
+        table.add(record)
+        assert table.get("s1") is record
+        assert "s1" in table and len(table) == 1
+        assert table.remove("s1") is record
+        assert table.get("s1") is None
+
+    def test_duplicate_id_rejected(self):
+        table = SubscriptionTable()
+        table.add(self.make_record())
+        with pytest.raises(SubscriptionError):
+            table.add(self.make_record())
+
+    def test_subscriptions_grouped_by_query(self):
+        table = SubscriptionTable()
+        table.add(self.make_record("s1"))
+        table.add(self.make_record("s2"))
+        table.add(self.make_record("s3", {"b": 2}))
+        query_id = Query({"a": 1}).query_id
+        assert len(table.subscriptions_for_query(query_id)) == 2
+        assert table.query_is_shared(query_id)
+        table.remove("s1")
+        assert not table.query_is_shared(query_id)
+
+    def test_record_remembers_query_hash(self):
+        record = self.make_record()
+        assert record.query_hash == record.query.hash
+
+
+class TestQueryRegistration:
+    def test_ttl_lifecycle(self):
+        registration = QueryRegistration(Query({"a": 1}), now=0.0, ttl=10.0)
+        registration.subscribe("app-1", now=0.0)
+        assert registration.active
+        assert registration.expire(now=5.0) == []
+        assert registration.expire(now=11.0) == ["app-1"]
+        assert not registration.active
+
+    def test_extension_pushes_deadline(self):
+        registration = QueryRegistration(Query({"a": 1}), now=0.0, ttl=10.0)
+        registration.subscribe("app-1", now=0.0)
+        assert registration.extend("app-1", now=8.0)
+        assert registration.expire(now=11.0) == []
+
+    def test_extension_for_unknown_server_is_ignored(self):
+        """Footnote 3: not an error scenario."""
+        registration = QueryRegistration(Query({"a": 1}), now=0.0, ttl=10.0)
+        assert not registration.extend("ghost", now=0.0)
+
+    def test_cancel(self):
+        registration = QueryRegistration(Query({"a": 1}), now=0.0, ttl=10.0)
+        registration.subscribe("app-1", now=0.0)
+        registration.subscribe("app-2", now=0.0)
+        registration.cancel("app-1")
+        assert registration.app_servers == ["app-2"]
+
+
+class TestHeartbeats:
+    def test_heartbeats_arrive(self, broker, cluster_factory,
+                               app_server_factory):
+        cluster_factory(1, 1, heartbeat_interval=0.05, heartbeat_timeout=1.0)
+        app = app_server_factory(
+            config=InvaliDBConfig(heartbeat_interval=0.05,
+                                  heartbeat_timeout=1.0)
+        )
+        app.subscribe("items", {"v": 1})
+        deadline = time.monotonic() + 3.0
+        while time.monotonic() < deadline and app.client.last_heartbeat is None:
+            time.sleep(0.02)
+        assert app.client.last_heartbeat is not None
+        assert app.client.check_heartbeat()
+
+    def test_heartbeat_timeout_terminates_subscriptions(self, broker,
+                                                        cluster_factory,
+                                                        app_server_factory):
+        """Section 5.1: on missing heartbeats the app server terminates
+        subscriptions with an error the client can handle."""
+        cluster = cluster_factory(1, 1, heartbeat_interval=0.05,
+                                  heartbeat_timeout=0.5)
+        errors = []
+        app = app_server_factory(
+            config=InvaliDBConfig(heartbeat_interval=0.05,
+                                  heartbeat_timeout=0.5)
+        )
+        subscription = app.subscribe("items", {"v": 1},
+                                     on_error=errors.append)
+        deadline = time.monotonic() + 3.0
+        while time.monotonic() < deadline and app.client.last_heartbeat is None:
+            time.sleep(0.02)
+        # Simulate cluster failure: stop it, then let the timeout lapse.
+        cluster.stop()
+        assert not app.client.check_heartbeat(
+            now=app.client.last_heartbeat + 10.0
+        )
+        assert subscription.closed
+        assert errors and "heartbeat" in errors[0]
+
+
+class TestRenewalRateLimit:
+    def test_renewals_are_rate_limited(self, broker, cluster_factory,
+                                       app_server_factory):
+        """The poll frequency rate limit bounds database load from
+        renewals (Section 5.2)."""
+        from repro.core.client import _RenewalLimiter
+
+        limiter = _RenewalLimiter(min_interval=10.0)
+        assert limiter.allow("q", now=0.0)
+        assert not limiter.allow("q", now=5.0)
+        assert limiter.allow("q", now=10.1)
+        assert limiter.allow("other", now=5.0)  # per-query budgets
+
+    def test_renew_grows_slack(self, broker, cluster_factory,
+                               app_server_factory):
+        cluster = cluster_factory(1, 1, default_slack=2,
+                                  renewal_slack_factor=2.0)
+        app = app_server_factory(
+            config=InvaliDBConfig(default_slack=2, renewal_slack_factor=2.0)
+        )
+        for index in range(10):
+            app.insert("articles", {"_id": index, "year": index})
+        settle(cluster, broker)
+        subscription = app.subscribe("articles", {}, sort=[("year", -1)],
+                                     limit=3)
+        query_id = subscription.query.query_id
+        assert app.client._slacks[query_id] == 2
+        assert app.client.renew(query_id)
+        assert app.client._slacks[query_id] == 4
+        assert app.client.renew(query_id)
+        assert app.client._slacks[query_id] == 8
+
+    def test_renew_unknown_query(self, broker, cluster_factory,
+                                 app_server_factory):
+        cluster_factory(1, 1)
+        app = app_server_factory()
+        assert not app.client.renew("q-nope")
+
+
+class TestClientLifecycle:
+    def test_closed_client_rejects_subscribe(self, broker, cluster_factory,
+                                             app_server_factory):
+        cluster_factory(1, 1)
+        app = app_server_factory()
+        app.client.close()
+        with pytest.raises(SubscriptionError):
+            app.client.subscribe({"a": 1})
+
+    def test_subscription_count(self, broker, cluster_factory,
+                                app_server_factory):
+        cluster_factory(1, 1)
+        app = app_server_factory()
+        sub = app.subscribe("items", {"a": 1})
+        assert app.client.subscription_count == 1
+        app.unsubscribe(sub)
+        assert app.client.subscription_count == 0
+
+    def test_local_result_materialization_with_indices(self):
+        """RealTimeSubscription maintains order from index info."""
+        from repro.core.client import RealTimeSubscription
+        from repro.types import ChangeNotification, InitialResult
+
+        query = Query({}, sort=[("r", 1)], limit=10)
+        handle = RealTimeSubscription("s1", query)
+        handle._deliver_initial(
+            InitialResult("s1", query.query_id,
+                          documents=[{"_id": "a", "r": 1},
+                                     {"_id": "c", "r": 3}])
+        )
+        handle._deliver(ChangeNotification(
+            subscription_id="s1", query_id=query.query_id,
+            match_type=MatchType.ADD, key="b", document={"_id": "b", "r": 2},
+            index=1,
+        ))
+        assert [d["_id"] for d in handle.result()] == ["a", "b", "c"]
+        handle._deliver(ChangeNotification(
+            subscription_id="s1", query_id=query.query_id,
+            match_type=MatchType.CHANGE_INDEX, key="b",
+            document={"_id": "b", "r": 9}, index=2, old_index=1,
+        ))
+        assert [d["_id"] for d in handle.result()] == ["a", "c", "b"]
+        handle._deliver(ChangeNotification(
+            subscription_id="s1", query_id=query.query_id,
+            match_type=MatchType.REMOVE, key="a",
+        ))
+        assert [d["_id"] for d in handle.result()] == ["c", "b"]
+
+
+class TestWireSafety:
+    def test_compiled_regex_rejected_with_hint(self, broker, cluster_factory,
+                                               app_server_factory):
+        import re
+
+        from repro.errors import SubscriptionError
+
+        cluster_factory(1, 1)
+        app = app_server_factory()
+        with pytest.raises(SubscriptionError, match=r"\$regex"):
+            app.subscribe("items", {"name": re.compile("^a")})
+
+    def test_nested_unserializable_value_rejected(self, broker,
+                                                  cluster_factory,
+                                                  app_server_factory):
+        from repro.errors import SubscriptionError
+
+        cluster_factory(1, 1)
+        app = app_server_factory()
+        with pytest.raises(SubscriptionError, match="filter.a"):
+            app.subscribe("items", {"a": {"$in": [object()]}})
+
+    def test_string_regex_form_accepted(self, broker, cluster_factory,
+                                        app_server_factory):
+        cluster_factory(1, 1)
+        app = app_server_factory()
+        subscription = app.subscribe("items", {"name": {"$regex": "^a"}})
+        assert subscription.initial is not None

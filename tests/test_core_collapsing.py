@@ -1,0 +1,117 @@
+"""Notification-collapsing tests (the Section 8.1 client extension)."""
+
+import pytest
+
+from repro.core.collapsing import NotificationCollapser, merge_match_types
+from repro.types import ChangeNotification, MatchType
+
+from tests.conftest import FakeClock
+
+
+def notify(match_type, key=1, doc=None, sub="s1", index=None, old_index=None,
+           error=None):
+    return ChangeNotification(
+        subscription_id=sub, query_id="q1", match_type=match_type, key=key,
+        document=doc, index=index, old_index=old_index, error=error,
+    )
+
+
+class TestMergeRules:
+    @pytest.mark.parametrize(
+        "first,second,expected",
+        [
+            (MatchType.ADD, MatchType.CHANGE, MatchType.ADD),
+            (MatchType.ADD, MatchType.CHANGE_INDEX, MatchType.ADD),
+            (MatchType.ADD, MatchType.REMOVE, None),
+            (MatchType.CHANGE, MatchType.CHANGE, MatchType.CHANGE),
+            (MatchType.CHANGE, MatchType.CHANGE_INDEX,
+             MatchType.CHANGE_INDEX),
+            (MatchType.CHANGE_INDEX, MatchType.CHANGE,
+             MatchType.CHANGE_INDEX),
+            (MatchType.CHANGE, MatchType.REMOVE, MatchType.REMOVE),
+            (MatchType.REMOVE, MatchType.ADD, MatchType.CHANGE),
+            (MatchType.REMOVE, MatchType.CHANGE, MatchType.CHANGE),
+        ],
+    )
+    def test_net_effect(self, first, second, expected):
+        assert merge_match_types(first, second) is expected
+
+
+class TestCollapser:
+    def setup_method(self):
+        self.clock = FakeClock()
+        self.delivered = []
+        self.collapser = NotificationCollapser(
+            self.delivered.append, window_seconds=1.0, clock=self.clock
+        )
+
+    def test_hot_key_burst_collapses_to_one(self):
+        for value in range(10):
+            self.collapser.offer(
+                notify(MatchType.CHANGE, doc={"_id": 1, "v": value})
+            )
+        count = self.collapser.flush()
+        assert count == 1
+        assert self.delivered[0].document == {"_id": 1, "v": 9}
+        assert self.collapser.compression_ratio == 10.0
+
+    def test_add_then_remove_cancels(self):
+        self.collapser.offer(notify(MatchType.ADD, doc={"_id": 1}))
+        self.collapser.offer(notify(MatchType.REMOVE))
+        assert self.collapser.flush() == 0
+        assert self.delivered == []
+
+    def test_add_then_changes_stays_add_with_final_document(self):
+        self.collapser.offer(notify(MatchType.ADD, doc={"_id": 1, "v": 0}))
+        self.collapser.offer(notify(MatchType.CHANGE, doc={"_id": 1, "v": 5}))
+        self.collapser.flush()
+        assert self.delivered[0].match_type is MatchType.ADD
+        assert self.delivered[0].document["v"] == 5
+
+    def test_remove_then_add_becomes_change(self):
+        self.collapser.offer(notify(MatchType.REMOVE, doc={"_id": 1, "v": 0}))
+        self.collapser.offer(notify(MatchType.ADD, doc={"_id": 1, "v": 7}))
+        self.collapser.flush()
+        assert self.delivered[0].match_type is MatchType.CHANGE
+        assert self.delivered[0].document["v"] == 7
+
+    def test_distinct_keys_do_not_collapse(self):
+        self.collapser.offer(notify(MatchType.CHANGE, key=1, doc={"_id": 1}))
+        self.collapser.offer(notify(MatchType.CHANGE, key=2, doc={"_id": 2}))
+        assert self.collapser.flush() == 2
+
+    def test_distinct_subscriptions_do_not_collapse(self):
+        self.collapser.offer(notify(MatchType.CHANGE, sub="a", doc={"_id": 1}))
+        self.collapser.offer(notify(MatchType.CHANGE, sub="b", doc={"_id": 1}))
+        assert self.collapser.flush() == 2
+
+    def test_window_elapse_triggers_flush(self):
+        self.collapser.offer(notify(MatchType.CHANGE, doc={"_id": 1, "v": 0}))
+        self.clock.advance(2.0)
+        # The next offer sees the lapsed window and flushes both.
+        self.collapser.offer(notify(MatchType.CHANGE, key=2, doc={"_id": 2}))
+        assert len(self.delivered) == 2
+
+    def test_errors_bypass_the_buffer(self):
+        self.collapser.offer(notify(MatchType.CHANGE, doc={"_id": 1}))
+        self.collapser.offer(notify(MatchType.ERROR, error="renewal needed"))
+        # The error is delivered immediately, before any flush.
+        assert len(self.delivered) == 1
+        assert self.delivered[0].is_error
+        assert self.collapser.pending_count == 1
+
+    def test_arrival_order_preserved_across_keys(self):
+        for key in (3, 1, 2):
+            self.collapser.offer(notify(MatchType.ADD, key=key,
+                                        doc={"_id": key}))
+        self.collapser.flush()
+        assert [n.key for n in self.delivered] == [3, 1, 2]
+
+    def test_preserves_old_index_of_first_transition(self):
+        self.collapser.offer(notify(MatchType.CHANGE_INDEX, index=3,
+                                    old_index=0, doc={"_id": 1}))
+        self.collapser.offer(notify(MatchType.CHANGE_INDEX, index=5,
+                                    old_index=3, doc={"_id": 1}))
+        self.collapser.flush()
+        merged = self.delivered[0]
+        assert merged.old_index == 0 and merged.index == 5

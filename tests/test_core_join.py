@@ -1,0 +1,229 @@
+"""Join-stage tests (the second §8.1 extension)."""
+
+import random
+
+import pytest
+
+from repro.core.filtering import FilteringNode, MatchEvent
+from repro.core.join import JoinNode, JoinSpec
+from repro.core.partitioning import NodeCoordinates
+from repro.errors import QueryParseError
+from repro.query.engine import Query
+from repro.types import AfterImage, MatchType, WriteKind
+
+ORDERS = Query({"status": "open"}, collection="orders")
+CUSTOMERS = Query({"active": True}, collection="customers")
+SPEC = JoinSpec(ORDERS, CUSTOMERS, left_on="customer_id", right_on="_id")
+
+
+def order(key, customer, status="open"):
+    return {"_id": key, "customer_id": customer, "status": status}
+
+
+def customer(key, active=True, name="x"):
+    return {"_id": key, "active": active, "name": name}
+
+
+def event(query, match_type, doc=None, key=None, version=1):
+    return MatchEvent(query.query_id, match_type,
+                      key if key is not None else doc["_id"],
+                      doc, version, 0.0, False)
+
+
+@pytest.fixture
+def node():
+    join = JoinNode()
+    join.register_join(SPEC, [], [])
+    return join
+
+
+class TestSpec:
+    def test_requires_field_paths(self):
+        with pytest.raises(QueryParseError):
+            JoinSpec(ORDERS, CUSTOMERS, left_on="", right_on="_id")
+
+    def test_rejects_same_query_twice(self):
+        with pytest.raises(QueryParseError):
+            JoinSpec(ORDERS, ORDERS, left_on="a", right_on="b")
+
+    def test_join_id_is_deterministic(self):
+        other = JoinSpec(ORDERS, CUSTOMERS, left_on="customer_id",
+                         right_on="_id")
+        assert other.join_id == SPEC.join_id
+
+
+class TestIncrementalJoin:
+    def test_pair_appears_when_both_sides_present(self, node):
+        assert node.handle_event(
+            event(ORDERS, MatchType.ADD, order("o1", "c1"))
+        ) == []
+        changes = node.handle_event(
+            event(CUSTOMERS, MatchType.ADD, customer("c1"))
+        )
+        assert len(changes) == 1
+        assert changes[0].match_type is MatchType.ADD
+        assert changes[0].document["left"]["_id"] == "o1"
+        assert changes[0].document["right"]["_id"] == "c1"
+
+    def test_one_customer_many_orders(self, node):
+        node.handle_event(event(CUSTOMERS, MatchType.ADD, customer("c1")))
+        node.handle_event(event(ORDERS, MatchType.ADD, order("o1", "c1")))
+        node.handle_event(event(ORDERS, MatchType.ADD, order("o2", "c1")))
+        assert len(node.pairs(SPEC.join_id)) == 2
+
+    def test_removing_customer_removes_all_pairs(self, node):
+        node.handle_event(event(CUSTOMERS, MatchType.ADD, customer("c1")))
+        node.handle_event(event(ORDERS, MatchType.ADD, order("o1", "c1")))
+        node.handle_event(event(ORDERS, MatchType.ADD, order("o2", "c1")))
+        changes = node.handle_event(
+            event(CUSTOMERS, MatchType.REMOVE, key="c1", version=2)
+        )
+        assert len(changes) == 2
+        assert all(c.match_type is MatchType.REMOVE for c in changes)
+        assert node.pairs(SPEC.join_id) == []
+
+    def test_update_changing_join_value_repartners(self, node):
+        node.handle_event(event(CUSTOMERS, MatchType.ADD, customer("c1")))
+        node.handle_event(event(CUSTOMERS, MatchType.ADD, customer("c2")))
+        node.handle_event(event(ORDERS, MatchType.ADD, order("o1", "c1")))
+        changes = node.handle_event(
+            event(ORDERS, MatchType.CHANGE, order("o1", "c2"), version=2)
+        )
+        kinds = {(c.match_type, c.key) for c in changes}
+        assert (MatchType.REMOVE, "o1|c1") in kinds
+        assert (MatchType.ADD, "o1|c2") in kinds
+
+    def test_update_keeping_join_value_emits_pair_change(self, node):
+        node.handle_event(event(CUSTOMERS, MatchType.ADD, customer("c1")))
+        node.handle_event(event(ORDERS, MatchType.ADD, order("o1", "c1")))
+        changes = node.handle_event(event(
+            CUSTOMERS, MatchType.CHANGE, customer("c1", name="renamed"),
+            version=2,
+        ))
+        assert len(changes) == 1
+        assert changes[0].match_type is MatchType.CHANGE
+        assert changes[0].document["right"]["name"] == "renamed"
+
+    def test_missing_join_field_joins_nothing(self, node):
+        node.handle_event(event(CUSTOMERS, MatchType.ADD, customer("c1")))
+        node.handle_event(event(ORDERS, MatchType.ADD,
+                                {"_id": "o1", "status": "open"}))
+        assert node.pairs(SPEC.join_id) == []
+
+    def test_bootstrap_pairs(self):
+        join = JoinNode()
+        join.register_join(
+            SPEC,
+            [order("o1", "c1"), order("o2", "c2")],
+            [customer("c1")],
+        )
+        pairs = join.pairs(SPEC.join_id)
+        assert [p["_id"] for p in pairs] == ["o1|c1"]
+
+    def test_re_registration_emits_pair_delta(self):
+        join = JoinNode()
+        join.register_join(SPEC, [order("o1", "c1")], [customer("c1")])
+        changes = join.register_join(
+            SPEC, [order("o2", "c1")], [customer("c1")]
+        )
+        kinds = {(c.match_type, c.key) for c in changes}
+        assert (MatchType.REMOVE, "o1|c1") in kinds
+        assert (MatchType.ADD, "o2|c1") in kinds
+
+    def test_deactivation(self, node):
+        assert node.deactivate_join(SPEC.join_id)
+        assert not node.deactivate_join(SPEC.join_id)
+        assert node.handle_event(
+            event(ORDERS, MatchType.ADD, order("o1", "c1"))
+        ) == []
+
+    def test_numeric_join_values_unify_int_float(self, node):
+        spec = JoinSpec(Query({"kind": "a"}), Query({"kind": "b"}),
+                        left_on="ref", right_on="ref")
+        join = JoinNode()
+        join.register_join(spec, [], [])
+        join.handle_event(MatchEvent(spec.left.query_id, MatchType.ADD, "l1",
+                                     {"_id": "l1", "ref": 3}, 1, 0.0, False))
+        changes = join.handle_event(
+            MatchEvent(spec.right.query_id, MatchType.ADD, "r1",
+                       {"_id": "r1", "ref": 3.0}, 1, 0.0, False)
+        )
+        assert len(changes) == 1
+
+
+class TestJoinPipeline:
+    def test_filtering_into_join_end_to_end(self):
+        """Two filtering nodes (one per collection) feeding one join."""
+        orders_node = FilteringNode(NodeCoordinates(0, 0))
+        customers_node = FilteringNode(NodeCoordinates(0, 0))
+        join = JoinNode()
+        orders_node.register_query(ORDERS, [], {}, now=0.0)
+        customers_node.register_query(CUSTOMERS, [], {}, now=0.0)
+        join.register_join(SPEC, [], [])
+
+        def write(node, key, doc, version, collection,
+                  kind=WriteKind.UPDATE):
+            after = AfterImage(key, version, kind, doc,
+                               collection=collection)
+            changes = []
+            for match_event in node.process_write(after, now=0.0):
+                changes.extend(join.handle_event(match_event))
+            return changes
+
+        write(customers_node, "c1", customer("c1"), 1, "customers")
+        write(orders_node, "o1", order("o1", "c1"), 1, "orders")
+        # Closing the order removes it from the left query -> pair gone.
+        changes = write(orders_node, "o1", order("o1", "c1", "closed"), 2,
+                        "orders")
+        assert [c.match_type for c in changes] == [MatchType.REMOVE]
+        assert join.pairs(SPEC.join_id) == []
+
+    def test_join_equals_recomputation_under_churn(self):
+        rng = random.Random(21)
+        orders_node = FilteringNode(NodeCoordinates(0, 0))
+        customers_node = FilteringNode(NodeCoordinates(0, 0))
+        join = JoinNode()
+        orders_node.register_query(ORDERS, [], {}, now=0.0)
+        customers_node.register_query(CUSTOMERS, [], {}, now=0.0)
+        join.register_join(SPEC, [], [])
+        orders_state, customers_state = {}, {}
+        versions = {}
+
+        def push(node, key, doc, collection):
+            versions[key] = versions.get(key, 0) + 1
+            kind = WriteKind.DELETE if doc is None else WriteKind.UPDATE
+            after = AfterImage(key, versions[key], kind, doc,
+                               collection=collection)
+            for match_event in node.process_write(after, now=0.0):
+                join.handle_event(match_event)
+
+        for step in range(400):
+            if rng.random() < 0.5:
+                key = f"o{rng.randrange(15)}"
+                if rng.random() < 0.2 and key in orders_state:
+                    del orders_state[key]
+                    push(orders_node, key, None, "orders")
+                else:
+                    doc = order(key, f"c{rng.randrange(6)}",
+                                rng.choice(["open", "closed"]))
+                    orders_state[key] = doc
+                    push(orders_node, key, doc, "orders")
+            else:
+                key = f"c{rng.randrange(6)}"
+                if rng.random() < 0.2 and key in customers_state:
+                    del customers_state[key]
+                    push(customers_node, key, None, "customers")
+                else:
+                    doc = customer(key, active=rng.random() < 0.7)
+                    customers_state[key] = doc
+                    push(customers_node, key, doc, "customers")
+
+        expected = set()
+        for o in orders_state.values():
+            if o["status"] != "open":
+                continue
+            for c in customers_state.values():
+                if c["active"] and o["customer_id"] == c["_id"]:
+                    expected.add(f"{o['_id']}|{c['_id']}")
+        maintained = {p["_id"] for p in join.pairs(SPEC.join_id)}
+        assert maintained == expected

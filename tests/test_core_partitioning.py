@@ -1,0 +1,106 @@
+"""Two-dimensional partitioning tests (Section 5.1)."""
+
+import pytest
+
+from repro.core.partitioning import NodeCoordinates, PartitioningScheme, stable_hash
+from repro.errors import ClusterConfigError
+from repro.query.normalize import query_hash
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("key") == stable_hash("key")
+        assert stable_hash((1, "a")) == stable_hash((1, "a"))
+
+    def test_spreads_values(self):
+        buckets = {stable_hash(f"key-{i}") % 16 for i in range(500)}
+        assert buckets == set(range(16))
+
+    def test_int_float_key_unification(self):
+        """A primary key written as 3 and 3.0 must route identically."""
+        assert stable_hash(3) == stable_hash(3.0)
+
+    def test_bool_is_not_int(self):
+        assert stable_hash(True) != stable_hash(1)
+
+    def test_structures(self):
+        assert stable_hash({"a": 1, "b": 2}) == stable_hash({"b": 2, "a": 1})
+        assert stable_hash([1, 2]) != stable_hash([2, 1])
+
+    def test_64_bit_range(self):
+        assert 0 <= stable_hash("x") < 2**64
+
+
+class TestScheme:
+    def test_validation(self):
+        with pytest.raises(ClusterConfigError):
+            PartitioningScheme(0, 1)
+        with pytest.raises(ClusterConfigError):
+            PartitioningScheme(1, 0)
+
+    def test_grid_dimensions(self):
+        scheme = PartitioningScheme(3, 4)
+        assert scheme.node_count == 12
+        assert len(list(scheme.all_nodes())) == 12
+
+    def test_task_index_roundtrip(self):
+        scheme = PartitioningScheme(3, 4)
+        for node in scheme.all_nodes():
+            assert scheme.coordinates(scheme.task_index(node)) == node
+        with pytest.raises(ClusterConfigError):
+            scheme.coordinates(12)
+
+    def test_every_query_write_pair_meets_exactly_once(self):
+        """THE core property: for any query and any write there is
+        exactly one matching node responsible for the pair — the
+        intersection of the query's partition row and the write's
+        partition column."""
+        scheme = PartitioningScheme(4, 3)
+        for query_seed in range(25):
+            q_hash = query_hash({"v": query_seed})
+            query_nodes = set(scheme.nodes_for_query(q_hash))
+            for key in range(25):
+                write_nodes = set(scheme.nodes_for_write(key))
+                intersection = query_nodes & write_nodes
+                assert len(intersection) == 1
+                assert intersection == {scheme.node_for(q_hash, key)}
+
+    def test_query_row_covers_all_write_partitions(self):
+        scheme = PartitioningScheme(4, 3)
+        nodes = scheme.nodes_for_query(query_hash({"a": 1}))
+        assert len(nodes) == 3
+        assert {n.write_partition for n in nodes} == {0, 1, 2}
+        assert len({n.query_partition for n in nodes}) == 1
+
+    def test_write_column_covers_all_query_partitions(self):
+        scheme = PartitioningScheme(4, 3)
+        nodes = scheme.nodes_for_write("some-key")
+        assert len(nodes) == 4
+        assert {n.query_partition for n in nodes} == {0, 1, 2, 3}
+        assert len({n.write_partition for n in nodes}) == 1
+
+    def test_distribution_is_even(self):
+        """Hash-partitioning spreads queries and writes evenly (the
+        paper's 'as even as possible')."""
+        scheme = PartitioningScheme(4, 4)
+        query_counts = [0] * 4
+        for seed in range(2000):
+            query_counts[scheme.query_partition_of(query_hash({"v": seed}))] += 1
+        write_counts = [0] * 4
+        for key in range(2000):
+            write_counts[scheme.write_partition_of(f"k{key}")] += 1
+        for counts in (query_counts, write_counts):
+            assert max(counts) - min(counts) < 250  # within 50% of mean/2
+
+    def test_same_query_different_servers_same_partition(self):
+        """Section 5.1: hashing query attributes (not subscription IDs)
+        routes distinct subscriptions of one query to one partition."""
+        scheme = PartitioningScheme(8, 1)
+        server_a = query_hash({"year": {"$gte": 2017}}, collection="c")
+        server_b = query_hash({"year": {"$gte": 2017}}, collection="c")
+        assert scheme.query_partition_of(server_a) == (
+            scheme.query_partition_of(server_b)
+        )
+
+    def test_coordinates_str(self):
+        assert str(NodeCoordinates(2, 1)) == "qp2/wp1"

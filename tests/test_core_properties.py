@@ -1,0 +1,252 @@
+"""Property-based tests of InvaliDB's core maintenance invariants.
+
+The central correctness property of the whole system: for ANY sequence
+of writes, the incrementally maintained result of the filtering stage
+(and, for sorted queries, of the sorting stage) equals the result of
+re-executing the query from scratch over the final database state.
+Driven deterministically (no threads) so hypothesis shrinking works.
+"""
+
+from typing import Any, Dict, List
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.filtering import FilteringNode, MatchEvent
+from repro.core.partitioning import NodeCoordinates, PartitioningScheme
+from repro.core.sorting import SortingNode
+from repro.query.engine import Query
+from repro.types import AfterImage, MatchType, WriteKind
+
+# -- operation generator ------------------------------------------------------
+
+KEYS = list(range(8))
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "update", "delete"]),
+        st.sampled_from(KEYS),
+        st.integers(min_value=0, max_value=30),  # the filtered value
+    ),
+    min_size=0,
+    max_size=40,
+)
+
+
+def apply_operations(ops) -> List[AfterImage]:
+    """Turn an op list into a valid after-image stream with versions."""
+    alive: Dict[Any, bool] = {}
+    versions: Dict[Any, int] = {key: 0 for key in KEYS}
+    images: List[AfterImage] = []
+    for kind, key, value in ops:
+        versions[key] += 1
+        if kind == "delete":
+            if not alive.get(key):
+                versions[key] -= 1
+                continue
+            alive[key] = False
+            images.append(AfterImage(key, versions[key], WriteKind.DELETE,
+                                     None))
+        else:
+            alive[key] = True
+            write_kind = WriteKind.INSERT if kind == "insert" else (
+                WriteKind.UPDATE
+            )
+            images.append(AfterImage(
+                key, versions[key], write_kind,
+                {"_id": key, "v": value, "tag": value % 3},
+            ))
+    return images
+
+
+def final_state(images: List[AfterImage]) -> Dict[Any, Dict[str, Any]]:
+    state: Dict[Any, Dict[str, Any]] = {}
+    for image in images:
+        if image.is_delete:
+            state.pop(image.key, None)
+        else:
+            state[image.key] = image.document
+    return state
+
+
+# -- filtering stage ----------------------------------------------------------
+
+
+class TestFilteringStageInvariant:
+    @given(operations, st.integers(0, 30))
+    @settings(max_examples=120, deadline=None)
+    def test_maintained_partition_equals_recomputation(self, ops, bound):
+        query = Query({"v": {"$gte": bound}})
+        node = FilteringNode(NodeCoordinates(0, 0))
+        node.register_query(query, [], {}, now=0.0)
+        for image in apply_operations(ops):
+            node.process_write(image, now=0.0)
+        maintained = {d["_id"] for d in node.result_partition(query.query_id)}
+        expected = {
+            key for key, doc in final_state(apply_operations(ops)).items()
+            if doc["v"] >= bound
+        }
+        assert maintained == expected
+
+    @given(operations, st.integers(0, 30), st.integers(0, 20))
+    @settings(max_examples=60, deadline=None)
+    def test_invariant_survives_mid_stream_subscription(self, ops, bound,
+                                                        split):
+        """Subscribe midway (with a bootstrap of the then-current state)
+        and rely on retention replay for anything in flight."""
+        query = Query({"v": {"$gte": bound}})
+        node = FilteringNode(NodeCoordinates(0, 0))
+        images = apply_operations(ops)
+        split = min(split, len(images))
+        pre, post = images[:split], images[split:]
+        # Writes happen before the subscription exists.
+        for image in pre:
+            node.process_write(image, now=0.0)
+        # The pull-based bootstrap reflects exactly the pre-writes.
+        state = final_state(pre)
+        bootstrap = [doc for doc in state.values() if doc["v"] >= bound]
+        versions = {doc["_id"]: max(
+            (img.version for img in pre if img.key == doc["_id"]), default=0
+        ) for doc in bootstrap}
+        node.register_query(query, bootstrap, versions, now=0.0)
+        for image in post:
+            node.process_write(image, now=0.0)
+        maintained = {d["_id"] for d in node.result_partition(query.query_id)}
+        expected = {
+            key for key, doc in final_state(images).items()
+            if doc["v"] >= bound
+        }
+        assert maintained == expected
+
+    @given(operations, st.integers(0, 30))
+    @settings(max_examples=60, deadline=None)
+    def test_event_stream_is_well_formed(self, ops, bound):
+        """add/remove alternate per key; change only between them."""
+        query = Query({"v": {"$gte": bound}})
+        node = FilteringNode(NodeCoordinates(0, 0))
+        node.register_query(query, [], {}, now=0.0)
+        in_result: Dict[Any, bool] = {}
+        for image in apply_operations(ops):
+            for event in node.process_write(image, now=0.0):
+                if event.match_type is MatchType.ADD:
+                    assert not in_result.get(event.key)
+                    in_result[event.key] = True
+                elif event.match_type is MatchType.CHANGE:
+                    assert in_result.get(event.key)
+                elif event.match_type is MatchType.REMOVE:
+                    assert in_result.get(event.key)
+                    in_result[event.key] = False
+
+
+# -- 2D grid ------------------------------------------------------------------
+
+
+class TestGridInvariant:
+    @given(operations, st.integers(0, 30),
+           st.integers(1, 4), st.integers(1, 4))
+    @settings(max_examples=60, deadline=None)
+    def test_union_of_partitions_equals_recomputation(self, ops, bound,
+                                                      qp_count, wp_count):
+        """Run the same stream through a full QP x WP grid: the union of
+        the responsible row's result partitions is the query result."""
+        scheme = PartitioningScheme(qp_count, wp_count)
+        query = Query({"v": {"$gte": bound}})
+        nodes = {
+            scheme.task_index(coordinates): FilteringNode(coordinates)
+            for coordinates in scheme.all_nodes()
+        }
+        qp = scheme.query_partition_of(query.hash)
+        for coordinates in scheme.nodes_for_query(query.hash):
+            nodes[scheme.task_index(coordinates)].register_query(
+                query, [], {}, now=0.0
+            )
+        for image in apply_operations(ops):
+            for coordinates in scheme.nodes_for_write(image.key):
+                nodes[scheme.task_index(coordinates)].process_write(
+                    image, now=0.0
+                )
+        union = set()
+        for coordinates in scheme.nodes_for_query(query.hash):
+            node = nodes[scheme.task_index(coordinates)]
+            partition = {
+                d["_id"] for d in node.result_partition(query.query_id)
+            }
+            # Partitions are disjoint by construction.
+            assert not (union & partition)
+            union |= partition
+        expected = {
+            key for key, doc in final_state(apply_operations(ops)).items()
+            if doc["v"] >= bound
+        }
+        assert union == expected
+
+
+# -- sorting stage ------------------------------------------------------------
+
+
+def drive_sorted_query(ops, limit, offset, slack):
+    """Feed a filtering node + sorting node pipeline; renew on errors.
+
+    Returns (visible_window_ids, expected_ids_from_recomputation).
+    """
+    query = Query({"tag": {"$lte": 2}}, sort=[("v", -1)], limit=limit,
+                  offset=offset)
+    filtering = FilteringNode(NodeCoordinates(0, 0))
+    sorting = SortingNode()
+    current: Dict[Any, Dict[str, Any]] = {}
+    latest_version: Dict[Any, int] = {}
+
+    def bootstrap() -> None:
+        matching = [doc for doc in current.values() if doc["tag"] <= 2]
+        rewritten = query.rewritten_for_subscription(slack)
+        ordered = sorted(matching, key=query.sort.key)
+        if rewritten.limit is not None:
+            ordered = ordered[: rewritten.limit]
+        versions = {
+            doc["_id"]: latest_version.get(doc["_id"], 0) for doc in ordered
+        }
+        filtering.register_query(query, ordered, versions, now=0.0)
+        sorting.register_query(query, ordered, versions, slack=slack)
+
+    bootstrap()
+    for image in apply_operations(ops):
+        latest_version[image.key] = image.version
+        if image.is_delete:
+            current.pop(image.key, None)
+        else:
+            current[image.key] = image.document
+        events = filtering.process_write(image, now=0.0)
+        renew = False
+        for event in events:
+            for change in sorting.handle_event(event):
+                if change.is_error:
+                    renew = True
+        if renew:
+            bootstrap()
+    state = sorting.state_of(query.query_id)
+    visible = [] if state is None else [key for key, _ in state.visible()]
+    matching = sorted(
+        (doc for doc in current.values() if doc["tag"] <= 2),
+        key=query.sort.key,
+    )
+    window = matching[offset:]
+    if limit is not None:
+        window = window[:limit]
+    expected = [doc["_id"] for doc in window]
+    return visible, expected
+
+
+class TestSortingStageInvariant:
+    @given(operations, st.integers(1, 5), st.integers(0, 3),
+           st.integers(1, 6))
+    @settings(max_examples=80, deadline=None)
+    def test_visible_window_equals_recomputation(self, ops, limit, offset,
+                                                 slack):
+        visible, expected = drive_sorted_query(ops, limit, offset, slack)
+        assert visible == expected
+
+    @given(operations)
+    @settings(max_examples=40, deadline=None)
+    def test_unlimited_sorted_query_tracks_full_order(self, ops):
+        visible, expected = drive_sorted_query(ops, limit=None, offset=0,
+                                               slack=1)
+        assert visible == expected

@@ -1,0 +1,141 @@
+"""Live views over the full threaded stack (aggregation + join)."""
+
+import time
+
+import pytest
+
+from repro.core.aggregation import AggregateSpec
+from repro.core.views import LiveAggregateView, LiveJoinView
+
+from tests.conftest import settle
+
+
+def wait_for(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return False
+
+
+SPECS = (AggregateSpec("count"), AggregateSpec("sum", "total"),
+         AggregateSpec("max", "total"))
+
+
+class TestLiveAggregateView:
+    def test_view_tracks_writes(self, broker, cluster_factory,
+                                app_server_factory):
+        cluster = cluster_factory(2, 2)
+        app = app_server_factory()
+        view = LiveAggregateView(app, "orders", {"status": "open"}, SPECS)
+        assert view.value()["count"] == 0
+
+        app.insert("orders", {"_id": 1, "status": "open", "total": 100})
+        app.insert("orders", {"_id": 2, "status": "open", "total": 250})
+        app.insert("orders", {"_id": 3, "status": "closed", "total": 999})
+        settle(cluster, broker)
+        assert wait_for(lambda: view.value()["count"] == 2)
+        snapshot = view.value()
+        assert snapshot["sum(total)"] == 350
+        assert snapshot["max(total)"] == 250
+
+        app.update("orders", 2, {"$set": {"status": "closed"}})
+        settle(cluster, broker)
+        assert wait_for(lambda: view.value()["count"] == 1)
+        assert view.value()["sum(total)"] == 100
+        view.close()
+
+    def test_view_bootstraps_from_existing_data(self, broker,
+                                                cluster_factory,
+                                                app_server_factory):
+        cluster = cluster_factory(2, 2)
+        app = app_server_factory()
+        for index in range(5):
+            app.insert("orders", {"_id": index, "status": "open",
+                                  "total": 10 * (index + 1)})
+        settle(cluster, broker)
+        view = LiveAggregateView(app, "orders", {"status": "open"}, SPECS)
+        assert view.value()["count"] == 5
+        assert view.value()["sum(total)"] == 150
+        view.close()
+
+    def test_callback_fires_on_change(self, broker, cluster_factory,
+                                      app_server_factory):
+        cluster = cluster_factory(1, 1)
+        app = app_server_factory()
+        snapshots = []
+        view = LiveAggregateView(app, "orders", {"status": "open"}, SPECS,
+                                 on_change=snapshots.append)
+        app.insert("orders", {"_id": 1, "status": "open", "total": 5})
+        settle(cluster, broker)
+        assert wait_for(lambda: len(snapshots) >= 1)
+        assert snapshots[-1]["count"] == 1
+        view.close()
+
+
+class TestLiveJoinView:
+    def test_join_view_end_to_end(self, broker, cluster_factory,
+                                  app_server_factory):
+        cluster = cluster_factory(2, 2)
+        app = app_server_factory()
+        app.insert("customers", {"_id": "c1", "active": True, "name": "Ada"})
+        settle(cluster, broker)
+        view = LiveJoinView(
+            app,
+            left=("orders", {"status": "open"}, "customer_id"),
+            right=("customers", {"active": True}, "_id"),
+        )
+        assert view.pairs() == []
+
+        app.insert("orders", {"_id": "o1", "customer_id": "c1",
+                              "status": "open"})
+        settle(cluster, broker)
+        assert wait_for(lambda: len(view.pairs()) == 1)
+        pair = view.pairs()[0]
+        assert pair["left"]["_id"] == "o1"
+        assert pair["right"]["name"] == "Ada"
+
+        # Deactivating the customer removes the pair via the right side.
+        app.update("customers", "c1", {"$set": {"active": False}})
+        settle(cluster, broker)
+        assert wait_for(lambda: view.pairs() == [])
+        view.close()
+
+    def test_join_view_bootstraps_both_sides(self, broker, cluster_factory,
+                                             app_server_factory):
+        cluster = cluster_factory(2, 2)
+        app = app_server_factory()
+        app.insert("customers", {"_id": "c1", "active": True, "name": "A"})
+        app.insert("orders", {"_id": "o1", "customer_id": "c1",
+                              "status": "open"})
+        app.insert("orders", {"_id": "o2", "customer_id": "c1",
+                              "status": "open"})
+        settle(cluster, broker)
+        view = LiveJoinView(
+            app,
+            left=("orders", {"status": "open"}, "customer_id"),
+            right=("customers", {"active": True}, "_id"),
+        )
+        assert len(view.pairs()) == 2
+        view.close()
+
+    def test_pair_change_callback(self, broker, cluster_factory,
+                                  app_server_factory):
+        cluster = cluster_factory(1, 1)
+        app = app_server_factory()
+        events = []
+        view = LiveJoinView(
+            app,
+            left=("orders", {"status": "open"}, "customer_id"),
+            right=("customers", {"active": True}, "_id"),
+            on_pair_change=events.append,
+        )
+        app.insert("customers", {"_id": "c1", "active": True})
+        app.insert("orders", {"_id": "o1", "customer_id": "c1",
+                              "status": "open"})
+        settle(cluster, broker)
+        assert wait_for(lambda: len(events) >= 1)
+        assert events[-1].match_type.value == "add"
+        assert events[-1].key == "o1|c1"
+        view.close()

@@ -1,0 +1,148 @@
+"""Cross-mechanism validation and tenant isolation.
+
+* all three real-time mechanisms (poll-and-diff, log tailing, the full
+  InvaliDB stack) must converge to identical results on the same write
+  history — they differ in cost and latency, never in outcome;
+* two tenants sharing one event layer must be fully isolated;
+* the contention model reproduces the paper's 16-node anomaly.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.baselines.log_tailing import LogTailingProvider
+from repro.baselines.poll_and_diff import PollAndDiffProvider
+from repro.core.cluster import InvaliDBCluster
+from repro.core.config import InvaliDBConfig
+from repro.core.server import AppServer
+
+from tests.conftest import settle
+
+
+def wait_for(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return False
+
+
+class TestMechanismEquivalence:
+    def test_all_three_mechanisms_converge_identically(self, broker,
+                                                       cluster_factory,
+                                                       app_server_factory):
+        cluster = cluster_factory(2, 2)
+        app = app_server_factory()
+        collection = app.database.collection("events")
+        filter_doc = {"v": {"$gte": 40}, "kind": {"$ne": "noise"}}
+
+        invalidb_sub = app.subscribe("events", filter_doc)
+        poll = PollAndDiffProvider(collection)
+        poll_sub = poll.subscribe(filter_doc)
+        tail = LogTailingProvider(collection)
+        tail_sub = tail.subscribe(filter_doc)
+
+        rng = random.Random(99)
+        live = set()
+        for step in range(150):
+            roll = rng.random()
+            if roll < 0.5 or not live:
+                app.insert("events", {
+                    "_id": step, "v": rng.randrange(100),
+                    "kind": rng.choice(["signal", "noise"]),
+                })
+                live.add(step)
+            elif roll < 0.8:
+                key = rng.choice(sorted(live))
+                app.update("events", key,
+                           {"$set": {"v": rng.randrange(100)}})
+            else:
+                key = rng.choice(sorted(live))
+                app.delete("events", key)
+                live.discard(key)
+        settle(cluster, broker, rounds=5)
+        poll.poll_all()
+        truth = {d["_id"] for d in collection.find(filter_doc)}
+
+        # Log tailing and InvaliDB maintain state push-style; poll-and-
+        # diff reconstructs from initial + diffs.
+        def materialize(subscription):
+            state = {d["_id"] for d in subscription.initial_result}
+            for notification in subscription.notifications:
+                if notification.match_type.value == "remove":
+                    state.discard(notification.key)
+                elif notification.document is not None:
+                    state.add(notification.key)
+            return state
+
+        assert wait_for(
+            lambda: {d["_id"] for d in invalidb_sub.result()} == truth
+        )
+        assert materialize(poll_sub) == truth
+        assert materialize(tail_sub) == truth
+        poll.close()
+        tail.close()
+
+
+class TestTenantIsolation:
+    def test_two_tenants_do_not_leak(self, broker):
+        config = InvaliDBConfig(query_partitions=1, write_partitions=1)
+        cluster_a = InvaliDBCluster(broker, config, tenant="tenant-a").start()
+        cluster_b = InvaliDBCluster(broker, config, tenant="tenant-b").start()
+        app_a = AppServer("app-a", broker, config=config, tenant="tenant-a")
+        app_b = AppServer("app-b", broker, config=config, tenant="tenant-b")
+        try:
+            sub_a = app_a.subscribe("items", {"v": {"$gte": 0}})
+            sub_b = app_b.subscribe("items", {"v": {"$gte": 0}})
+            app_a.insert("items", {"_id": "a1", "v": 1})
+            settle(cluster_a, broker)
+            settle(cluster_b, broker)
+            assert wait_for(lambda: sub_a.change_count == 1)
+            time.sleep(0.2)
+            assert sub_b.change_count == 0
+            assert len(cluster_a.active_query_ids()) == 1
+            assert len(cluster_b.active_query_ids()) == 1
+        finally:
+            app_a.close()
+            app_b.close()
+            cluster_a.stop()
+            cluster_b.stop()
+
+
+class TestContentionModel:
+    def test_contention_reproduces_large_cluster_anomaly(self):
+        """With contention enabled, the 16-node cluster's tight-SLA
+        capacity dips below linear while loose SLAs stay near-linear —
+        the paper's Figure 4 anomaly."""
+        from repro.sim.cluster_model import ClusterCosts, SimulatedInvaliDB
+
+        contended = ClusterCosts(contention_per_node=0.02,
+                                 contention_free_nodes=8)
+        # 16 nodes, per-node load that a contention-free node sustains.
+        free_stats = SimulatedInvaliDB(16, 1, seed=5).run(
+            24000, 1000.0, duration=8.0
+        )
+        contended_stats = SimulatedInvaliDB(16, 1, contended, seed=5).run(
+            24000, 1000.0, duration=8.0
+        )
+        assert contended_stats.p99 > free_stats.p99
+        # Small clusters are unaffected (below the contention threshold).
+        small_free = SimulatedInvaliDB(4, 1, seed=6).run(
+            6000, 1000.0, duration=8.0
+        )
+        small_contended = SimulatedInvaliDB(4, 1, contended, seed=6).run(
+            6000, 1000.0, duration=8.0
+        )
+        assert small_contended.p99 == pytest.approx(small_free.p99)
+
+    def test_contention_factor_math(self):
+        from repro.sim.cluster_model import ClusterCosts
+
+        costs = ClusterCosts(contention_per_node=0.05,
+                             contention_free_nodes=8)
+        assert costs.contention_factor(4) == 1.0
+        assert costs.contention_factor(8) == 1.0
+        assert costs.contention_factor(16) == pytest.approx(1.4)

@@ -1,0 +1,209 @@
+"""Event-layer (broker) tests: pub/sub semantics, codecs, lifecycle."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import BrokerClosedError, CodecError
+from repro.event.broker import Broker
+from repro.event.channels import (
+    notification_channel,
+    query_channel,
+    write_channel,
+)
+from repro.event.codec import JsonCodec, NoopCodec
+
+
+class TestPubSub:
+    def test_basic_delivery(self, broker):
+        received = []
+        broker.subscribe("ch", lambda channel, payload: received.append(payload))
+        broker.publish("ch", {"v": 1})
+        broker.drain()
+        assert received == [{"v": 1}]
+
+    def test_fifo_order_per_channel(self, broker):
+        received = []
+        broker.subscribe("ch", lambda c, p: received.append(p))
+        for i in range(50):
+            broker.publish("ch", i)
+        broker.drain()
+        assert received == list(range(50))
+
+    def test_no_subscriber_drops_message(self, broker):
+        broker.publish("nobody", {"v": 1})
+        assert broker.drain()
+        assert broker.stats["delivered"] == 0
+        assert broker.stats["published"] == 1
+
+    def test_multiple_subscribers(self, broker):
+        a, b = [], []
+        broker.subscribe("ch", lambda c, p: a.append(p))
+        broker.subscribe("ch", lambda c, p: b.append(p))
+        broker.publish("ch", 1)
+        broker.drain()
+        assert a == [1] and b == [1]
+
+    def test_unsubscribe(self, broker):
+        received = []
+        subscription = broker.subscribe("ch", lambda c, p: received.append(p))
+        broker.publish("ch", 1)
+        broker.drain()
+        subscription.close()
+        broker.publish("ch", 2)
+        broker.drain()
+        assert received == [1]
+
+    def test_pattern_subscription(self, broker):
+        received = []
+        broker.psubscribe("invalidb:notify:*",
+                          lambda c, p: received.append((c, p)))
+        broker.publish(notification_channel("app-7"), "x")
+        broker.publish("other", "y")
+        broker.drain()
+        assert received == [("invalidb:notify:app-7", "x")]
+
+    def test_payloads_are_serialized_copies(self, broker):
+        """JSON codec round-trip: subscribers never share mutable state
+        with publishers (like a real network broker)."""
+        received = []
+        broker.subscribe("ch", lambda c, p: received.append(p))
+        original = {"nested": {"v": 1}}
+        broker.publish("ch", original)
+        broker.drain()
+        original["nested"]["v"] = 99
+        assert received[0]["nested"]["v"] == 1
+
+    def test_failing_subscriber_does_not_break_dispatch(self, broker):
+        received = []
+
+        def bad(channel, payload):
+            raise RuntimeError("boom")
+
+        broker.subscribe("ch", bad)
+        broker.subscribe("ch", lambda c, p: received.append(p))
+        broker.publish("ch", 1)
+        broker.drain()
+        assert received == [1]
+
+
+class TestDelays:
+    def test_delivery_delay(self):
+        broker = Broker(delivery_delay=0.05)
+        try:
+            received = []
+            broker.subscribe("ch", lambda c, p: received.append(time.monotonic()))
+            start = time.monotonic()
+            broker.publish("ch", 1)
+            broker.drain(timeout=2.0)
+            assert received and received[0] - start >= 0.045
+        finally:
+            broker.close()
+
+    def test_per_channel_delay_allows_overtaking(self):
+        """A fast-lane message published AFTER a slow-lane one arrives
+        first — the reordering behind the paper's race conditions."""
+        broker = Broker(delay_fn=lambda ch: 0.05 if ch == "slow" else 0.0)
+        try:
+            order = []
+            broker.subscribe("slow", lambda c, p: order.append("slow"))
+            broker.subscribe("fast", lambda c, p: order.append("fast"))
+            broker.publish("slow", 1)
+            broker.publish("fast", 1)
+            broker.drain(timeout=2.0)
+            assert order == ["fast", "slow"]
+        finally:
+            broker.close()
+
+    def test_same_channel_order_preserved_despite_delay(self):
+        broker = Broker(delay_fn=lambda ch: 0.02)
+        try:
+            received = []
+            broker.subscribe("ch", lambda c, p: received.append(p))
+            for value in range(10):
+                broker.publish("ch", value)
+            broker.drain(timeout=2.0)
+            assert received == list(range(10))
+        finally:
+            broker.close()
+
+
+class TestLifecycle:
+    def test_closed_broker_rejects_operations(self):
+        broker = Broker()
+        broker.close()
+        with pytest.raises(BrokerClosedError):
+            broker.publish("ch", 1)
+        with pytest.raises(BrokerClosedError):
+            broker.subscribe("ch", lambda c, p: None)
+
+    def test_close_is_idempotent(self):
+        broker = Broker()
+        broker.close()
+        broker.close()
+
+    def test_context_manager(self):
+        with Broker() as broker:
+            broker.publish("ch", 1)
+
+
+class TestCodecs:
+    def test_json_roundtrip(self):
+        codec = JsonCodec()
+        payload = {"a": [1, 2.5, None, "x"], "b": {"c": True}}
+        assert codec.decode(codec.encode(payload)) == payload
+
+    def test_json_rejects_unserializable(self):
+        with pytest.raises(CodecError):
+            JsonCodec().encode({"f": object()})
+
+    def test_json_rejects_malformed_wire(self):
+        with pytest.raises(CodecError):
+            JsonCodec().decode(b"{not json")
+
+    def test_noop_passthrough(self):
+        codec = NoopCodec()
+        sentinel = object()
+        assert codec.decode(codec.encode(sentinel)) is sentinel
+
+
+class TestChannelNames:
+    def test_channel_names_are_disjoint(self):
+        names = {
+            write_channel("t"), query_channel("t"), notification_channel("t")
+        }
+        assert len(names) == 3
+
+    def test_tenant_isolation(self):
+        assert write_channel("a") != write_channel("b")
+
+
+class TestConcurrency:
+    def test_concurrent_publishers_keep_all_messages(self, broker):
+        received = []
+        lock = threading.Lock()
+
+        def listener(channel, payload):
+            with lock:
+                received.append(payload)
+
+        broker.subscribe("ch", listener)
+
+        def publish_batch(offset):
+            for i in range(100):
+                broker.publish("ch", offset + i)
+
+        threads = [
+            threading.Thread(target=publish_batch, args=(base,))
+            for base in (0, 1000, 2000)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        broker.drain(timeout=5.0)
+        assert len(received) == 300
+        assert set(received) == (
+            set(range(100)) | set(range(1000, 1100)) | set(range(2000, 2100))
+        )

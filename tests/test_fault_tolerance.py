@@ -1,0 +1,127 @@
+"""Failure-domain isolation and recovery tests (Section 5).
+
+"By thus decoupling the real-time query workload from the main
+application logic, even overburdening the real-time component cannot
+take down the OLTP system: in the worst-case scenario, the InvaliDB
+cluster is taken down and requests sent against the event layer remain
+unanswered."
+"""
+
+import time
+
+import pytest
+
+from repro.core.cluster import InvaliDBCluster
+from repro.core.config import InvaliDBConfig
+from repro.core.server import AppServer
+from repro.event.broker import Broker
+
+from tests.conftest import settle
+
+
+def wait_for(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return False
+
+
+class TestIsolatedFailureDomain:
+    def test_oltp_survives_cluster_outage(self, broker, cluster_factory,
+                                          app_server_factory):
+        """Pull-based reads and writes keep working with the real-time
+        component down; its requests simply go unanswered."""
+        cluster = cluster_factory(2, 2)
+        app = app_server_factory()
+        subscription = app.subscribe("items", {"v": {"$gte": 0}})
+        app.insert("items", {"_id": 1, "v": 1})
+        settle(cluster, broker)
+        assert wait_for(lambda: subscription.change_count == 1)
+
+        cluster.stop()  # the real-time component dies
+
+        # OLTP path: fully functional.
+        app.insert("items", {"_id": 2, "v": 2})
+        app.update("items", 1, {"$set": {"v": 10}})
+        assert len(app.find("items", {})) == 2
+        assert app.find("items", {"v": 10})[0]["_id"] == 1
+        # Push path: silent (no crash, no notification).
+        time.sleep(0.3)
+        broker.drain()
+        assert subscription.change_count == 1
+
+    def test_subscribing_against_dead_cluster_does_not_block(self, broker,
+                                                             cluster_factory,
+                                                             app_server_factory):
+        cluster = cluster_factory(1, 1)
+        cluster.stop()
+        app = app_server_factory()
+        subscription = app.subscribe("items", {"v": 1})
+        # The initial result comes from the database, synchronously.
+        assert subscription.initial is not None
+        assert subscription.initial.documents == []
+
+
+class TestRecovery:
+    def test_resubscribe_all_after_cluster_restart(self, broker,
+                                                   app_server_factory):
+        """After a cluster replacement, re-subscription restores push
+        delivery and the sorting stage emits catch-up deltas."""
+        config = InvaliDBConfig(query_partitions=2, write_partitions=2)
+        first = InvaliDBCluster(broker, config).start()
+        app = app_server_factory(config=config)
+        for index in range(6):
+            app.insert("articles", {"_id": index, "year": 2000 + index})
+        settle(first, broker)
+        flat = app.subscribe("articles", {"year": {"$gte": 2003}})
+        sorted_sub = app.subscribe("articles", {}, sort=[("year", -1)],
+                                   limit=3)
+        settle(first, broker)
+        first.stop()
+
+        # Writes during the outage are missed by the push path...
+        app.insert("articles", {"_id": 100, "year": 2050})
+        time.sleep(0.2)
+
+        # ...until a fresh cluster comes up and the client re-subscribes.
+        second = InvaliDBCluster(broker, config).start()
+        try:
+            assert app.client.resubscribe_all() == 2
+            settle(second, broker)
+            # The sorted subscription received the catch-up delta: the
+            # 2050 article entered its window during re-registration.
+            assert wait_for(
+                lambda: any(
+                    n.key == 100 for n in sorted_sub.notifications
+                )
+            )
+            # New writes flow again for both subscriptions.
+            app.insert("articles", {"_id": 101, "year": 2060})
+            settle(second, broker)
+            assert wait_for(
+                lambda: any(n.key == 101 for n in flat.notifications)
+            )
+            assert wait_for(
+                lambda: any(n.key == 101 for n in sorted_sub.notifications)
+            )
+            assert [d["_id"] for d in sorted_sub.result()] == [101, 100, 5]
+        finally:
+            second.stop()
+
+    def test_heartbeat_detects_outage_then_resubscribe_recovers(
+            self, broker, app_server_factory):
+        config = InvaliDBConfig(query_partitions=1, write_partitions=1,
+                                heartbeat_interval=0.05,
+                                heartbeat_timeout=0.5)
+        first = InvaliDBCluster(broker, config).start()
+        app = app_server_factory("hb-app", config=config)
+        subscription = app.subscribe("items", {"v": {"$gte": 0}})
+        assert wait_for(lambda: app.client.last_heartbeat is not None)
+        first.stop()
+        # Heartbeats stop; supervision flags the outage.
+        assert not app.client.check_heartbeat(
+            now=app.client.last_heartbeat + 5.0
+        )
+        assert subscription.notifications[-1].is_error

@@ -1,0 +1,137 @@
+"""One grand integration scenario exercising everything at once.
+
+A 3x3 grid serving two app servers, three collections, unsorted and
+sorted subscriptions, a live aggregate view, a live join view and a
+query cache — under interleaved churn — finishing with a global
+consistency audit of every maintained artifact against fresh pull-based
+queries.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.cache.query_cache import InvalidatingQueryCache
+from repro.core.aggregation import AggregateSpec
+from repro.core.views import LiveAggregateView, LiveJoinView
+from repro.store.database import Database
+
+from tests.conftest import settle
+
+
+def wait_for(predicate, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.02)
+    return False
+
+
+def test_grand_scenario(broker, cluster_factory, app_server_factory):
+    cluster = cluster_factory(3, 3)
+    shared_db = Database()
+    app_a = app_server_factory("grand-a", database=shared_db)
+    app_b = app_server_factory("grand-b", database=shared_db)
+
+    # --- artifacts under test -------------------------------------------
+    open_orders_a = app_a.subscribe("orders", {"status": "open"})
+    top_products = app_a.subscribe(
+        "products", {"stock": {"$gt": 0}},
+        sort=[("price", -1)], limit=5,
+    )
+    open_orders_b = app_b.subscribe("orders", {"status": "open"})
+    revenue_view = LiveAggregateView(
+        app_a, "orders", {"status": "open"},
+        (AggregateSpec("count"), AggregateSpec("sum", "total")),
+    )
+    order_customer_join = LiveJoinView(
+        app_a,
+        left=("orders", {"status": "open"}, "customer_id"),
+        right=("customers", {"active": True}, "_id"),
+    )
+    cache = InvalidatingQueryCache(app_b)
+
+    # --- churn ------------------------------------------------------------
+    rng = random.Random(4711)
+    order_keys, product_keys, customer_keys = set(), set(), set()
+    for step in range(300):
+        app = app_a if rng.random() < 0.5 else app_b
+        dice = rng.random()
+        if dice < 0.4:
+            key = f"order-{step}"
+            app.insert("orders", {
+                "_id": key, "status": rng.choice(["open", "closed"]),
+                "total": rng.randrange(10, 500),
+                "customer_id": f"cust-{rng.randrange(8)}",
+            })
+            order_keys.add(key)
+        elif dice < 0.55 and order_keys:
+            key = rng.choice(sorted(order_keys))
+            app.update("orders", key,
+                       {"$set": {"status": rng.choice(["open", "closed"])}})
+        elif dice < 0.7:
+            key = f"prod-{rng.randrange(30)}"
+            app.save("products", {
+                "_id": key, "price": rng.randrange(1, 1000),
+                "stock": rng.randrange(0, 5),
+            })
+            product_keys.add(key)
+        elif dice < 0.85:
+            key = f"cust-{rng.randrange(8)}"
+            app.save("customers", {
+                "_id": key, "active": rng.random() < 0.7,
+            })
+            customer_keys.add(key)
+        else:
+            cache.find("orders", {"status": "open"})
+        if step % 50 == 49:
+            settle(cluster, broker)
+
+    settle(cluster, broker, rounds=6)
+
+    # --- global audit ------------------------------------------------------
+    open_now = {d["_id"] for d in shared_db["orders"].find(
+        {"status": "open"})}
+    assert wait_for(
+        lambda: {d["_id"] for d in open_orders_a.result()} == open_now
+    ), "app A's unsorted subscription diverged"
+    assert wait_for(
+        lambda: {d["_id"] for d in open_orders_b.result()} == open_now
+    ), "app B's unsorted subscription diverged"
+
+    expected_top = shared_db["products"].find(
+        {"stock": {"$gt": 0}}, sort=[("price", -1)], limit=5
+    )
+    assert wait_for(
+        lambda: [d["_id"] for d in top_products.result()]
+        == [d["_id"] for d in expected_top]
+    ), "sorted top-products subscription diverged"
+
+    open_orders_docs = shared_db["orders"].find({"status": "open"})
+    assert wait_for(
+        lambda: revenue_view.value()["count"] == len(open_orders_docs)
+    ), "aggregate count diverged"
+    assert revenue_view.value()["sum(total)"] == sum(
+        d["total"] for d in open_orders_docs
+    ), "aggregate sum diverged"
+
+    active_customers = {d["_id"] for d in shared_db["customers"].find(
+        {"active": True})}
+    expected_pairs = {
+        f"{o['_id']}|{o['customer_id']}"
+        for o in open_orders_docs
+        if o["customer_id"] in active_customers
+    }
+    assert wait_for(
+        lambda: {p["_id"] for p in order_customer_join.pairs()}
+        == expected_pairs
+    ), "join view diverged"
+
+    cached = cache.find("orders", {"status": "open"})
+    assert {d["_id"] for d in cached} == open_now, "cache served stale data"
+
+    revenue_view.close()
+    order_customer_join.close()
+    cache.close()

@@ -1,0 +1,104 @@
+"""Query object and pluggable engine tests."""
+
+import pytest
+
+from repro.errors import QueryParseError
+from repro.query.engine import MongoQueryEngine, Query
+
+
+class TestQueryValidation:
+    def test_limit_requires_sort(self):
+        with pytest.raises(QueryParseError):
+            Query({"a": 1}, limit=5)
+
+    def test_offset_requires_sort(self):
+        with pytest.raises(QueryParseError):
+            Query({"a": 1}, offset=2)
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(QueryParseError):
+            Query({"a": 1}, sort=[("a", 1)], limit=-1)
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(QueryParseError):
+            Query({"a": 1}, sort=[("a", 1)], offset=-1)
+
+    def test_sorted_query_classification(self):
+        assert not Query({"a": 1}).is_sorted
+        assert Query({"a": 1}, sort=[("a", 1)]).is_sorted
+        assert Query({"a": 1}, sort=[("a", 1)]).needs_sorting_stage
+
+
+class TestQueryRewriting:
+    """Section 5.2: offset removed, limit extended by offset + slack."""
+
+    def test_unsorted_query_unchanged(self):
+        query = Query({"a": 1})
+        assert query.rewritten_for_subscription(5) is query
+
+    def test_sorted_without_limit_or_offset_unchanged(self):
+        query = Query({"a": 1}, sort=[("a", 1)])
+        assert query.rewritten_for_subscription(5) is query
+
+    def test_offset_removed_and_limit_extended(self):
+        query = Query({"a": 1}, sort=[("a", 1)], limit=3, offset=2)
+        rewritten = query.rewritten_for_subscription(slack=4)
+        assert rewritten.offset == 0
+        assert rewritten.limit == 2 + 3 + 4
+
+    def test_limit_only_extension(self):
+        query = Query({"a": 1}, sort=[("a", 1)], limit=10)
+        rewritten = query.rewritten_for_subscription(slack=5)
+        assert rewritten.limit == 15
+        assert rewritten.offset == 0
+
+    def test_rewritten_query_keeps_filter_and_sort(self):
+        query = Query({"a": {"$gt": 1}}, sort=[("b", -1)], limit=3, offset=1)
+        rewritten = query.rewritten_for_subscription(2)
+        assert rewritten.filter_doc == query.filter_doc
+        assert rewritten.sort == query.sort
+
+
+class TestMongoQueryEngine:
+    def setup_method(self):
+        self.engine = MongoQueryEngine()
+
+    def test_parse_and_match(self):
+        query = self.engine.parse({"a": {"$gte": 5}})
+        assert self.engine.matches(query, {"a": 7})
+        assert not self.engine.matches(query, {"a": 3})
+
+    def test_sort(self):
+        query = self.engine.parse({}, sort=[("x", 1)])
+        docs = [{"_id": 2, "x": 5}, {"_id": 1, "x": 3}]
+        assert [d["_id"] for d in self.engine.sort(query, docs)] == [1, 2]
+
+    def test_sort_without_spec_preserves_order(self):
+        query = self.engine.parse({})
+        docs = [{"_id": 2}, {"_id": 1}]
+        assert self.engine.sort(query, docs) == docs
+
+    def test_interpret_after_image(self):
+        assert self.engine.interpret_after_image({"_id": 1}) == {"_id": 1}
+        with pytest.raises(QueryParseError):
+            self.engine.interpret_after_image("not-a-doc")
+
+    def test_engine_alignment_with_collection(self):
+        """The real-time engine and the pull-based store must agree
+        (the alignment requirement of Section 5.3)."""
+        from repro.store.collection import Collection
+
+        collection = Collection("t")
+        docs = [
+            {"_id": index, "v": index % 7, "s": f"name-{index % 3}"}
+            for index in range(40)
+        ]
+        for doc in docs:
+            collection.insert(doc)
+        filter_doc = {"v": {"$gte": 2, "$lt": 6}, "s": {"$ne": "name-1"}}
+        query = self.engine.parse(filter_doc)
+        pull_result = {d["_id"] for d in collection.find(filter_doc)}
+        push_result = {
+            d["_id"] for d in docs if self.engine.matches(query, d)
+        }
+        assert pull_result == push_result

@@ -1,0 +1,236 @@
+"""Matcher tests: path resolution, array fan-out, MongoDB semantics."""
+
+import re
+
+import pytest
+
+from repro.query import matches
+from repro.query.matcher import resolve_path
+
+
+class TestPathResolution:
+    def test_simple_path(self):
+        values, exists = resolve_path({"a": 1}, "a")
+        assert values == [1] and exists
+
+    def test_missing_path(self):
+        values, exists = resolve_path({"a": 1}, "b")
+        assert values == [] and not exists
+
+    def test_nested_path(self):
+        values, exists = resolve_path({"a": {"b": {"c": 3}}}, "a.b.c")
+        assert values == [3] and exists
+
+    def test_array_index(self):
+        values, exists = resolve_path({"a": [10, 20, 30]}, "a.1")
+        assert values == [20] and exists
+
+    def test_array_of_documents_fans_out(self):
+        doc = {"items": [{"price": 1}, {"price": 2}, {"name": "x"}]}
+        values, exists = resolve_path(doc, "items.price")
+        assert sorted(values) == [1, 2] and exists
+
+    def test_array_index_beyond_bounds(self):
+        values, exists = resolve_path({"a": [1]}, "a.5")
+        assert values == [] and not exists
+
+
+class TestBasicMatching:
+    def test_implicit_and(self):
+        assert matches({"a": 1, "b": 2}, {"a": 1, "b": 2})
+        assert not matches({"a": 1, "b": 3}, {"a": 1, "b": 2})
+
+    def test_empty_filter_matches_everything(self):
+        assert matches({"anything": True}, {})
+
+    def test_nested_equality_via_dotted_path(self):
+        assert matches({"a": {"b": 5}}, {"a.b": 5})
+
+    def test_embedded_document_equality(self):
+        assert matches({"a": {"b": 5}}, {"a": {"b": 5}})
+        assert not matches({"a": {"b": 5, "c": 6}}, {"a": {"b": 5}})
+
+
+class TestArraySemantics:
+    def test_scalar_predicate_matches_array_element(self):
+        assert matches({"tags": ["red", "blue"]}, {"tags": "red"})
+
+    def test_range_matches_any_element(self):
+        assert matches({"scores": [1, 50, 3]}, {"scores": {"$gt": 10}})
+        assert not matches({"scores": [1, 3]}, {"scores": {"$gt": 10}})
+
+    def test_whole_array_equality(self):
+        assert matches({"tags": ["a", "b"]}, {"tags": ["a", "b"]})
+
+    def test_array_containing_array_element(self):
+        assert matches({"pairs": [[1, 2], [3, 4]]}, {"pairs": [1, 2]})
+
+    def test_size_applies_to_whole_array_only(self):
+        assert matches({"nested": [[1, 2]]}, {"nested": {"$size": 1}})
+
+
+class TestNegationSemantics:
+    def test_ne_matches_missing_field(self):
+        assert matches({}, {"a": {"$ne": 5}})
+
+    def test_ne_fails_when_any_element_equals(self):
+        assert not matches({"a": [1, 5]}, {"a": {"$ne": 5}})
+        assert matches({"a": [1, 2]}, {"a": {"$ne": 5}})
+
+    def test_ne_null_does_not_match_missing(self):
+        # {$ne: null} must reject documents without the field (they
+        # "equal" null under MongoDB's missing-is-null rule).
+        assert not matches({}, {"a": {"$ne": None}})
+        assert matches({"a": 1}, {"a": {"$ne": None}})
+
+    def test_nin(self):
+        assert matches({"a": 3}, {"a": {"$nin": [1, 2]}})
+        assert not matches({"a": 2}, {"a": {"$nin": [1, 2]}})
+        assert matches({}, {"a": {"$nin": [1, 2]}})
+
+    def test_not_with_operator(self):
+        assert matches({"a": 1}, {"a": {"$not": {"$gt": 5}}})
+        assert not matches({"a": 10}, {"a": {"$not": {"$gt": 5}}})
+
+    def test_not_matches_missing_field(self):
+        assert matches({}, {"a": {"$not": {"$gt": 5}}})
+
+    def test_not_with_regex(self):
+        assert matches({"a": "xyz"}, {"a": {"$not": re.compile("^a")}})
+        assert not matches({"a": "abc"}, {"a": {"$not": re.compile("^a")}})
+
+
+class TestNullSemantics:
+    def test_null_equality_matches_missing_field(self):
+        assert matches({}, {"a": None})
+        assert matches({"a": None}, {"a": None})
+        assert not matches({"a": 1}, {"a": None})
+
+    def test_in_with_null_matches_missing(self):
+        assert matches({}, {"a": {"$in": [None, 5]}})
+
+
+class TestExists:
+    def test_exists_true(self):
+        assert matches({"a": 1}, {"a": {"$exists": True}})
+        assert not matches({}, {"a": {"$exists": True}})
+
+    def test_exists_false(self):
+        assert matches({}, {"a": {"$exists": False}})
+        assert not matches({"a": None}, {"a": {"$exists": False}})
+
+    def test_exists_on_nested_path(self):
+        assert matches({"a": {"b": 1}}, {"a.b": {"$exists": True}})
+
+
+class TestLogicalOperators:
+    def test_or(self):
+        query = {"$or": [{"a": 1}, {"b": 2}]}
+        assert matches({"a": 1}, query)
+        assert matches({"b": 2}, query)
+        assert not matches({"a": 2, "b": 3}, query)
+
+    def test_and_explicit(self):
+        query = {"$and": [{"a": {"$gt": 0}}, {"a": {"$lt": 10}}]}
+        assert matches({"a": 5}, query)
+        assert not matches({"a": 15}, query)
+
+    def test_nor(self):
+        query = {"$nor": [{"a": 1}, {"b": 2}]}
+        assert matches({"a": 2}, query)
+        assert not matches({"a": 1}, query)
+
+    def test_nested_logical_combination(self):
+        query = {
+            "$or": [
+                {"$and": [{"a": {"$gte": 1}}, {"a": {"$lt": 5}}]},
+                {"b": {"$exists": True}},
+            ]
+        }
+        assert matches({"a": 3}, query)
+        assert matches({"a": 99, "b": 0}, query)
+        assert not matches({"a": 99}, query)
+
+
+class TestElemMatch:
+    def test_value_form(self):
+        query = {"scores": {"$elemMatch": {"$gte": 80, "$lt": 90}}}
+        assert matches({"scores": [70, 85]}, query)
+        # No single element is inside [80, 90) here:
+        assert not matches({"scores": [70, 95]}, query)
+
+    def test_document_form(self):
+        query = {"items": {"$elemMatch": {"product": "x", "qty": {"$gt": 2}}}}
+        assert matches({"items": [{"product": "x", "qty": 5}]}, query)
+        assert not matches(
+            {"items": [{"product": "x", "qty": 1}, {"product": "y", "qty": 9}]},
+            query,
+        )
+
+    def test_non_array_value(self):
+        assert not matches({"scores": 85},
+                           {"scores": {"$elemMatch": {"$gte": 80}}})
+
+
+class TestRegexQueries:
+    def test_regex_operator(self):
+        assert matches({"name": "InvaliDB"}, {"name": {"$regex": "^Inva"}})
+
+    def test_regex_with_options(self):
+        assert matches(
+            {"name": "INVALIDB"},
+            {"name": {"$regex": "^inva", "$options": "i"}},
+        )
+
+    def test_bare_pattern_value(self):
+        assert matches({"name": "InvaliDB"}, {"name": re.compile("DB$")})
+
+    def test_regex_over_array(self):
+        assert matches({"tags": ["alpha", "beta"]}, {"tags": {"$regex": "^b"}})
+
+
+class TestTextQueries:
+    def test_single_term(self):
+        assert matches({"title": "Real-Time Databases"},
+                       {"$text": {"$search": "databases"}})
+
+    def test_terms_are_or_combined(self):
+        assert matches({"title": "stream processing"},
+                       {"$text": {"$search": "nosql stream"}})
+
+    def test_negated_term(self):
+        assert not matches({"title": "stream processing"},
+                           {"$text": {"$search": "stream -processing"}})
+
+    def test_phrase(self):
+        assert matches({"title": "push-based real-time queries"},
+                       {"$text": {"$search": '"real-time queries"'}})
+        assert not matches({"title": "queries in real time zones"},
+                           {"$text": {"$search": '"real-time queries"'}})
+
+    def test_searches_nested_strings(self):
+        assert matches({"meta": {"abstract": "scalable matching"}},
+                       {"$text": {"$search": "scalable"}})
+
+
+class TestGeoQueries:
+    def test_geo_within_box(self):
+        assert matches({"loc": [10, 53]},
+                       {"loc": {"$geoWithin": {"$box": [[9, 52], [11, 54]]}}})
+        assert not matches({"loc": [12, 53]},
+                           {"loc": {"$geoWithin": {"$box": [[9, 52], [11, 54]]}}})
+
+    def test_near_sphere_with_max_distance(self):
+        hamburg = [9.99, 53.55]
+        berlin = [13.40, 52.52]
+        query = {
+            "loc": {
+                "$nearSphere": {
+                    "$geometry": {"type": "Point", "coordinates": hamburg},
+                    "$maxDistance": 300_000,
+                }
+            }
+        }
+        assert matches({"loc": berlin}, query)  # ~255 km
+        munich = [11.58, 48.14]
+        assert not matches({"loc": munich}, query)  # ~600 km

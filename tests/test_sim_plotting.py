@@ -1,0 +1,42 @@
+"""ASCII plotting helper tests."""
+
+import math
+
+from repro.sim.plotting import ascii_plot
+
+
+class TestAsciiPlot:
+    def test_renders_grid_with_markers(self):
+        plot = ascii_plot(
+            {"alpha": [(1, 1), (10, 10)], "beta": [(1, 10), (10, 1)]},
+            width=20, height=8, log_x=False,
+        )
+        assert "a" in plot and "b" in plot
+        assert "legend: a=alpha  b=beta" in plot
+        assert plot.count("|") >= 16  # bordered rows
+
+    def test_overlap_becomes_star(self):
+        plot = ascii_plot(
+            {"alpha": [(5, 5)], "beta": [(5, 5)]},
+            width=10, height=5, log_x=False,
+        )
+        assert "*" in plot
+
+    def test_skips_non_finite_values(self):
+        plot = ascii_plot(
+            {"s": [(1, 1), (2, math.inf), (3, float("nan")), (4, 2)]},
+            log_x=False,
+        )
+        assert "s" in plot
+
+    def test_all_infinite_series(self):
+        assert ascii_plot({"s": [(1, math.inf)]}) == "(no finite data points)"
+
+    def test_log_scale_axis_labels(self):
+        plot = ascii_plot({"s": [(100, 1), (10_000, 2)]}, log_x=True)
+        assert "(log scale)" in plot
+        assert "10.0k" in plot
+
+    def test_single_point_does_not_divide_by_zero(self):
+        plot = ascii_plot({"s": [(5, 5)]}, log_x=False)
+        assert "s" in plot

@@ -1,0 +1,121 @@
+"""Projection and distinct tests."""
+
+import pytest
+
+from repro.errors import QueryParseError
+from repro.store.collection import Collection
+from repro.store.projection import Projection, apply_projection
+
+
+DOC = {
+    "_id": 1,
+    "title": "DB Fun",
+    "year": 2018,
+    "meta": {"pages": 12, "issn": "x-1", "tags": ["db", "fun"]},
+    "authors": [
+        {"name": "w", "affiliation": "baqend"},
+        {"name": "n", "affiliation": "uhh"},
+    ],
+}
+
+
+class TestInclusion:
+    def test_top_level_fields(self):
+        projected = Projection({"title": 1, "year": 1}).apply(DOC)
+        assert projected == {"_id": 1, "title": "DB Fun", "year": 2018}
+
+    def test_id_suppression(self):
+        projected = Projection({"title": 1, "_id": 0}).apply(DOC)
+        assert projected == {"title": "DB Fun"}
+
+    def test_nested_path(self):
+        projected = Projection({"meta.pages": 1}).apply(DOC)
+        assert projected == {"_id": 1, "meta": {"pages": 12}}
+
+    def test_path_through_array_of_documents(self):
+        projected = Projection({"authors.name": 1, "_id": 0}).apply(DOC)
+        assert projected == {"authors": [{"name": "w"}, {"name": "n"}]}
+
+    def test_missing_path_yields_nothing(self):
+        projected = Projection({"nope": 1}).apply(DOC)
+        assert projected == {"_id": 1}
+
+
+class TestExclusion:
+    def test_top_level(self):
+        projected = Projection({"meta": 0, "authors": 0}).apply(DOC)
+        assert projected == {"_id": 1, "title": "DB Fun", "year": 2018}
+
+    def test_nested(self):
+        projected = Projection({"meta.issn": 0, "authors": 0}).apply(DOC)
+        assert projected["meta"] == {"pages": 12, "tags": ["db", "fun"]}
+
+    def test_exclusion_through_arrays(self):
+        projected = Projection({"authors.affiliation": 0}).apply(DOC)
+        assert projected["authors"] == [{"name": "w"}, {"name": "n"}]
+
+    def test_id_only_exclusion(self):
+        projected = Projection({"_id": 0}).apply(DOC)
+        assert "_id" not in projected and projected["title"] == "DB Fun"
+
+
+class TestValidation:
+    def test_mixed_modes_rejected(self):
+        with pytest.raises(QueryParseError):
+            Projection({"a": 1, "b": 0})
+
+    def test_id_exception_allowed(self):
+        Projection({"a": 1, "_id": 0})  # must not raise
+
+    def test_empty_projection_rejected(self):
+        with pytest.raises(QueryParseError):
+            Projection({})
+
+    def test_bad_values_rejected(self):
+        with pytest.raises(QueryParseError):
+            Projection({"a": "yes"})
+
+    def test_projection_does_not_mutate_source(self):
+        source = {"_id": 1, "a": {"b": 1, "c": 2}}
+        Projection({"a.b": 0}).apply(source)
+        assert source["a"] == {"b": 1, "c": 2}
+
+
+class TestFindIntegration:
+    @pytest.fixture
+    def books(self):
+        collection = Collection("books")
+        for index in range(5):
+            collection.insert({
+                "_id": index, "title": f"t{index}", "year": 2000 + index,
+                "secret": "hidden", "tags": [f"tag{index % 2}", "common"],
+            })
+        return collection
+
+    def test_find_with_projection(self, books):
+        result = books.find({"year": {"$gte": 2003}},
+                            projection={"title": 1})
+        assert result == [{"_id": 3, "title": "t3"}, {"_id": 4, "title": "t4"}]
+
+    def test_projection_after_sort_and_limit(self, books):
+        result = books.find({}, sort=[("year", -1)], limit=2,
+                            projection={"year": 1, "_id": 0})
+        assert result == [{"year": 2004}, {"year": 2003}]
+
+    def test_apply_projection_none_is_identity(self, books):
+        docs = books.find({})
+        assert apply_projection(docs, None) is docs
+
+    def test_distinct_scalar(self, books):
+        assert books.distinct("year") == [2000, 2001, 2002, 2003, 2004]
+
+    def test_distinct_unrolls_arrays(self, books):
+        assert books.distinct("tags") == ["common", "tag0", "tag1"]
+
+    def test_distinct_with_filter(self, books):
+        assert books.distinct("tags", {"year": {"$lt": 2001}}) == [
+            "common", "tag0",
+        ]
+
+    def test_distinct_missing_field(self, books):
+        assert books.distinct("nope") == []

@@ -1,0 +1,124 @@
+"""Sharded collection and database namespace tests."""
+
+import pytest
+
+from repro.errors import CollectionNotFoundError
+from repro.store.database import Database
+from repro.store.documents import deep_copy, get_path, set_path
+from repro.store.sharding import ShardedCollection
+from repro.errors import InvalidDocumentError
+
+
+class TestDocumentsHelpers:
+    def test_get_path(self):
+        doc = {"a": {"b": [10, {"c": 1}]}}
+        assert get_path(doc, "a.b.0") == 10
+        assert get_path(doc, "a.b.1.c") == 1
+        assert get_path(doc, "a.x", "fallback") == "fallback"
+
+    def test_set_path_creates_intermediates(self):
+        doc = {}
+        set_path(doc, "a.b.c", 1)
+        assert doc == {"a": {"b": {"c": 1}}}
+
+    def test_deep_copy_rejects_foreign_types(self):
+        with pytest.raises(InvalidDocumentError):
+            deep_copy({"a": object()})
+
+    def test_deep_copy_is_deep(self):
+        original = {"a": [{"b": 1}]}
+        clone = deep_copy(original)
+        clone["a"][0]["b"] = 2
+        assert original["a"][0]["b"] == 1
+
+
+class TestShardedCollection:
+    @pytest.fixture
+    def sharded(self):
+        collection = ShardedCollection("test", shards=4)
+        for i in range(50):
+            collection.insert({"_id": i, "v": i % 10})
+        return collection
+
+    def test_routing_is_stable(self, sharded):
+        assert sharded.shard_for(7) is sharded.shard_for(7)
+
+    def test_all_shards_receive_documents(self, sharded):
+        sizes = [len(shard) for shard in sharded.shards]
+        assert sum(sizes) == 50
+        assert all(size > 0 for size in sizes)
+
+    def test_point_reads(self, sharded):
+        assert sharded.get(13)["v"] == 3
+        assert 13 in sharded
+
+    def test_scatter_gather_find(self, sharded):
+        result = sharded.find({"v": {"$gte": 8}})
+        assert {d["_id"] for d in result} == {
+            i for i in range(50) if i % 10 >= 8
+        }
+
+    def test_global_sort_merge(self, sharded):
+        result = sharded.find({}, sort=[("v", 1), ("_id", 1)], limit=5)
+        assert [d["_id"] for d in result] == [0, 10, 20, 30, 40]
+
+    def test_skip_applies_after_merge(self, sharded):
+        everything = sharded.find({}, sort=[("_id", 1)])
+        sliced = sharded.find({}, sort=[("_id", 1)], skip=10, limit=5)
+        assert sliced == everything[10:15]
+
+    def test_update_delete_route_to_owner(self, sharded):
+        sharded.update(7, {"$set": {"v": 99}})
+        assert sharded.get(7)["v"] == 99
+        sharded.delete(7)
+        assert sharded.get(7) is None
+        assert sharded.count() == 49
+
+    def test_write_listener_spans_shards(self, sharded):
+        seen = []
+        unsubscribe = sharded.on_write(seen.append)
+        sharded.insert({"_id": 1000, "v": 1})
+        sharded.insert({"_id": 1001, "v": 1})
+        assert len(seen) == 2
+        unsubscribe()
+
+    def test_versions_tracked_per_shard(self, sharded):
+        sharded.update(3, {"$set": {"v": 1}})
+        assert sharded.version_of(3) == 2
+
+    def test_single_shard_allowed(self):
+        assert len(ShardedCollection(shards=1).shards) == 1
+        with pytest.raises(ValueError):
+            ShardedCollection(shards=0)
+
+
+class TestDatabase:
+    def test_lazy_collection_creation(self):
+        db = Database()
+        articles = db.collection("articles")
+        assert db.collection("articles") is articles
+        assert "articles" in db
+
+    def test_create_false_raises(self):
+        db = Database()
+        with pytest.raises(CollectionNotFoundError):
+            db.collection("missing", create=False)
+
+    def test_shared_oplog_across_collections(self):
+        db = Database()
+        db["a"].insert({"_id": 1})
+        db["b"].insert({"_id": 2})
+        entries = db.oplog.read_from(1)
+        assert [e.collection for e in entries] == ["a", "b"]
+
+    def test_drop_collection(self):
+        db = Database()
+        db["temp"].insert({"_id": 1})
+        db.drop_collection("temp")
+        assert "temp" not in db
+        assert db["temp"].count() == 0
+
+    def test_collection_names_sorted(self):
+        db = Database()
+        db["z"], db["a"]
+        assert db.collection_names() == ["a", "z"]

@@ -1,0 +1,124 @@
+"""Update-operator tests ($set, $inc, $push, ...)."""
+
+import pytest
+
+from repro.errors import InvalidDocumentError
+from repro.store.updates import apply_update, is_update_document
+
+
+class TestClassification:
+    def test_operator_document(self):
+        assert is_update_document({"$set": {"a": 1}})
+        assert not is_update_document({"a": 1})
+        assert not is_update_document({})
+
+
+class TestSetUnset:
+    def test_set_nested_path(self):
+        result = apply_update({"_id": 1}, {"$set": {"a.b": 2}})
+        assert result == {"_id": 1, "a": {"b": 2}}
+
+    def test_set_does_not_mutate_original(self):
+        original = {"_id": 1, "a": 1}
+        apply_update(original, {"$set": {"a": 2}})
+        assert original["a"] == 1
+
+    def test_unset(self):
+        result = apply_update({"_id": 1, "a": 1, "b": 2}, {"$unset": {"a": ""}})
+        assert result == {"_id": 1, "b": 2}
+
+    def test_unset_missing_is_noop(self):
+        result = apply_update({"_id": 1}, {"$unset": {"zzz": ""}})
+        assert result == {"_id": 1}
+
+
+class TestArithmetic:
+    def test_inc(self):
+        assert apply_update({"_id": 1, "n": 3}, {"$inc": {"n": 2}})["n"] == 5
+
+    def test_inc_missing_starts_at_zero(self):
+        assert apply_update({"_id": 1}, {"$inc": {"n": 2}})["n"] == 2
+
+    def test_inc_non_numeric_target(self):
+        with pytest.raises(InvalidDocumentError):
+            apply_update({"_id": 1, "n": "x"}, {"$inc": {"n": 1}})
+
+    def test_mul(self):
+        assert apply_update({"_id": 1, "n": 3}, {"$mul": {"n": 4}})["n"] == 12
+
+    def test_min_max(self):
+        assert apply_update({"_id": 1, "n": 5}, {"$min": {"n": 3}})["n"] == 3
+        assert apply_update({"_id": 1, "n": 5}, {"$min": {"n": 9}})["n"] == 5
+        assert apply_update({"_id": 1, "n": 5}, {"$max": {"n": 9}})["n"] == 9
+        assert apply_update({"_id": 1}, {"$max": {"n": 9}})["n"] == 9
+
+
+class TestArrayOperators:
+    def test_push(self):
+        result = apply_update({"_id": 1, "t": [1]}, {"$push": {"t": 2}})
+        assert result["t"] == [1, 2]
+
+    def test_push_each(self):
+        result = apply_update({"_id": 1}, {"$push": {"t": {"$each": [1, 2]}}})
+        assert result["t"] == [1, 2]
+
+    def test_push_to_non_array(self):
+        with pytest.raises(InvalidDocumentError):
+            apply_update({"_id": 1, "t": 3}, {"$push": {"t": 1}})
+
+    def test_add_to_set_deduplicates(self):
+        result = apply_update(
+            {"_id": 1, "t": [1, 2]}, {"$addToSet": {"t": {"$each": [2, 3]}}}
+        )
+        assert result["t"] == [1, 2, 3]
+
+    def test_pop_last_and_first(self):
+        assert apply_update({"_id": 1, "t": [1, 2, 3]},
+                            {"$pop": {"t": 1}})["t"] == [1, 2]
+        assert apply_update({"_id": 1, "t": [1, 2, 3]},
+                            {"$pop": {"t": -1}})["t"] == [2, 3]
+
+    def test_pull_scalar(self):
+        result = apply_update({"_id": 1, "t": [1, 2, 1]}, {"$pull": {"t": 1}})
+        assert result["t"] == [2]
+
+    def test_pull_with_condition(self):
+        result = apply_update(
+            {"_id": 1, "t": [1, 5, 9]}, {"$pull": {"t": {"$gt": 4}}}
+        )
+        assert result["t"] == [1]
+
+    def test_pull_document_condition(self):
+        result = apply_update(
+            {"_id": 1, "t": [{"k": 1}, {"k": 2}]},
+            {"$pull": {"t": {"k": 2}}},
+        )
+        assert result["t"] == [{"k": 1}]
+
+
+class TestOther:
+    def test_rename(self):
+        result = apply_update({"_id": 1, "old": 7}, {"$rename": {"old": "new"}})
+        assert result == {"_id": 1, "new": 7}
+
+    def test_current_date(self):
+        result = apply_update({"_id": 1}, {"$currentDate": {"ts": True}},
+                              now=123.0)
+        assert result["ts"] == 123.0
+
+    def test_unknown_operator(self):
+        with pytest.raises(InvalidDocumentError):
+            apply_update({"_id": 1}, {"$bit": {"a": 1}})
+
+    def test_primary_key_is_immutable(self):
+        with pytest.raises(InvalidDocumentError):
+            apply_update({"_id": 1}, {"$set": {"_id": 2}})
+        with pytest.raises(InvalidDocumentError):
+            apply_update({"_id": 1}, {"$inc": {"_id": 1}})
+
+    def test_multiple_operators_apply_in_order(self):
+        result = apply_update(
+            {"_id": 1, "n": 1},
+            {"$inc": {"n": 1}, "$set": {"m": "x"}, "$push": {"t": 0}},
+        )
+        assert result == {"_id": 1, "n": 2, "m": "x", "t": [0]}

@@ -1,0 +1,245 @@
+"""Storm-like substrate tests: groupings, topology building, runtime."""
+
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.stream.topology import (
+    AllGrouping,
+    Bolt,
+    CustomGrouping,
+    DirectGrouping,
+    FieldsGrouping,
+    ShuffleGrouping,
+    Spout,
+    TopologyBuilder,
+)
+from repro.stream.runtime import LocalRuntime
+
+
+class CollectorBolt(Bolt):
+    """Collects received tuples, tagged with the receiving task index."""
+
+    instances: List["CollectorBolt"] = []
+
+    def __init__(self):
+        self.received: List[Dict[str, Any]] = []
+
+    def clone(self):
+        clone = CollectorBolt()
+        CollectorBolt.instances.append(clone)
+        return clone
+
+    def process(self, tuple_):
+        self.received.append(dict(tuple_))
+
+
+class ForwardBolt(Bolt):
+    def clone(self):
+        return ForwardBolt()
+
+    def process(self, tuple_):
+        self.emit({**tuple_, "hop": tuple_.get("hop", 0) + 1})
+
+
+class CountdownSpout(Spout):
+    def __init__(self, count: int = 5):
+        self.count = count
+
+    def clone(self):
+        return CountdownSpout(self.count)
+
+    def next_batch(self):
+        if self.count <= 0:
+            return None
+        self.count -= 1
+        return [{"n": self.count}]
+
+
+class TestGroupings:
+    def test_fields_grouping_is_deterministic(self):
+        grouping = FieldsGrouping("key")
+        first = grouping.select({"key": "abc"}, 8)
+        second = grouping.select({"key": "abc"}, 8)
+        assert first == second
+        assert 0 <= first[0] < 8
+
+    def test_fields_grouping_spreads_keys(self):
+        grouping = FieldsGrouping("key")
+        targets = {grouping.select({"key": f"k{i}"}, 8)[0] for i in range(200)}
+        assert len(targets) == 8
+
+    def test_all_grouping_broadcasts(self):
+        assert list(AllGrouping().select({}, 4)) == [0, 1, 2, 3]
+
+    def test_shuffle_round_robin(self):
+        grouping = ShuffleGrouping()
+        picks = [grouping.select({}, 3)[0] for _ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_direct_grouping(self):
+        grouping = DirectGrouping()
+        assert grouping.select({"__task__": 2}, 4) == (2,)
+        with pytest.raises(TopologyError):
+            grouping.select({"__task__": 9}, 4)
+        with pytest.raises(TopologyError):
+            grouping.select({}, 4)
+
+    def test_custom_grouping(self):
+        grouping = CustomGrouping(lambda t, n: [0, n - 1])
+        assert grouping.select({}, 5) == [0, 4]
+
+    def test_fields_grouping_requires_fields(self):
+        with pytest.raises(TopologyError):
+            FieldsGrouping()
+
+
+class TestBuilderValidation:
+    def test_duplicate_component(self):
+        builder = TopologyBuilder().add_bolt("b", CollectorBolt())
+        with pytest.raises(TopologyError):
+            builder.add_bolt("b", CollectorBolt())
+
+    def test_unknown_endpoint(self):
+        builder = TopologyBuilder().add_bolt("b", CollectorBolt())
+        with pytest.raises(TopologyError):
+            builder.connect("b", "missing", AllGrouping())
+
+    def test_cannot_connect_into_spout(self):
+        builder = (
+            TopologyBuilder()
+            .add_spout("s", CountdownSpout())
+            .add_bolt("b", CollectorBolt())
+        )
+        with pytest.raises(TopologyError):
+            builder.connect("b", "s", AllGrouping())
+
+    def test_invalid_parallelism(self):
+        with pytest.raises(TopologyError):
+            TopologyBuilder().add_bolt("b", CollectorBolt(), parallelism=0)
+
+    def test_empty_topology(self):
+        with pytest.raises(TopologyError):
+            TopologyBuilder().build()
+
+
+def wait_for(predicate, timeout: float = 2.0) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return False
+
+
+class TestRuntime:
+    def test_spout_to_bolt_flow(self):
+        topology = (
+            TopologyBuilder()
+            .add_spout("src", CountdownSpout(5))
+            .add_bolt("sink", CollectorBolt())
+            .connect("src", "sink", ShuffleGrouping())
+            .build()
+        )
+        with LocalRuntime(topology) as runtime:
+            assert wait_for(
+                lambda: sum(
+                    len(c.received)
+                    for c in runtime.task_components("sink")
+                ) == 5
+            )
+
+    def test_broadcast_reaches_every_task(self):
+        topology = (
+            TopologyBuilder()
+            .add_bolt("entry", ForwardBolt())
+            .add_bolt("sink", CollectorBolt(), parallelism=4)
+            .connect("entry", "sink", AllGrouping())
+            .build()
+        )
+        with LocalRuntime(topology) as runtime:
+            runtime.inject("entry", {"v": 1})
+            assert wait_for(
+                lambda: all(
+                    len(c.received) == 1
+                    for c in runtime.task_components("sink")
+                )
+            )
+
+    def test_fields_grouping_keeps_key_affinity(self):
+        topology = (
+            TopologyBuilder()
+            .add_bolt("entry", ForwardBolt())
+            .add_bolt("sink", CollectorBolt(), parallelism=4)
+            .connect("entry", "sink", FieldsGrouping("key"))
+            .build()
+        )
+        with LocalRuntime(topology) as runtime:
+            for _ in range(10):
+                runtime.inject("entry", {"key": "constant"})
+            runtime.drain()
+            non_empty = [
+                c for c in runtime.task_components("sink") if c.received
+            ]
+            assert len(non_empty) == 1
+            assert len(non_empty[0].received) == 10
+
+    def test_inject_with_explicit_task(self):
+        topology = (
+            TopologyBuilder()
+            .add_bolt("sink", CollectorBolt(), parallelism=3)
+            .build()
+        )
+        with LocalRuntime(topology) as runtime:
+            runtime.inject("sink", {"__task__": 2, "v": 1})
+            runtime.drain()
+            components = runtime.task_components("sink")
+            assert len(components[2].received) == 1
+            assert not components[0].received and not components[1].received
+
+    def test_failing_tuple_is_recorded_not_fatal(self):
+        class ExplodingBolt(Bolt):
+            def clone(self):
+                return ExplodingBolt()
+
+            def process(self, tuple_):
+                if tuple_.get("bad"):
+                    raise ValueError("bad tuple")
+
+        topology = (
+            TopologyBuilder().add_bolt("b", ExplodingBolt()).build()
+        )
+        with LocalRuntime(topology) as runtime:
+            runtime.inject("b", {"bad": True})
+            runtime.inject("b", {"bad": False})
+            runtime.drain()
+            assert runtime.failures == [("b", 0)]
+            assert runtime.processed_counts()["b"] == 2
+
+    def test_unknown_component_injection(self):
+        topology = TopologyBuilder().add_bolt("b", CollectorBolt()).build()
+        with LocalRuntime(topology) as runtime:
+            with pytest.raises(Exception):
+                runtime.inject("nope", {})
+
+    def test_multi_hop_pipeline(self):
+        topology = (
+            TopologyBuilder()
+            .add_bolt("first", ForwardBolt())
+            .add_bolt("second", ForwardBolt())
+            .add_bolt("sink", CollectorBolt())
+            .connect("first", "second", ShuffleGrouping())
+            .connect("second", "sink", ShuffleGrouping())
+            .build()
+        )
+        with LocalRuntime(topology) as runtime:
+            runtime.inject("first", {"hop": 0})
+            assert wait_for(
+                lambda: any(
+                    c.received and c.received[0]["hop"] == 2
+                    for c in runtime.task_components("sink")
+                )
+            )

@@ -1,0 +1,104 @@
+"""Tests for shared value types and cluster configuration."""
+
+import pytest
+
+from repro.core.config import InvaliDBConfig
+from repro.errors import ClusterConfigError
+from repro.types import (
+    AfterImage,
+    ChangeNotification,
+    IdGenerator,
+    MatchType,
+    WriteKind,
+    require_key,
+)
+
+
+class TestAfterImage:
+    def test_delete_must_not_carry_document(self):
+        with pytest.raises(ValueError):
+            AfterImage(1, 1, WriteKind.DELETE, {"_id": 1})
+
+    def test_insert_requires_document(self):
+        with pytest.raises(ValueError):
+            AfterImage(1, 1, WriteKind.INSERT, None)
+
+    def test_is_delete(self):
+        assert AfterImage(1, 1, WriteKind.DELETE, None).is_delete
+        assert not AfterImage(1, 1, WriteKind.INSERT, {"_id": 1}).is_delete
+
+
+class TestChangeNotification:
+    def test_error_flag(self):
+        error = ChangeNotification("s", "q", MatchType.ERROR, error="boom")
+        assert error.is_error
+        regular = ChangeNotification("s", "q", MatchType.ADD, key=1)
+        assert not regular.is_error
+
+    def test_match_type_values_match_paper(self):
+        assert MatchType.ADD.value == "add"
+        assert MatchType.CHANGE.value == "change"
+        assert MatchType.CHANGE_INDEX.value == "changeIndex"
+        assert MatchType.REMOVE.value == "remove"
+
+
+class TestIdGenerator:
+    def test_unique_and_ordered(self):
+        generator = IdGenerator("sub")
+        first, second = generator.next(), generator.next()
+        assert first != second
+        assert first == "sub-1" and second == "sub-2"
+
+    def test_thread_safety(self):
+        import threading
+
+        generator = IdGenerator("x")
+        seen = []
+        lock = threading.Lock()
+
+        def grab():
+            for _ in range(200):
+                value = generator.next()
+                with lock:
+                    seen.append(value)
+
+        threads = [threading.Thread(target=grab) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(seen) == len(set(seen)) == 800
+
+    def test_require_key(self):
+        assert require_key({"_id": 7}) == 7
+        with pytest.raises(KeyError):
+            require_key({})
+
+
+class TestConfigValidation:
+    def test_defaults_are_valid(self):
+        config = InvaliDBConfig()
+        assert config.matching_node_count == 1
+
+    def test_matching_node_count(self):
+        config = InvaliDBConfig(query_partitions=3, write_partitions=4)
+        assert config.matching_node_count == 12
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"query_partitions": 0},
+            {"write_partitions": 0},
+            {"sorting_nodes": 0},
+            {"write_ingestion_nodes": 0},
+            {"retention_seconds": -1},
+            {"default_slack": 0},
+            {"renewal_slack_factor": 0.5},
+            {"heartbeat_interval": 2.0, "heartbeat_timeout": 1.0},
+            {"subscription_ttl": 0},
+            {"renewal_min_interval": -1},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ClusterConfigError):
+            InvaliDBConfig(**kwargs)

@@ -1,0 +1,101 @@
+"""Wire-format round-trip tests for everything crossing the event layer.
+
+"The event layer ... handles data transmissions with entirely opaque
+payloads" (Section 5.3) — so every message must survive JSON encoding.
+"""
+
+import pytest
+
+from repro.core.cluster import (
+    deserialize_after_image,
+    deserialize_query,
+    serialize_after_image,
+    serialize_query,
+)
+from repro.core.notifications import (
+    QueryChange,
+    deserialize_change,
+    serialize_change,
+)
+from repro.event.codec import JsonCodec
+from repro.query.engine import Query
+from repro.types import AfterImage, MatchType, WriteKind
+
+CODEC = JsonCodec()
+
+
+def json_roundtrip(payload):
+    return CODEC.decode(CODEC.encode(payload))
+
+
+class TestQuerySerialization:
+    @pytest.mark.parametrize(
+        "query",
+        [
+            Query({"a": 1}),
+            Query({"a": {"$gte": 1, "$lt": 9}}, collection="articles"),
+            Query({"$or": [{"a": 1}, {"b": {"$in": [1, 2]}}]}),
+            Query({}, sort=[("year", -1), ("title", 1)], limit=3, offset=2),
+            Query({"name": {"$regex": "^a", "$options": "i"}}),
+            Query({"$text": {"$search": "real time"}}),
+            Query({"loc": {"$geoWithin": {"$box": [[0, 0], [1, 1]]}}}),
+        ],
+    )
+    def test_roundtrip_preserves_identity(self, query):
+        wire = json_roundtrip(serialize_query(query))
+        restored = deserialize_query(wire)
+        assert restored == query
+        assert restored.hash == query.hash
+        assert restored.query_id == query.query_id
+
+    def test_sort_directions_survive(self):
+        query = Query({}, sort=[("a", -1)], limit=1)
+        restored = deserialize_query(json_roundtrip(serialize_query(query)))
+        assert restored.sort.fields == query.sort.fields
+
+
+class TestAfterImageSerialization:
+    def test_update_roundtrip(self):
+        after = AfterImage(7, 3, WriteKind.UPDATE,
+                           {"_id": 7, "v": [1, {"x": None}]},
+                           collection="c", timestamp=12.5)
+        restored = deserialize_after_image(
+            json_roundtrip(serialize_after_image(after))
+        )
+        assert restored == after
+
+    def test_delete_roundtrip(self):
+        after = AfterImage("key", 9, WriteKind.DELETE, None)
+        restored = deserialize_after_image(
+            json_roundtrip(serialize_after_image(after))
+        )
+        assert restored.is_delete and restored.version == 9
+
+    def test_wire_form_is_tagged_as_write(self):
+        after = AfterImage(1, 1, WriteKind.INSERT, {"_id": 1})
+        assert serialize_after_image(after)["kind"] == "write"
+
+
+class TestChangeSerialization:
+    @pytest.mark.parametrize(
+        "change",
+        [
+            QueryChange("q1", MatchType.ADD, key=1, document={"_id": 1},
+                        index=0),
+            QueryChange("q1", MatchType.CHANGE_INDEX, key="k",
+                        document={"_id": "k"}, index=2, old_index=5,
+                        timestamp=1.25),
+            QueryChange("q1", MatchType.REMOVE, key=1,
+                        document={"_id": 1, "v": 2}),
+            QueryChange("q1", MatchType.ERROR, key=None,
+                        error="slack exhausted"),
+        ],
+    )
+    def test_roundtrip(self, change):
+        restored = deserialize_change(json_roundtrip(serialize_change(change)))
+        assert restored == change
+
+    def test_error_flag_survives(self):
+        change = QueryChange("q1", MatchType.ERROR, error="x")
+        restored = deserialize_change(json_roundtrip(serialize_change(change)))
+        assert restored.is_error
