@@ -1,9 +1,14 @@
-"""End-to-end latency of the functional (threaded) InvaliDB stack.
+"""End-to-end latency of the functional InvaliDB stack.
 
 Complements the simulated figures with real measurements of this
 repository's running system: wall-clock time from executing a write at
 the app server until the subscribed client receives the change
 notification, through broker -> ingestion -> matching grid -> broker.
+
+The ``stack`` fixture is parametrized over the execution substrate —
+batched threaded, seed-equivalent unbatched threaded, and the
+deterministic inline model — so every figure carries the
+executor-comparison axis.
 """
 
 import statistics
@@ -16,12 +21,20 @@ from repro.core.cluster import InvaliDBCluster
 from repro.core.config import InvaliDBConfig
 from repro.core.server import AppServer
 from repro.event.broker import Broker
+from repro.runtime.execution import ExecutionConfig
+
+EXECUTORS = {
+    "threaded-batched": lambda: ExecutionConfig(max_batch=128),
+    "threaded-unbatched": lambda: ExecutionConfig(max_batch=1),
+    "inline": lambda: ExecutionConfig(mode="inline"),
+}
 
 
-@pytest.fixture
-def stack():
-    broker = Broker()
+@pytest.fixture(params=sorted(EXECUTORS))
+def stack(request):
+    broker = Broker(execution=EXECUTORS[request.param]())
     config = InvaliDBConfig(query_partitions=2, write_partitions=2)
+    # The cluster shares the broker's model: one substrate, end to end.
     cluster = InvaliDBCluster(broker, config).start()
     app = AppServer("bench-app", broker, config=config)
     yield broker, cluster, app

@@ -27,6 +27,12 @@ from repro.core.partitioning import PartitioningScheme, stable_hash
 from repro.core.server import AppServer
 from repro.event.broker import Broker
 from repro.query.engine import MongoQueryEngine, Query
+from repro.runtime.execution import (
+    ExecutionConfig,
+    InlineExecutionModel,
+    ThreadedExecutionModel,
+)
+from repro.runtime.queues import BackpressurePolicy
 from repro.store.collection import Collection
 from repro.store.database import Database
 from repro.store.sharding import ShardedCollection
@@ -43,11 +49,15 @@ __version__ = "1.0.0"
 __all__ = [
     "AfterImage",
     "AppServer",
+    "BackpressurePolicy",
     "Broker",
     "ChangeNotification",
     "Collection",
     "Database",
+    "ExecutionConfig",
     "InitialResult",
+    "InlineExecutionModel",
+    "ThreadedExecutionModel",
     "InvaliDBClient",
     "InvaliDBCluster",
     "InvaliDBConfig",

@@ -207,7 +207,7 @@ class InvaliDBClient:
         self._queries: Dict[str, Query] = {}
         self._slacks: Dict[str, int] = {}
         self._renewals = _RenewalLimiter(self.config.renewal_min_interval)
-        self._pending_renewals: Dict[str, threading.Timer] = {}
+        self._pending_renewals: Dict[str, Any] = {}
         self._ids = IdGenerator(f"sub-{app_server_id}")
         #: Live subscription handles per query ID (fan-out targets).
         self._handles: Dict[str, List[RealTimeSubscription]] = {}
@@ -422,10 +422,13 @@ class InvaliDBClient:
             if query_id in self._pending_renewals:
                 return
             delay = self._renewals.min_interval
-            timer = threading.Timer(delay, self._renew_later, args=(query_id,))
-            timer.daemon = True
-            self._pending_renewals[query_id] = timer
-        timer.start()
+            # Scheduled on the broker's execution model: a real timer
+            # thread under the threaded model, a virtual-time callback
+            # (fired by drain()) under the deterministic inline model.
+            handle = self.broker.execution.call_later(
+                delay, lambda: self._renew_later(query_id)
+            )
+            self._pending_renewals[query_id] = handle
 
     def _renew_later(self, query_id: str) -> None:
         with self._lock:
@@ -583,10 +586,10 @@ class InvaliDBClient:
             return
         self._closed = True
         with self._lock:
-            timers = list(self._pending_renewals.values())
+            handles = list(self._pending_renewals.values())
             self._pending_renewals.clear()
-        for timer in timers:
-            timer.cancel()
+        for handle in handles:
+            handle.cancel()
         self._notification_subscription.close()
 
     def __enter__(self) -> "InvaliDBClient":

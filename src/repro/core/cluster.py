@@ -42,6 +42,7 @@ from repro.core.subscriptions import QueryRegistration
 from repro.event.broker import Broker
 from repro.event.channels import notification_channel, query_channel, write_channel
 from repro.query.engine import MongoQueryEngine, Query
+from repro.runtime.execution import ExecutionModel, build_execution_model
 from repro.stream.topology import Bolt, CustomGrouping, FieldsGrouping, TopologyBuilder
 from repro.stream.runtime import LocalRuntime
 from repro.types import AfterImage, WriteKind
@@ -183,6 +184,25 @@ class _MatchingBolt(Bolt):
         versions = {key: version for key, version in tuple_["versions"]}
         return self.node.register_query(query, bootstrap, versions, now)
 
+    def process_batch(self, tuples: List[Dict[str, Any]]) -> None:
+        """Process a chunk of after-images / requests in arrival order,
+        accumulating match events so the downstream emission (sorting
+        stage + notification fan-out) happens in one pass per chunk
+        instead of one broker/queue round-trip per tuple."""
+        assert self.node is not None
+        events: List[MatchEvent] = []
+        now = self.cluster.config.clock()
+        for tuple_ in tuples:
+            kind = tuple_["kind"]
+            if kind == "write":
+                after = deserialize_after_image(tuple_)
+                events.extend(self.node.process_write(after, now))
+            elif kind == "subscribe":
+                events.extend(self._register(tuple_, now))
+            elif kind == "cancel":
+                self.node.deactivate_query(tuple_["query_id"])
+        self._dispatch(events)
+
     def _dispatch(self, events: List[MatchEvent]) -> None:
         for event in events:
             if event.needs_sorting:
@@ -246,10 +266,24 @@ class InvaliDBCluster:
         broker: Broker,
         config: Optional[InvaliDBConfig] = None,
         tenant: str = "default",
+        execution: Optional[ExecutionModel] = None,
     ):
         self.broker = broker
         self.config = config if config is not None else InvaliDBConfig()
         self.tenant = tenant
+        # Execution substrate for the matching grid.  Precedence:
+        # explicit argument > config.execution > the broker's own model.
+        # The default (sharing the broker's model) puts event layer and
+        # grid on ONE substrate, so a single drain() spans the whole
+        # broker -> ingestion -> matching -> broker pipeline.
+        self._owns_execution = False
+        if execution is not None:
+            self._execution = execution
+        elif self.config.execution is not None:
+            self._execution = build_execution_model(self.config.execution)
+            self._owns_execution = True
+        else:
+            self._execution = broker.execution
         self.engine = MongoQueryEngine()
         self.scheme = PartitioningScheme(
             self.config.query_partitions, self.config.write_partitions
@@ -307,7 +341,7 @@ class InvaliDBCluster:
         builder.connect("query-ingestion", "sorting", FieldsGrouping("query_id"))
         builder.connect("write-ingestion", "matching", CustomGrouping(route_write))
         builder.connect("matching", "sorting", FieldsGrouping("query_id"))
-        return LocalRuntime(builder.build())
+        return LocalRuntime(builder.build(), execution=self._execution)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -321,10 +355,14 @@ class InvaliDBCluster:
         self._subscriptions.append(
             self.broker.subscribe(query_channel(self.tenant), self._on_query_message)
         )
-        self._heartbeat_thread = threading.Thread(
-            target=self._heartbeat_loop, name="invalidb-heartbeat", daemon=True
-        )
-        self._heartbeat_thread.start()
+        if not self._execution.deterministic:
+            self._heartbeat_thread = threading.Thread(
+                target=self._heartbeat_loop, name="invalidb-heartbeat",
+                daemon=True,
+            )
+            self._heartbeat_thread.start()
+        # Deterministic (inline) mode: no background threads — tests
+        # pump heartbeats explicitly via publish_heartbeat().
         return self
 
     def stop(self) -> None:
@@ -333,6 +371,8 @@ class InvaliDBCluster:
             subscription.close()
         self._subscriptions.clear()
         self._runtime.stop()
+        if self._owns_execution:
+            self._execution.shutdown()
         if self._heartbeat_thread is not None:
             self._heartbeat_thread.join(timeout=2.0)
 
@@ -343,7 +383,12 @@ class InvaliDBCluster:
         self.stop()
 
     def drain(self, timeout: float = 5.0) -> bool:
-        """Wait until broker and topology queues are empty (for tests)."""
+        """Wait until broker and topology queues are empty (for tests).
+
+        When the cluster shares the broker's execution model (the
+        default) both calls drain the same substrate, so one round
+        reaches quiescence across the whole pipeline — no alternating
+        sleep-polling."""
         ok = self.broker.drain(timeout)
         return self._runtime.drain(timeout) and ok
 
@@ -442,21 +487,31 @@ class InvaliDBCluster:
     # Heartbeats
     # ------------------------------------------------------------------
 
+    def publish_heartbeat(self) -> int:
+        """Sweep expired queries and heartbeat every subscribed app
+        server once.  Called periodically by the threaded heartbeat
+        loop; called explicitly by tests running the deterministic
+        inline model (which has no background threads)."""
+        self.sweep_expired()
+        with self._registration_lock:
+            app_servers = {
+                server
+                for registration in self._registrations.values()
+                for server in registration.app_servers
+            }
+        payload = {"kind": "heartbeat", "timestamp": self.config.clock()}
+        sent = 0
+        for app_server in app_servers:
+            self.broker.publish(notification_channel(app_server), payload)
+            sent += 1
+        return sent
+
     def _heartbeat_loop(self) -> None:
         while not self._stopping.wait(self.config.heartbeat_interval):
-            self.sweep_expired()
-            with self._registration_lock:
-                app_servers = {
-                    server
-                    for registration in self._registrations.values()
-                    for server in registration.app_servers
-                }
-            payload = {"kind": "heartbeat", "timestamp": self.config.clock()}
-            for app_server in app_servers:
-                try:
-                    self.broker.publish(notification_channel(app_server), payload)
-                except Exception:  # noqa: BLE001 - broker may be closing
-                    return
+            try:
+                self.publish_heartbeat()
+            except Exception:  # noqa: BLE001 - broker may be closing
+                return
 
     # ------------------------------------------------------------------
     # Introspection
@@ -490,6 +545,7 @@ class InvaliDBCluster:
             "app_servers": sorted(app_servers),
             "notifications_sent": self.notifications_sent,
             "matching_nodes": per_node,
+            "runtime": self._runtime.stats(),
         }
 
     def filtering_node(self, qp: int, wp: int) -> Optional[FilteringNode]:

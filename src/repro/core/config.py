@@ -11,9 +11,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Optional
 
 from repro.errors import ClusterConfigError
+from repro.runtime.execution import ExecutionConfig
 
 Clock = Callable[[], float]
 
@@ -47,10 +48,22 @@ class InvaliDBConfig:
     #: Poll frequency rate limit: minimum seconds between query renewals
     #: (makes database load "predictable and configurable").
     renewal_min_interval: float = 1.0
+    #: Execution substrate for the matching grid.  ``None`` (default)
+    #: shares the broker's execution model, putting the event layer and
+    #: the grid on one substrate; set an :class:`ExecutionConfig` to
+    #: give the cluster its own (e.g. bounded queues with a different
+    #: backpressure policy, or a dedicated inline model).
+    execution: Optional[ExecutionConfig] = None
     #: Time source (injectable for deterministic tests).
     clock: Clock = field(default=time.time, repr=False)
 
     def __post_init__(self) -> None:
+        if self.execution is not None and not isinstance(
+            self.execution, ExecutionConfig
+        ):
+            raise ClusterConfigError(
+                "execution must be an ExecutionConfig or None"
+            )
         if self.query_partitions < 1:
             raise ClusterConfigError("query_partitions must be >= 1")
         if self.write_partitions < 1:

@@ -98,6 +98,30 @@ class CodecError(EventLayerError):
 
 
 # ---------------------------------------------------------------------------
+# Execution-model errors
+# ---------------------------------------------------------------------------
+
+
+class ExecutionError(ReproError):
+    """Base class for execution-model (runtime substrate) errors."""
+
+
+class ExecutionConfigError(ExecutionError):
+    """An :class:`ExecutionConfig` is invalid (bad mode, capacity, ...)."""
+
+
+class QueueOverflowError(ExecutionError):
+    """A bounded queue rejected an item under the ``error`` policy."""
+
+    def __init__(self, name: str, capacity: int):
+        super().__init__(
+            f"queue {name!r} overflowed its capacity of {capacity}"
+        )
+        self.name = name
+        self.capacity = capacity
+
+
+# ---------------------------------------------------------------------------
 # Stream substrate errors
 # ---------------------------------------------------------------------------
 

@@ -12,27 +12,32 @@ prototype:
   asynchronous skew behind the paper's race conditions;
 * ``psubscribe``-style pattern subscriptions with ``*`` wildcards.
 
-Delivery runs on a dedicated dispatcher thread per broker, so
-publishers never execute subscriber callbacks — this is the asynchrony
-that decouples the app server from the InvaliDB cluster, and it is also
-what makes the paper's two race conditions (write-query and
-write-subscription, Section 5.1) actually reproducible in tests: the
-broker can be configured with an artificial delivery delay or a
-per-channel delay function to skew message arrival.
+Delivery runs on the pluggable execution substrate
+(:mod:`repro.runtime`): under the default threaded model a dedicated
+dispatch mailbox decouples publishers from subscriber callbacks — the
+asynchrony that separates the app server from the InvaliDB cluster —
+with *batched* dequeue and an optional bounded queue with backpressure;
+under the deterministic inline model delivery happens synchronously
+with virtual-time delays, which makes the paper's two race conditions
+(write-query and write-subscription, Section 5.1) reproducible in tests
+without any timing sleeps.  Artificial delivery delays (global or
+per-channel) skew message arrival either way.
 """
 
 from __future__ import annotations
 
 import fnmatch
-import heapq
-import itertools
 import threading
-import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.errors import BrokerClosedError
 from repro.event.codec import Codec, JsonCodec
+from repro.runtime.execution import (
+    ExecutionConfig,
+    ExecutionModel,
+    resolve_execution_model,
+)
 
 Listener = Callable[[str, Any], None]
 DelayFn = Callable[[str], float]
@@ -49,13 +54,17 @@ class Subscription:
     active: bool = True
 
     def close(self) -> None:
-        if self.active and self._broker is not None:
-            self._broker._unsubscribe(self)
+        """Cancel the subscription; idempotent and race-free — the
+        active-check and removal happen atomically under the broker
+        lock, so two concurrent closers unsubscribe exactly once."""
+        if self._broker is not None:
+            self._broker._close_subscription(self)
+        else:
             self.active = False
 
 
 class Broker:
-    """The event layer: channels, subscribers, one dispatcher thread."""
+    """The event layer: channels, subscribers, one dispatch mailbox."""
 
     def __init__(
         self,
@@ -63,6 +72,7 @@ class Broker:
         delivery_delay: float = 0.0,
         delay_fn: Optional[DelayFn] = None,
         name: str = "event-layer",
+        execution: Union[None, ExecutionConfig, ExecutionModel] = None,
     ):
         self.name = name
         self._codec = codec if codec is not None else JsonCodec()
@@ -71,21 +81,21 @@ class Broker:
         self._exact: Dict[str, List[Subscription]] = {}
         self._patterns: List[Subscription] = []
         self._lock = threading.RLock()
-        # Min-heap on (deliver_at, sequence): delayed messages do NOT
-        # block later undelayed ones — exactly the skewed/reordered
-        # delivery an asynchronous message broker can exhibit, which the
-        # paper's race conditions (Section 5.1) are about.
-        self._heap: List[Tuple[float, int, str, bytes]] = []
-        self._heap_cv = threading.Condition(self._lock)
-        self._sequence = itertools.count()
         self._closed = False
-        self._in_flight = False
         self._published = 0
         self._delivered = 0
-        self._dispatcher = threading.Thread(
-            target=self._dispatch_loop, name=f"{name}-dispatch", daemon=True
+        self._execution, self._owns_execution = resolve_execution_model(
+            execution
         )
-        self._dispatcher.start()
+        self._mailbox = self._execution.mailbox(
+            f"{name}-dispatch", self._dispatch_batch
+        )
+
+    @property
+    def execution(self) -> ExecutionModel:
+        """The execution model delivery runs on (shareable with a
+        cluster so one ``drain()`` covers the whole pipeline)."""
+        return self._execution
 
     # ------------------------------------------------------------------
     # Publishing
@@ -99,13 +109,9 @@ class Broker:
         delay = self._delivery_delay
         if self._delay_fn is not None:
             delay = max(delay, self._delay_fn(channel))
-        deliver_at = time.monotonic() + delay
-        with self._heap_cv:
+        with self._lock:
             self._published += 1
-            heapq.heappush(
-                self._heap, (deliver_at, next(self._sequence), channel, wire)
-            )
-            self._heap_cv.notify()
+        self._execution.schedule(self._mailbox, (channel, wire), delay)
 
     # ------------------------------------------------------------------
     # Subscribing
@@ -129,8 +135,11 @@ class Broker:
             self._patterns.append(subscription)
         return subscription
 
-    def _unsubscribe(self, subscription: Subscription) -> None:
+    def _close_subscription(self, subscription: Subscription) -> None:
         with self._lock:
+            if not subscription.active:
+                return
+            subscription.active = False
             if subscription.is_pattern:
                 if subscription in self._patterns:
                     self._patterns.remove(subscription)
@@ -142,43 +151,22 @@ class Broker:
                         del self._exact[subscription.pattern]
 
     # ------------------------------------------------------------------
-    # Dispatch
+    # Dispatch (runs on the execution model)
     # ------------------------------------------------------------------
 
-    def _dispatch_loop(self) -> None:
-        while True:
-            with self._heap_cv:
-                while True:
-                    if self._closed and not self._heap:
-                        return
-                    if not self._heap:
-                        self._heap_cv.wait(timeout=0.5)
-                        continue
-                    deliver_at = self._heap[0][0]
-                    remaining = deliver_at - time.monotonic()
-                    if remaining <= 0:
-                        _, _, channel, wire = heapq.heappop(self._heap)
-                        break
-                    # An earlier-deliverable message may arrive meanwhile.
-                    self._heap_cv.wait(timeout=min(remaining, 0.5))
-                self._in_flight = True
-            try:
-                self._dispatch_one(channel, wire)
-            finally:
-                self._in_flight = False
-
-    def _dispatch_one(self, channel: str, wire: bytes) -> None:
-        payload = self._codec.decode(wire)
-        for subscription in self._subscribers_for(channel):
-            try:
-                subscription.listener(channel, payload)
-            except Exception:  # noqa: BLE001 - a bad subscriber must
-                # never take down the dispatcher (isolated failure
-                # domains are the point of the event layer).
-                pass
-            else:
-                with self._lock:
-                    self._delivered += 1
+    def _dispatch_batch(self, batch: List[Tuple[str, bytes]]) -> None:
+        for channel, wire in batch:
+            payload = self._codec.decode(wire)
+            for subscription in self._subscribers_for(channel):
+                try:
+                    subscription.listener(channel, payload)
+                except Exception:  # noqa: BLE001 - a bad subscriber must
+                    # never take down the dispatcher (isolated failure
+                    # domains are the point of the event layer).
+                    pass
+                else:
+                    with self._lock:
+                        self._delivered += 1
 
     def _subscribers_for(self, channel: str) -> List[Subscription]:
         with self._lock:
@@ -193,36 +181,38 @@ class Broker:
     # ------------------------------------------------------------------
 
     def drain(self, timeout: float = 5.0) -> bool:
-        """Block until all queued messages were dispatched (for tests)."""
-        deadline = time.monotonic() + timeout
+        """Block until all queued messages were dispatched (for tests).
 
-        def quiescent() -> bool:
-            with self._lock:
-                return not self._heap and not self._in_flight
-
-        while time.monotonic() < deadline:
-            if quiescent():
-                # One more beat so a just-popped message finishes delivery.
-                time.sleep(0.01)
-                if quiescent():
-                    return True
-            time.sleep(0.005)
-        return False
+        Condition-variable based: waits on the execution model's
+        in-flight accounting (which includes delayed messages), no
+        sleep-polling.  When the model is shared with a cluster this
+        covers the whole pipeline."""
+        return self._execution.drain(timeout)
 
     @property
-    def stats(self) -> Dict[str, int]:
+    def stats(self) -> Dict[str, Any]:
         with self._lock:
-            return {"published": self._published, "delivered": self._delivered}
+            snapshot: Dict[str, Any] = {
+                "published": self._published,
+                "delivered": self._delivered,
+            }
+        queue = self._mailbox.stats()
+        snapshot["queue_depth"] = queue["depth"]
+        snapshot["queue_high_water"] = queue["high_water"]
+        snapshot["dropped"] = queue["dropped"]
+        snapshot["batches"] = queue["batches"]
+        snapshot["largest_batch"] = queue["largest_batch"]
+        return snapshot
 
     def close(self) -> None:
-        """Stop the dispatcher; pending messages are dropped."""
+        """Stop dispatching; pending messages are dropped."""
         if self._closed:
             return
-        with self._heap_cv:
-            self._closed = True
-            self._heap.clear()
-            self._heap_cv.notify_all()
-        self._dispatcher.join(timeout=2.0)
+        self._closed = True
+        if self._owns_execution:
+            self._execution.shutdown()
+        else:
+            self._mailbox.close(drain=False)
 
     def __enter__(self) -> "Broker":
         return self

@@ -1,0 +1,41 @@
+"""The pluggable execution substrate under the event layer and grid.
+
+One abstraction — :class:`ExecutionModel` — runs both of the system's
+asynchronous subsystems:
+
+* :class:`ThreadedExecutionModel` — production-like: one worker thread
+  per mailbox over a bounded queue, batched dequeue/dispatch,
+  configurable backpressure (block / drop_oldest / error), and
+  condition-variable quiescence for ``drain()``;
+* :class:`InlineExecutionModel` — deterministic: synchronous trampoline
+  execution with a seeded scheduler and virtual-time delays, making
+  race-condition tests reproducible without ``time.sleep``.
+
+Select with :class:`ExecutionConfig` (``mode="threaded" | "inline"``)
+or pass a shared model instance so broker and cluster drain together.
+"""
+
+from repro.runtime.execution import (
+    ExecutionConfig,
+    ExecutionModel,
+    InlineExecutionModel,
+    Mailbox,
+    ThreadedExecutionModel,
+    TimerHandle,
+    build_execution_model,
+    resolve_execution_model,
+)
+from repro.runtime.queues import BackpressurePolicy, BoundedQueue
+
+__all__ = [
+    "BackpressurePolicy",
+    "BoundedQueue",
+    "ExecutionConfig",
+    "ExecutionModel",
+    "InlineExecutionModel",
+    "Mailbox",
+    "ThreadedExecutionModel",
+    "TimerHandle",
+    "build_execution_model",
+    "resolve_execution_model",
+]

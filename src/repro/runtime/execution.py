@@ -1,0 +1,751 @@
+"""Pluggable execution models: one substrate under broker *and* grid.
+
+The seed reproduction ran its two asynchronous subsystems on divergent
+ad-hoc substrates — the event layer on a single dispatcher thread with
+a delay heap, the topology runtime on per-task threads with unbounded
+``queue.Queue``s — so throughput experiments measured Python
+thread-scheduling noise and every test synchronized by sleep-polling.
+This module extracts the substrate into a pluggable **ExecutionModel**
+with two implementations:
+
+* :class:`ThreadedExecutionModel` — one worker thread per mailbox over
+  a :class:`~repro.runtime.queues.BoundedQueue`, **batched dequeue**
+  (up to ``max_batch`` items per lock round-trip), configurable
+  backpressure, a shared timer thread for delayed deliveries, and
+  condition-variable quiescence: ``drain()`` blocks on an in-flight
+  counter instead of sleep-polling queue emptiness.
+
+* :class:`InlineExecutionModel` — a **deterministic single-threaded**
+  model.  ``put`` runs the whole downstream cascade synchronously on
+  the caller's thread (a trampoline, so re-entrant emissions enqueue
+  instead of recursing); delayed messages live on a **virtual-time**
+  heap and are only released by ``drain()``, which advances virtual
+  time step by step.  A seeded RNG picks the service order when several
+  mailboxes hold work, so racy interleavings are *reproducible*: the
+  paper's race conditions become plain synchronous test code with zero
+  ``time.sleep``.
+
+Terminology: a **mailbox** is a named FIFO plus a batch handler (a
+broker dispatcher, one bolt task); a **source** is a pull loop (a spout
+task).  ``schedule(mailbox, item, delay)`` is the only way work enters
+a model, which is what makes the in-flight accounting exact.
+"""
+
+from __future__ import annotations
+
+import abc
+import heapq
+import itertools
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from repro.errors import ExecutionConfigError
+from repro.runtime.queues import BackpressurePolicy, BoundedQueue
+
+BatchHandler = Callable[[List[Any]], None]
+#: Source pump protocol: returns True when it produced work, False when
+#: idle (nothing right now), None when exhausted (never call again).
+SourcePump = Callable[[], Optional[bool]]
+
+THREADED = "threaded"
+INLINE = "inline"
+
+
+@dataclass
+class ExecutionConfig:
+    """Tunables of the execution substrate (threaded or inline)."""
+
+    #: ``"threaded"`` (production-like, parallel) or ``"inline"``
+    #: (deterministic, synchronous, virtual-time delays).
+    mode: str = THREADED
+    #: Per-mailbox queue capacity; ``None`` means unbounded.
+    queue_capacity: Optional[int] = None
+    #: What a full queue does to producers: block / drop_oldest / error.
+    backpressure: Union[str, BackpressurePolicy] = BackpressurePolicy.BLOCK
+    #: Maximum items a mailbox handler receives per invocation.
+    max_batch: int = 64
+    #: Seed for the inline scheduler's service order (None = FIFO by
+    #: mailbox creation order).
+    seed: Optional[int] = None
+    #: Default worker join patience on shutdown.
+    shutdown_timeout: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in (THREADED, INLINE):
+            raise ExecutionConfigError(
+                f"unknown execution mode: {self.mode!r}"
+            )
+        if self.queue_capacity is not None and self.queue_capacity < 1:
+            raise ExecutionConfigError(
+                "queue_capacity must be >= 1 or None"
+            )
+        if self.max_batch < 1:
+            raise ExecutionConfigError("max_batch must be >= 1")
+        try:
+            self.backpressure = BackpressurePolicy.coerce(self.backpressure)
+        except ValueError:
+            raise ExecutionConfigError(
+                f"unknown backpressure policy: {self.backpressure!r}"
+            ) from None
+        if self.shutdown_timeout < 0:
+            raise ExecutionConfigError("shutdown_timeout must be >= 0")
+
+
+class TimerHandle:
+    """Cancellation handle returned by :meth:`ExecutionModel.call_later`."""
+
+    def __init__(self, cancel: Callable[[], None]):
+        self._cancel = cancel
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        if not self.cancelled:
+            self.cancelled = True
+            self._cancel()
+
+
+class Mailbox(abc.ABC):
+    """A named FIFO with a batch handler, owned by an execution model."""
+
+    name: str
+
+    @abc.abstractmethod
+    def put(self, item: Any) -> None:
+        ...
+
+    @abc.abstractmethod
+    def put_many(self, items: List[Any]) -> None:
+        ...
+
+    @abc.abstractmethod
+    def close(self, drain: bool = True) -> None:
+        ...
+
+    @abc.abstractmethod
+    def depth(self) -> int:
+        ...
+
+    @abc.abstractmethod
+    def stats(self) -> Dict[str, Any]:
+        ...
+
+
+class ExecutionModel(abc.ABC):
+    """Factory and scheduler for mailboxes, sources and timers."""
+
+    #: True when the model runs synchronously with reproducible order.
+    deterministic = False
+
+    def __init__(self, config: Optional[ExecutionConfig] = None):
+        self.config = config if config is not None else ExecutionConfig()
+
+    @abc.abstractmethod
+    def mailbox(
+        self,
+        name: str,
+        handler: BatchHandler,
+        capacity: Optional[int] = None,
+        policy: Optional[BackpressurePolicy] = None,
+    ) -> Mailbox:
+        """Create a mailbox whose handler receives item *batches*."""
+
+    @abc.abstractmethod
+    def add_source(self, name: str, pump: SourcePump) -> None:
+        """Register a pull loop (spout)."""
+
+    @abc.abstractmethod
+    def schedule(self, mailbox: Mailbox, item: Any,
+                 delay: float = 0.0) -> None:
+        """Enqueue *item*, optionally after *delay* seconds (virtual
+        seconds under the inline model)."""
+
+    @abc.abstractmethod
+    def call_later(self, delay: float,
+                   callback: Callable[[], None]) -> TimerHandle:
+        """Run *callback* after *delay*; inline models fire it when
+        ``drain()`` advances virtual time past it."""
+
+    @abc.abstractmethod
+    def drain(self, timeout: float = 5.0) -> bool:
+        """Block until every scheduled item (including delayed ones)
+        has been fully processed.  Condition-variable based — no
+        sleep-polling."""
+
+    @abc.abstractmethod
+    def shutdown(self, timeout: Optional[float] = None) -> None:
+        """Stop all workers; undelivered items are dropped."""
+
+    @abc.abstractmethod
+    def stats(self) -> Dict[str, Any]:
+        """One snapshot of every mailbox's queue/batch/throughput
+        counters plus model-level totals."""
+
+
+def build_execution_model(config: Optional[ExecutionConfig]) -> ExecutionModel:
+    config = config if config is not None else ExecutionConfig()
+    if config.mode == INLINE:
+        return InlineExecutionModel(config)
+    return ThreadedExecutionModel(config)
+
+
+def resolve_execution_model(
+    execution: Union[None, ExecutionConfig, ExecutionModel],
+) -> Tuple[ExecutionModel, bool]:
+    """Normalize an ``execution=`` argument to ``(model, owned)``.
+
+    ``None`` or an :class:`ExecutionConfig` build a fresh model the
+    caller owns (and must shut down); an :class:`ExecutionModel`
+    instance is shared — the caller closes only its own mailboxes.
+    """
+    if execution is None:
+        return build_execution_model(None), True
+    if isinstance(execution, ExecutionConfig):
+        return build_execution_model(execution), True
+    if isinstance(execution, ExecutionModel):
+        return execution, False
+    raise ExecutionConfigError(
+        f"execution must be None, ExecutionConfig or ExecutionModel, "
+        f"got {type(execution).__name__}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Threaded model
+# ---------------------------------------------------------------------------
+
+
+class _ThreadedMailbox(Mailbox):
+    def __init__(self, model: "ThreadedExecutionModel", name: str,
+                 handler: BatchHandler, capacity: Optional[int],
+                 policy: BackpressurePolicy):
+        self.name = name
+        self._model = model
+        self._handler = handler
+        self._queue = BoundedQueue(capacity=capacity, policy=policy,
+                                   name=name)
+        self.handled = 0
+        self.handler_errors = 0
+        self._worker = threading.Thread(
+            target=self._run, name=f"{name}-worker", daemon=True
+        )
+        self._worker.start()
+
+    # -- producer ---------------------------------------------------------
+
+    def put(self, item: Any) -> None:
+        self._model._track_put(self._queue, (item,))
+
+    def put_many(self, items: List[Any]) -> None:
+        self._model._track_put(self._queue, items)
+
+    # -- consumer ---------------------------------------------------------
+
+    def _run(self) -> None:
+        max_batch = self._model.config.max_batch
+        while True:
+            batch = self._queue.get_batch(max_batch, timeout=0.5)
+            if batch is None:
+                return
+            if not batch:
+                continue
+            try:
+                self._handler(batch)
+                self.handled += len(batch)
+            except Exception:  # noqa: BLE001 - a bad handler must never
+                # take down its worker; failures are the handler's to
+                # record (the topology runtime does), this is backstop.
+                self.handler_errors += 1
+            finally:
+                self._model._note_done(len(batch))
+
+    # -- lifecycle --------------------------------------------------------
+
+    def close(self, drain: bool = True) -> None:
+        discarded = self._queue.close(drain=drain)
+        if discarded:
+            self._model._note_done(discarded)
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        self._worker.join(timeout=timeout)
+
+    def depth(self) -> int:
+        return len(self._queue)
+
+    def stats(self) -> Dict[str, Any]:
+        snapshot = self._queue.stats()
+        snapshot["handled"] = self.handled
+        snapshot["handler_errors"] = self.handler_errors
+        return snapshot
+
+
+class ThreadedExecutionModel(ExecutionModel):
+    """Per-mailbox worker threads with exact in-flight accounting.
+
+    Every ``schedule``/``put`` increments a pending counter; the worker
+    decrements it only *after* the handler returned, so a handler that
+    enqueues follow-up work increments before its own decrement and
+    ``drain()`` can never observe a false quiescence window.
+    """
+
+    deterministic = False
+
+    def __init__(self, config: Optional[ExecutionConfig] = None):
+        super().__init__(config)
+        self._mailboxes: List[_ThreadedMailbox] = []
+        self._sources: List[Tuple[str, SourcePump, threading.Thread]] = []
+        self._pending = 0
+        self._quiet = threading.Condition()
+        self._sequence = itertools.count()
+        # Delayed deliveries: (due, seq, queue-or-None, item, cancelled).
+        self._timer_heap: List[Tuple[float, int, Optional[BoundedQueue],
+                                     Any, List[bool]]] = []
+        self._timer_cv = threading.Condition()
+        self._stopping = threading.Event()
+        self._timer_thread: Optional[threading.Thread] = None
+
+    # -- accounting -------------------------------------------------------
+
+    def _track_put(self, queue: BoundedQueue, items: Any) -> None:
+        items = list(items)
+        if not items:
+            return
+        with self._quiet:
+            self._pending += len(items)
+        try:
+            discarded = queue.put_many(items)
+        except Exception:
+            self._note_done(len(items))
+            raise
+        if discarded:
+            self._note_done(discarded)
+
+    def _note_done(self, count: int) -> None:
+        with self._quiet:
+            self._pending -= count
+            if self._pending <= 0:
+                self._quiet.notify_all()
+
+    # -- factory ----------------------------------------------------------
+
+    def mailbox(self, name, handler, capacity=None, policy=None):
+        box = _ThreadedMailbox(
+            self, name, handler,
+            capacity=(self.config.queue_capacity
+                      if capacity is None else capacity),
+            policy=(self.config.backpressure if policy is None
+                    else BackpressurePolicy.coerce(policy)),
+        )
+        self._mailboxes.append(box)
+        return box
+
+    def add_source(self, name: str, pump: SourcePump) -> None:
+        def loop() -> None:
+            while not self._stopping.is_set():
+                produced = pump()
+                if produced is None:
+                    return
+                if not produced:
+                    time.sleep(0.001)
+
+        thread = threading.Thread(target=loop, name=f"{name}-source",
+                                  daemon=True)
+        self._sources.append((name, pump, thread))
+        thread.start()
+
+    # -- scheduling -------------------------------------------------------
+
+    def schedule(self, mailbox: Mailbox, item: Any,
+                 delay: float = 0.0) -> None:
+        assert isinstance(mailbox, _ThreadedMailbox)
+        if delay <= 0:
+            mailbox.put(item)
+            return
+        with self._quiet:
+            self._pending += 1
+        due = time.monotonic() + delay
+        with self._timer_cv:
+            heapq.heappush(
+                self._timer_heap,
+                (due, next(self._sequence), mailbox._queue, item, [False]),
+            )
+            self._ensure_timer_thread()
+            self._timer_cv.notify()
+
+    def call_later(self, delay: float,
+                   callback: Callable[[], None]) -> TimerHandle:
+        # Untracked: fire-and-forget maintenance work (e.g. throttled
+        # query renewals) must not hold drain() hostage for seconds.
+        timer = threading.Timer(delay, callback)
+        timer.daemon = True
+        timer.start()
+        return TimerHandle(timer.cancel)
+
+    def _ensure_timer_thread(self) -> None:
+        if self._timer_thread is None or not self._timer_thread.is_alive():
+            self._timer_thread = threading.Thread(
+                target=self._timer_loop, name="execution-timer", daemon=True
+            )
+            self._timer_thread.start()
+
+    def _timer_loop(self) -> None:
+        while True:
+            with self._timer_cv:
+                while True:
+                    if self._stopping.is_set():
+                        return
+                    if not self._timer_heap:
+                        self._timer_cv.wait(timeout=0.5)
+                        continue
+                    due = self._timer_heap[0][0]
+                    remaining = due - time.monotonic()
+                    if remaining <= 0:
+                        _, _, queue, item, cancelled = heapq.heappop(
+                            self._timer_heap
+                        )
+                        break
+                    self._timer_cv.wait(timeout=min(remaining, 0.5))
+            if cancelled[0]:
+                self._note_done(1)
+                continue
+            # Already counted at schedule(); hand straight to the queue
+            # and only adjust for items it discarded.
+            discarded = queue.put(item)
+            if discarded:
+                self._note_done(discarded)
+
+    # -- quiescence -------------------------------------------------------
+
+    def drain(self, timeout: float = 5.0) -> bool:
+        deadline = time.monotonic() + timeout
+        with self._quiet:
+            while self._pending > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._quiet.wait(timeout=remaining)
+            return True
+
+    # -- lifecycle --------------------------------------------------------
+
+    def shutdown(self, timeout: Optional[float] = None) -> None:
+        timeout = (self.config.shutdown_timeout
+                   if timeout is None else timeout)
+        self._stopping.set()
+        with self._timer_cv:
+            dropped = len(self._timer_heap)
+            self._timer_heap.clear()
+            self._timer_cv.notify_all()
+        if dropped:
+            self._note_done(dropped)
+        for box in self._mailboxes:
+            box.close(drain=False)
+        deadline = time.monotonic() + timeout
+        for box in self._mailboxes:
+            box.join(timeout=max(0.0, deadline - time.monotonic()))
+        for _, _, thread in self._sources:
+            thread.join(timeout=max(0.0, deadline - time.monotonic()))
+        if self._timer_thread is not None:
+            self._timer_thread.join(
+                timeout=max(0.0, deadline - time.monotonic())
+            )
+
+    def stats(self) -> Dict[str, Any]:
+        with self._quiet:
+            pending = self._pending
+        return {
+            "mode": THREADED,
+            "pending": pending,
+            "max_batch": self.config.max_batch,
+            "mailboxes": {box.name: box.stats() for box in self._mailboxes},
+        }
+
+
+# ---------------------------------------------------------------------------
+# Inline (deterministic) model
+# ---------------------------------------------------------------------------
+
+
+class _InlineMailbox(Mailbox):
+    def __init__(self, model: "InlineExecutionModel", name: str,
+                 handler: BatchHandler, capacity: Optional[int],
+                 policy: BackpressurePolicy):
+        self.name = name
+        self._model = model
+        self._handler = handler
+        self._capacity = capacity
+        self._policy = policy
+        self._items: List[Any] = []
+        self._closed = False
+        self.enqueued = 0
+        self.handled = 0
+        self.dropped = 0
+        self.high_water = 0
+        self.batches = 0
+        self.largest_batch = 0
+        self.handler_errors = 0
+
+    def put(self, item: Any) -> None:
+        self._model._put(self, (item,))
+
+    def put_many(self, items: List[Any]) -> None:
+        self._model._put(self, items)
+
+    def _enqueue(self, item: Any) -> None:
+        """Append under the model lock; enforces drop/error policies.
+
+        ``block`` cannot suspend a single-threaded scheduler, so a
+        bounded inline mailbox treats it as unbounded (documented).
+        """
+        if self._closed:
+            self.dropped += 1
+            return
+        if self._capacity is not None and len(self._items) >= self._capacity:
+            if self._policy is BackpressurePolicy.ERROR:
+                from repro.errors import QueueOverflowError
+
+                raise QueueOverflowError(self.name, self._capacity)
+            if self._policy is BackpressurePolicy.DROP_OLDEST:
+                self._items.pop(0)
+                self.dropped += 1
+        self._items.append(item)
+        self.enqueued += 1
+        self.high_water = max(self.high_water, len(self._items))
+
+    def close(self, drain: bool = True) -> None:
+        with self._model._lock:
+            if drain:
+                self._model._pump()
+            self._closed = True
+            self.dropped += len(self._items)
+            self._items.clear()
+
+    def depth(self) -> int:
+        with self._model._lock:
+            return len(self._items)
+
+    def stats(self) -> Dict[str, Any]:
+        with self._model._lock:
+            return {
+                "depth": len(self._items),
+                "capacity": self._capacity,
+                "policy": self._policy.value,
+                "enqueued": self.enqueued,
+                "dequeued": self.handled,
+                "handled": self.handled,
+                "dropped": self.dropped,
+                "high_water": self.high_water,
+                "batches": self.batches,
+                "largest_batch": self.largest_batch,
+                "handler_errors": self.handler_errors,
+            }
+
+
+class InlineExecutionModel(ExecutionModel):
+    """Deterministic synchronous execution with virtual-time delays.
+
+    ``put`` triggers a trampoline that services mailboxes until no
+    undelayed work remains — on the caller's thread, so a publish
+    returns only after its entire downstream cascade ran.  Delayed
+    items wait on a virtual-time heap: they are released exclusively by
+    :meth:`drain`, which advances the virtual clock.  This is what
+    turns the paper's races into straight-line test code: work issued
+    *between* a delayed message and ``drain()`` deterministically wins
+    the race, every run.
+    """
+
+    deterministic = True
+
+    def __init__(self, config: Optional[ExecutionConfig] = None):
+        if config is None:
+            config = ExecutionConfig(mode=INLINE)
+        super().__init__(config)
+        self._lock = threading.RLock()
+        self._mailboxes: List[_InlineMailbox] = []
+        self._sources: List[Tuple[str, SourcePump]] = []
+        self._exhausted_sources: set = set()
+        self._running = False
+        self._vnow = 0.0
+        self._sequence = itertools.count()
+        # (virtual_due, seq, kind, target, payload, cancelled)
+        self._delayed: List[Tuple[float, int, str, Any, Any, List[bool]]] = []
+        self._rng = (None if self.config.seed is None
+                     else random.Random(self.config.seed))
+        self.handled_items = 0
+
+    @property
+    def virtual_now(self) -> float:
+        return self._vnow
+
+    # -- factory ----------------------------------------------------------
+
+    def mailbox(self, name, handler, capacity=None, policy=None):
+        box = _InlineMailbox(
+            self, name, handler,
+            capacity=(self.config.queue_capacity
+                      if capacity is None else capacity),
+            policy=(self.config.backpressure if policy is None
+                    else BackpressurePolicy.coerce(policy)),
+        )
+        with self._lock:
+            self._mailboxes.append(box)
+        return box
+
+    def add_source(self, name: str, pump: SourcePump) -> None:
+        with self._lock:
+            self._sources.append((name, pump))
+
+    # -- scheduling -------------------------------------------------------
+
+    def _put(self, box: _InlineMailbox, items: Any) -> None:
+        with self._lock:
+            for item in items:
+                box._enqueue(item)
+            if not self._running:
+                self._pump()
+
+    def schedule(self, mailbox: Mailbox, item: Any,
+                 delay: float = 0.0) -> None:
+        assert isinstance(mailbox, _InlineMailbox)
+        if delay <= 0:
+            mailbox.put(item)
+            return
+        with self._lock:
+            heapq.heappush(
+                self._delayed,
+                (self._vnow + delay, next(self._sequence), "item",
+                 mailbox, item, [False]),
+            )
+
+    def call_later(self, delay: float,
+                   callback: Callable[[], None]) -> TimerHandle:
+        cancelled = [False]
+        with self._lock:
+            heapq.heappush(
+                self._delayed,
+                (self._vnow + max(delay, 0.0), next(self._sequence),
+                 "call", None, callback, cancelled),
+            )
+
+        def cancel() -> None:
+            cancelled[0] = True
+
+        return TimerHandle(cancel)
+
+    # -- the trampoline ---------------------------------------------------
+
+    def _pump(self) -> None:
+        """Service mailboxes until no undelayed work remains."""
+        if self._running:
+            return
+        self._running = True
+        try:
+            while True:
+                candidates = [box for box in self._mailboxes if box._items]
+                if not candidates:
+                    return
+                if self._rng is not None and len(candidates) > 1:
+                    box = candidates[self._rng.randrange(len(candidates))]
+                else:
+                    box = candidates[0]
+                n = min(self.config.max_batch, len(box._items))
+                batch = box._items[:n]
+                del box._items[:n]
+                box.batches += 1
+                box.largest_batch = max(box.largest_batch, n)
+                try:
+                    box._handler(batch)
+                except Exception:  # noqa: BLE001 - mirror the threaded
+                    # model: handler failures never kill the scheduler.
+                    box.handler_errors += 1
+                box.handled += n
+                self.handled_items += n
+        finally:
+            self._running = False
+
+    def _pump_sources(self) -> bool:
+        progressed = False
+        for name, pump in self._sources:
+            if name in self._exhausted_sources:
+                continue
+            produced = pump()
+            if produced is None:
+                self._exhausted_sources.add(name)
+            elif produced:
+                progressed = True
+        return progressed
+
+    # -- quiescence: advance virtual time ---------------------------------
+
+    def drain(self, timeout: float = 5.0) -> bool:
+        deadline = time.monotonic() + timeout
+        with self._lock:
+            while True:
+                if time.monotonic() > deadline:
+                    return False
+                self._pump()
+                if any(box._items for box in self._mailboxes):
+                    continue
+                if self._pump_sources():
+                    continue
+                if self._delayed:
+                    due, _, kind, target, payload, cancelled = heapq.heappop(
+                        self._delayed
+                    )
+                    self._vnow = max(self._vnow, due)
+                    if cancelled[0]:
+                        continue
+                    if kind == "item":
+                        target._enqueue(payload)
+                    else:
+                        try:
+                            payload()
+                        except Exception:  # noqa: BLE001
+                            pass
+                    continue
+                return True
+
+    def advance(self, seconds: float) -> None:
+        """Release delayed work due within *seconds* of virtual time."""
+        with self._lock:
+            horizon = self._vnow + seconds
+            while self._delayed and self._delayed[0][0] <= horizon:
+                due, _, kind, target, payload, cancelled = heapq.heappop(
+                    self._delayed
+                )
+                self._vnow = max(self._vnow, due)
+                if cancelled[0]:
+                    continue
+                if kind == "item":
+                    target._enqueue(payload)
+                else:
+                    try:
+                        payload()
+                    except Exception:  # noqa: BLE001
+                        pass
+                self._pump()
+            self._vnow = max(self._vnow, horizon)
+
+    # -- lifecycle --------------------------------------------------------
+
+    def shutdown(self, timeout: Optional[float] = None) -> None:
+        with self._lock:
+            self._delayed.clear()
+            for box in self._mailboxes:
+                box._closed = True
+                box._items.clear()
+            self._sources.clear()
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "mode": INLINE,
+                "pending": sum(len(box._items) for box in self._mailboxes),
+                "delayed": len(self._delayed),
+                "virtual_now": self._vnow,
+                "max_batch": self.config.max_batch,
+                "mailboxes": {box.name: box.stats()
+                              for box in self._mailboxes},
+            }

@@ -1,0 +1,207 @@
+"""Bounded FIFO queues with pluggable backpressure and batched dequeue.
+
+The seed reproduction ran every asynchronous hand-off over an unbounded
+``queue.Queue`` — nothing limited memory under a write burst, and every
+consumer paid one lock round-trip per tuple.  :class:`BoundedQueue` is
+the shared primitive both the event layer and the matching-grid runtime
+now sit on:
+
+* an optional **capacity** with a configurable overflow policy —
+  ``block`` the producer (classic backpressure), ``drop_oldest``
+  (load-shedding, keeps the freshest data, appropriate for the paper's
+  at-most-once event layer), or ``error`` (fail fast, surfaces
+  saturation to the caller);
+* **batched dequeue** — a consumer takes up to ``max_batch`` items in
+  one lock acquisition, which is what lets filtering nodes process
+  after-images in chunks instead of one tuple at a time;
+* depth / high-water / drop counters for the ``stats()`` snapshots.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, Dict, Iterable, List, Optional
+
+from repro.errors import QueueOverflowError
+
+
+class BackpressurePolicy(enum.Enum):
+    """What a full bounded queue does to the producer."""
+
+    BLOCK = "block"
+    DROP_OLDEST = "drop_oldest"
+    ERROR = "error"
+
+    @classmethod
+    def coerce(cls, value: Any) -> "BackpressurePolicy":
+        if isinstance(value, cls):
+            return value
+        return cls(str(value))
+
+
+class BoundedQueue:
+    """A thread-safe FIFO with optional capacity and batched dequeue.
+
+    ``put``/``put_many`` return the number of items *discarded* as a
+    consequence of the call (evictions under ``drop_oldest``, or the
+    offered items themselves when the queue is closed) so callers can
+    keep exact in-flight accounting.
+    """
+
+    def __init__(
+        self,
+        capacity: Optional[int] = None,
+        policy: BackpressurePolicy = BackpressurePolicy.BLOCK,
+        name: str = "queue",
+    ):
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 or None (unbounded)")
+        self.name = name
+        self.capacity = capacity
+        self.policy = BackpressurePolicy.coerce(policy)
+        self._items: Deque[Any] = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        self._closed = False
+        # Counters (guarded by _lock).
+        self.enqueued = 0
+        self.dequeued = 0
+        self.dropped = 0
+        self.high_water = 0
+        self.batches = 0
+        self.largest_batch = 0
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+
+    def put(self, item: Any, timeout: Optional[float] = None) -> int:
+        return self.put_many((item,), timeout=timeout)
+
+    def put_many(self, items: Iterable[Any],
+                 timeout: Optional[float] = None) -> int:
+        """Enqueue *items* in order; returns the number discarded."""
+        items = list(items)
+        if not items:
+            return 0
+        discarded = 0
+        with self._not_full:
+            if self._closed:
+                return len(items)
+            for item in items:
+                if self.capacity is not None:
+                    if self.policy is BackpressurePolicy.BLOCK:
+                        if not self._wait_not_full(timeout):
+                            discarded += 1
+                            continue
+                        if self._closed:
+                            discarded += 1
+                            continue
+                    elif len(self._items) >= self.capacity:
+                        if self.policy is BackpressurePolicy.ERROR:
+                            raise QueueOverflowError(self.name, self.capacity)
+                        self._items.popleft()  # DROP_OLDEST
+                        self.dropped += 1
+                        discarded += 1
+                self._items.append(item)
+                self.enqueued += 1
+            self.high_water = max(self.high_water, len(self._items))
+            self._not_empty.notify()
+        return discarded
+
+    def _wait_not_full(self, timeout: Optional[float]) -> bool:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while len(self._items) >= self.capacity and not self._closed:
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+            self._not_full.wait(timeout=remaining)
+        return True
+
+    # ------------------------------------------------------------------
+    # Consumer side
+    # ------------------------------------------------------------------
+
+    def get_batch(self, max_batch: int,
+                  timeout: Optional[float] = None) -> Optional[List[Any]]:
+        """Take up to *max_batch* immediately-available items.
+
+        Blocks until at least one item is available (it never waits to
+        *fill* the batch — latency beats batch size).  Returns ``[]`` on
+        timeout, and ``None`` once the queue is closed and empty — the
+        consumer's signal to exit.
+        """
+        with self._not_empty:
+            if not self._items:
+                if self._closed:
+                    return None
+                deadline = (None if timeout is None
+                            else time.monotonic() + timeout)
+                while not self._items:
+                    if self._closed:
+                        return None if not self._items else []
+                    remaining = None
+                    if deadline is not None:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            return []
+                    self._not_empty.wait(timeout=remaining)
+            n = min(max_batch, len(self._items))
+            batch = [self._items.popleft() for _ in range(n)]
+            self.dequeued += n
+            self.batches += 1
+            self.largest_batch = max(self.largest_batch, n)
+            self._not_full.notify_all()
+            return batch
+
+    # ------------------------------------------------------------------
+    # Lifecycle & introspection
+    # ------------------------------------------------------------------
+
+    def close(self, drain: bool = True) -> int:
+        """Close the queue; returns the number of discarded items.
+
+        With ``drain=True`` queued items remain consumable (the consumer
+        finishes them, then sees ``None``); with ``drain=False`` they
+        are discarded immediately.
+        """
+        with self._lock:
+            if self._closed:
+                return 0
+            self._closed = True
+            discarded = 0
+            if not drain:
+                discarded = len(self._items)
+                self.dropped += discarded
+                self._items.clear()
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+            return discarded
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "depth": len(self._items),
+                "capacity": self.capacity,
+                "policy": self.policy.value,
+                "enqueued": self.enqueued,
+                "dequeued": self.dequeued,
+                "dropped": self.dropped,
+                "high_water": self.high_water,
+                "batches": self.batches,
+                "largest_batch": self.largest_batch,
+            }

@@ -26,7 +26,7 @@ from repro.stream.topology import (
     Topology,
     TopologyBuilder,
 )
-from repro.stream.runtime import LocalRuntime
+from repro.stream.runtime import LocalRuntime, TaskFailure
 
 __all__ = [
     "AllGrouping",
@@ -36,6 +36,7 @@ __all__ = [
     "FieldsGrouping",
     "Grouping",
     "LocalRuntime",
+    "TaskFailure",
     "ShuffleGrouping",
     "Spout",
     "Topology",

@@ -1,28 +1,51 @@
-"""Threaded local executor for topologies.
+"""Local executor for topologies on the pluggable execution substrate.
 
-Each task (component instance) gets its own unbounded input queue and
-worker thread; spout tasks additionally get a pull loop.  Emission from
-inside ``process``/``next_batch`` routes through the topology's edges:
-the grouping selects destination task indices and the tuple is enqueued
-there.  This mirrors Storm's local mode closely enough for InvaliDB's
-needs — partitioned, ordered-per-edge, asynchronous dataflow.
+Each task (component instance) gets a mailbox from the configured
+:class:`~repro.runtime.execution.ExecutionModel`; spout tasks register
+a pull source.  Under the default threaded model that means one worker
+thread per task over a (optionally bounded) queue with **batched
+dequeue** — a bolt receives chunks of tuples per lock round-trip, via
+:meth:`Bolt.process_batch` — and **batched emission**: tuples emitted
+while a batch is processed are buffered and flushed to each destination
+mailbox in one call.  Under the deterministic inline model the same
+topology runs synchronously with a seeded scheduler.  This mirrors
+Storm's local mode closely enough for InvaliDB's needs — partitioned,
+ordered-per-edge, asynchronous dataflow — while keeping both the event
+layer and the matching grid on one substrate.
 """
 
 from __future__ import annotations
 
-import queue
+import itertools
 import threading
-import time
-from typing import Any, Dict, List, Mapping, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Union
 
 from repro.errors import RuntimeStateError
+from repro.runtime.execution import (
+    ExecutionConfig,
+    ExecutionModel,
+    Mailbox,
+    resolve_execution_model,
+)
 from repro.stream.topology import Bolt, Component, ComponentSpec, Spout, Topology
 
-_STOP = object()
+
+@dataclass
+class TaskFailure:
+    """One failed tuple (or batch): where, what, and why.
+
+    The seed silently swallowed the exception and the offending tuple;
+    keeping both makes log-and-go failures debuggable."""
+
+    component: str
+    task_index: int
+    error: Optional[BaseException] = None
+    tuple: Optional[Any] = None
 
 
 class _Task:
-    """One running component instance with its queue and thread."""
+    """One running component instance with its mailbox (or source)."""
 
     def __init__(
         self,
@@ -34,66 +57,139 @@ class _Task:
         self.spec = spec
         self.task_index = task_index
         self.component: Component = spec.build_task()
-        self.queue: "queue.Queue[Any]" = queue.Queue()
+        self.name = f"{spec.name}[{task_index}]"
+        self.mailbox: Optional[Mailbox] = None
         self.processed = 0
-        name = f"{spec.name}[{task_index}]"
-        self.thread = threading.Thread(target=self._run, name=name, daemon=True)
+        # Emission buffer, populated only while a batch is in flight on
+        # this task's (single) worker; flushed grouped by destination.
+        self._out: Optional[List[Any]] = None
+        self._custom_batch = (
+            isinstance(self.component, Bolt)
+            and type(self.component).process_batch is not Bolt.process_batch
+        )
+
+    def attach(self, model: ExecutionModel) -> None:
+        self.component.prepare(
+            self.task_index, self.spec.parallelism, self._emit
+        )
+        if not isinstance(self.component, Spout):
+            self.mailbox = model.mailbox(self.name, self._handle_batch)
+
+    def attach_source(self, model: ExecutionModel) -> None:
+        """Register the spout pull loop — after every mailbox exists,
+        so an eagerly-pumping source cannot emit into a void."""
+        if isinstance(self.component, Spout):
+            model.add_source(self.name, self._pump_spout)
+
+    # -- emission (routing resolved eagerly, delivery batched) ----------
 
     def _emit(self, tuple_: Mapping[str, Any]) -> None:
-        self.runtime._route(self.spec.name, tuple_)
+        runtime = self.runtime
+        for edge in runtime.topology.outgoing(self.spec.name):
+            targets = runtime._tasks[edge.target]
+            for index in edge.grouping.select(tuple_, len(targets)):
+                destination = targets[index]
+                if self._out is not None:
+                    self._out.append((destination, tuple_))
+                elif destination.mailbox is not None:
+                    destination.mailbox.put(tuple_)
 
-    def _run(self) -> None:
-        component = self.component
-        component.prepare(self.task_index, self.spec.parallelism, self._emit)
+    def _flush(self) -> None:
+        out, self._out = self._out, None
+        if not out:
+            return
+        grouped: Dict[int, List[Any]] = {}
+        order: List["_Task"] = []
+        for destination, tuple_ in out:
+            bucket = grouped.setdefault(id(destination), [])
+            if not bucket:
+                order.append(destination)
+            bucket.append(tuple_)
+        for destination in order:
+            if destination.mailbox is not None:
+                destination.mailbox.put_many(grouped[id(destination)])
+
+    # -- bolt path -------------------------------------------------------
+
+    def _handle_batch(self, batch: List[Any]) -> None:
+        bolt = self.component
+        self._out = []
         try:
-            if isinstance(component, Spout):
-                self._run_spout(component)
+            if self._custom_batch:
+                try:
+                    bolt.process_batch(batch)
+                except Exception as exc:  # noqa: BLE001 - a failing batch
+                    # must not kill the task; Storm would replay/ack,
+                    # we record-and-go.
+                    self.runtime.record_failure(
+                        self.spec.name, self.task_index,
+                        error=exc, tuple_=list(batch),
+                    )
+                self.processed += len(batch)
             else:
-                self._run_bolt(component)
+                for tuple_ in batch:
+                    try:
+                        bolt.process(tuple_)
+                    except Exception as exc:  # noqa: BLE001
+                        self.runtime.record_failure(
+                            self.spec.name, self.task_index,
+                            error=exc, tuple_=tuple_,
+                        )
+                    self.processed += 1
         finally:
-            component.cleanup()
+            self._flush()
 
-    def _run_spout(self, spout: Spout) -> None:
-        while not self.runtime._stopping.is_set():
-            batch = spout.next_batch()
-            if batch is None:
-                return
-            if not batch:
-                time.sleep(0.001)
-                continue
+    # -- spout path ------------------------------------------------------
+
+    def _pump_spout(self) -> Optional[bool]:
+        if self.runtime._stopping.is_set():
+            return None
+        spout = self.component
+        assert isinstance(spout, Spout)
+        batch = spout.next_batch()
+        if batch is None:
+            self.component.cleanup()
+            return None
+        if not batch:
+            return False
+        self._out = []
+        try:
             for tuple_ in batch:
                 self._emit(tuple_)
                 self.processed += 1
-
-    def _run_bolt(self, bolt: Bolt) -> None:
-        while True:
-            item = self.queue.get()
-            if item is _STOP:
-                return
-            try:
-                bolt.process(item)
-            except Exception:  # noqa: BLE001 - a failing tuple must not
-                # kill the task; Storm would replay/ack, we log-and-go.
-                self.runtime.record_failure(self.spec.name, self.task_index)
-            self.processed += 1
-            self.queue.task_done()
+        finally:
+            self._flush()
+        return True
 
 
 class LocalRuntime:
-    """Runs a :class:`Topology` on local threads."""
+    """Runs a :class:`Topology` on a pluggable execution model."""
 
-    def __init__(self, topology: Topology):
+    def __init__(
+        self,
+        topology: Topology,
+        execution: Union[None, ExecutionConfig, ExecutionModel] = None,
+    ):
         self.topology = topology
+        self._execution, self._owns_execution = resolve_execution_model(
+            execution
+        )
         self._tasks: Dict[str, List[_Task]] = {}
         self._started = False
         self._stopped = False
         self._stopping = threading.Event()
-        self._failures: List[Tuple[str, int]] = []
+        self._failures: List[TaskFailure] = []
         self._failure_lock = threading.Lock()
+        self._inject_counters: Dict[str, "itertools.count[int]"] = {}
         for spec in topology.components.values():
             self._tasks[spec.name] = [
                 _Task(self, spec, index) for index in range(spec.parallelism)
             ]
+            self._inject_counters[spec.name] = itertools.count()
+
+    @property
+    def execution(self) -> ExecutionModel:
+        return self._execution
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -103,7 +199,10 @@ class LocalRuntime:
         self._started = True
         for tasks in self._tasks.values():
             for task in tasks:
-                task.thread.start()
+                task.attach(self._execution)
+        for tasks in self._tasks.values():
+            for task in tasks:
+                task.attach_source(self._execution)
         return self
 
     def stop(self, timeout: float = 2.0) -> None:
@@ -111,15 +210,28 @@ class LocalRuntime:
             return
         self._stopped = True
         self._stopping.set()
+        # Graceful: queued tuples are still processed, then workers exit.
+        for tasks in self._tasks.values():
+            for task in tasks:
+                if task.mailbox is not None:
+                    task.mailbox.close(drain=True)
+        if self._owns_execution:
+            self._execution.shutdown(timeout)
+        else:
+            # Shared model (e.g. with the event layer): only this
+            # runtime's workers wind down, the model keeps serving.
+            import time as _time
+
+            deadline = _time.monotonic() + timeout
+            for tasks in self._tasks.values():
+                for task in tasks:
+                    join = getattr(task.mailbox, "join", None)
+                    if join is not None:
+                        join(timeout=max(0.0, deadline - _time.monotonic()))
         for tasks in self._tasks.values():
             for task in tasks:
                 if isinstance(task.component, Bolt):
-                    task.queue.put(_STOP)
-        deadline = time.monotonic() + timeout
-        for tasks in self._tasks.values():
-            for task in tasks:
-                remaining = max(0.0, deadline - time.monotonic())
-                task.thread.join(timeout=remaining)
+                    task.component.cleanup()
 
     def __enter__(self) -> "LocalRuntime":
         return self.start()
@@ -132,38 +244,54 @@ class LocalRuntime:
     def inject(self, component: str, tuple_: Mapping[str, Any]) -> None:
         """Push a tuple into *component* from outside the topology.
 
-        The tuple is routed exactly as if an upstream component had
-        emitted it on an edge into *component* — i.e. through that
-        component's incoming groupings is NOT applied; instead the
-        caller addresses the component and the runtime shuffles across
-        its tasks unless a ``__task__`` field selects one directly.
+        Incoming-edge groupings do not apply here — there is no edge:
+        the caller addresses the component directly.  The runtime
+        round-robins across the component's tasks for an even spread
+        (the seed hashed ``id(tuple_)``, which CPython recycles, badly
+        skewing the distribution), unless an integer ``__task__`` field
+        selects a task explicitly.
         """
         tasks = self._tasks.get(component)
         if tasks is None:
             raise RuntimeStateError(f"unknown component: {component!r}")
         task_field = tuple_.get("__task__")
         if isinstance(task_field, int):
-            tasks[task_field % len(tasks)].queue.put(tuple_)
-            return
-        index = hash(id(tuple_)) % len(tasks) if len(tasks) > 1 else 0
-        tasks[index].queue.put(tuple_)
-
-    def _route(self, source: str, tuple_: Mapping[str, Any]) -> None:
-        for edge in self.topology.outgoing(source):
-            targets = self._tasks[edge.target]
-            for index in edge.grouping.select(tuple_, len(targets)):
-                targets[index].queue.put(tuple_)
+            index = task_field % len(tasks)
+        elif len(tasks) == 1:
+            index = 0
+        else:
+            index = next(self._inject_counters[component]) % len(tasks)
+        mailbox = tasks[index].mailbox
+        if mailbox is not None:
+            mailbox.put(tuple_)
 
     # -- introspection -----------------------------------------------------------
 
-    def record_failure(self, component: str, task_index: int) -> None:
+    def record_failure(
+        self,
+        component: str,
+        task_index: int,
+        error: Optional[BaseException] = None,
+        tuple_: Optional[Any] = None,
+    ) -> None:
         with self._failure_lock:
-            self._failures.append((component, task_index))
+            self._failures.append(
+                TaskFailure(component, task_index, error, tuple_)
+            )
 
     @property
-    def failures(self) -> List[Tuple[str, int]]:
+    def failures(self) -> List[TaskFailure]:
         with self._failure_lock:
             return list(self._failures)
+
+    def failure_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {name: 0 for name in self._tasks}
+        with self._failure_lock:
+            for failure in self._failures:
+                counts[failure.component] = (
+                    counts.get(failure.component, 0) + 1
+                )
+        return counts
 
     def task_components(self, component: str) -> List[Component]:
         """The live component instances of *component* (for inspection)."""
@@ -175,21 +303,51 @@ class LocalRuntime:
             for name, tasks in self._tasks.items()
         }
 
+    def stats(self) -> Dict[str, Any]:
+        """One snapshot: per-component queue depth, batch sizes,
+        throughput and failure counts, plus the execution model's own
+        counters."""
+        failure_counts = self.failure_counts()
+        components: Dict[str, Any] = {}
+        for name, tasks in self._tasks.items():
+            queue_depth = high_water = dropped = batches = 0
+            largest_batch = 0
+            for task in tasks:
+                if task.mailbox is None:
+                    continue
+                box = task.mailbox.stats()
+                queue_depth += box["depth"]
+                high_water += box["high_water"]
+                dropped += box["dropped"]
+                batches += box["batches"]
+                largest_batch = max(largest_batch, box["largest_batch"])
+            components[name] = {
+                "tasks": len(tasks),
+                "processed": sum(task.processed for task in tasks),
+                "failed": failure_counts.get(name, 0),
+                "queue_depth": queue_depth,
+                "queue_high_water": high_water,
+                "dropped": dropped,
+                "batches": batches,
+                "largest_batch": largest_batch,
+            }
+        return {
+            "components": components,
+            "failures": sum(failure_counts.values()),
+            "execution": self._execution.stats(),
+        }
+
     def idle(self) -> bool:
-        """True when every bolt queue is empty (approximate quiescence)."""
+        """True when every bolt mailbox is empty (approximate quiescence;
+        prefer :meth:`drain`, which also covers in-flight batches)."""
         return all(
-            task.queue.empty()
+            task.mailbox.depth() == 0
             for tasks in self._tasks.values()
             for task in tasks
+            if task.mailbox is not None
         )
 
     def drain(self, timeout: float = 5.0) -> bool:
-        """Wait until all queues are empty twice in a row."""
-        deadline = time.monotonic() + timeout
-        while time.monotonic() < deadline:
-            if self.idle():
-                time.sleep(0.01)
-                if self.idle():
-                    return True
-            time.sleep(0.005)
-        return False
+        """Block until all queued and in-flight tuples were processed
+        (condition-variable quiescence on the execution model)."""
+        return self._execution.drain(timeout)

@@ -68,6 +68,19 @@ class Bolt(Component):
     def process(self, tuple_: Tuple_) -> None:
         ...
 
+    def process_batch(self, tuples: Sequence[Tuple_]) -> None:
+        """Process a chunk of tuples in arrival order.
+
+        The runtime dequeues in batches; a bolt that can amortize work
+        across a chunk (shared lookups, one emission pass) overrides
+        this.  Note the failure granularity changes with it: the
+        runtime isolates failures per *call*, so an override that
+        raises loses the whole batch, while this default loses only the
+        offending tuple.
+        """
+        for tuple_ in tuples:
+            self.process(tuple_)
+
 
 class Grouping(abc.ABC):
     """Maps an emitted tuple to destination task indices."""

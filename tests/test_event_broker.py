@@ -179,6 +179,131 @@ class TestChannelNames:
         assert write_channel("a") != write_channel("b")
 
 
+class TestUnderLoad:
+    """Satellite scenarios: subscription churn, overlapping subscriber
+    kinds, delayed in-flight messages and bounded-queue overflow."""
+
+    def test_publish_while_unsubscribing(self, broker):
+        """Closing a subscription concurrently with a publish storm must
+        neither crash nor deliver after close completes on all paths;
+        double-close from racing threads unsubscribes exactly once."""
+        received = []
+        lock = threading.Lock()
+
+        def listener(channel, payload):
+            with lock:
+                received.append(payload)
+
+        subscriptions = [broker.subscribe("ch", listener) for _ in range(8)]
+        stop = threading.Event()
+
+        def publisher():
+            value = 0
+            while not stop.is_set():
+                broker.publish("ch", value)
+                value += 1
+
+        def closer(subscription):
+            subscription.close()
+            subscription.close()  # idempotent from this thread...
+
+        publisher_thread = threading.Thread(target=publisher, daemon=True)
+        publisher_thread.start()
+        # ...and racing closers: every subscription closed from two
+        # threads at once.
+        closers = [
+            threading.Thread(target=closer, args=(subscription,))
+            for subscription in subscriptions
+            for _ in range(2)
+        ]
+        for thread in closers:
+            thread.start()
+        for thread in closers:
+            thread.join()
+        stop.set()
+        publisher_thread.join(timeout=5.0)
+        assert broker.drain(timeout=5.0)
+        assert all(not s.active for s in subscriptions)
+        # No listener runs after drain: all registrations are gone.
+        before = len(received)
+        broker.publish("ch", "late")
+        assert broker.drain(timeout=5.0)
+        assert len(received) == before
+
+    def test_pattern_and_exact_subscriber_on_same_channel(self, broker):
+        exact, pattern = [], []
+        broker.subscribe("invalidb:notify:app-1",
+                         lambda c, p: exact.append(p))
+        broker.psubscribe("invalidb:notify:*",
+                          lambda c, p: pattern.append(p))
+        for value in range(20):
+            broker.publish("invalidb:notify:app-1", value)
+        assert broker.drain(timeout=5.0)
+        assert exact == list(range(20))
+        assert pattern == list(range(20))
+        assert broker.stats["delivered"] == 40
+
+    def test_drain_waits_for_delayed_in_flight_message(self):
+        """drain() must cover a message still sitting on the delay heap
+        — not report quiescence just because the queue looks empty."""
+        broker = Broker(delay_fn=lambda ch: 0.1 if ch == "slow" else 0.0)
+        try:
+            received = []
+            broker.subscribe("slow", lambda c, p: received.append(p))
+            broker.publish("slow", "late-bloomer")
+            assert received == []  # still in delayed flight
+            assert broker.drain(timeout=5.0)
+            assert received == ["late-bloomer"]
+        finally:
+            broker.close()
+
+    def test_bounded_queue_error_policy_surfaces_saturation(self):
+        from repro.errors import QueueOverflowError
+        from repro.runtime.execution import ExecutionConfig
+
+        broker = Broker(execution=ExecutionConfig(
+            queue_capacity=2, backpressure="error", max_batch=1
+        ))
+        try:
+            gate = threading.Event()
+            broker.subscribe("ch", lambda c, p: gate.wait(timeout=5.0))
+            with pytest.raises(QueueOverflowError):
+                # The dispatcher is stuck on the first message; the
+                # bounded mailbox fills and the publisher fails fast.
+                for value in range(50):
+                    broker.publish("ch", value)
+            gate.set()
+            broker.drain(timeout=5.0)
+        finally:
+            broker.close()
+
+    def test_bounded_queue_drop_oldest_sheds_load(self):
+        from repro.runtime.execution import ExecutionConfig
+
+        broker = Broker(execution=ExecutionConfig(
+            queue_capacity=4, backpressure="drop_oldest", max_batch=1
+        ))
+        try:
+            gate = threading.Event()
+            received = []
+
+            def listener(channel, payload):
+                gate.wait(timeout=5.0)
+                received.append(payload)
+
+            broker.subscribe("ch", listener)
+            for value in range(50):
+                broker.publish("ch", value)
+            gate.set()
+            assert broker.drain(timeout=5.0)
+            # Load was shed, the freshest messages survived.
+            assert broker.stats["dropped"] > 0
+            assert len(received) < 50
+            assert received[-1] == 49
+        finally:
+            broker.close()
+
+
 class TestConcurrency:
     def test_concurrent_publishers_keep_all_messages(self, broker):
         received = []

@@ -5,9 +5,12 @@ application logic, even overburdening the real-time component cannot
 take down the OLTP system: in the worst-case scenario, the InvaliDB
 cluster is taken down and requests sent against the event layer remain
 unanswered."
-"""
 
-import time
+All scenarios run on the deterministic :class:`InlineExecutionModel`:
+outages, restarts and heartbeat supervision are driven step by step
+(``drain()``, ``publish_heartbeat()``) instead of being raced against
+wall-clock timers.
+"""
 
 import pytest
 
@@ -15,113 +18,129 @@ from repro.core.cluster import InvaliDBCluster
 from repro.core.config import InvaliDBConfig
 from repro.core.server import AppServer
 from repro.event.broker import Broker
+from repro.runtime.execution import ExecutionConfig, InlineExecutionModel
 
-from tests.conftest import settle
 
-
-def wait_for(predicate, timeout=5.0):
-    deadline = time.monotonic() + timeout
-    while time.monotonic() < deadline:
-        if predicate():
-            return True
-        time.sleep(0.01)
-    return False
+@pytest.fixture
+def inline_broker():
+    model = InlineExecutionModel(ExecutionConfig(mode="inline", seed=11))
+    broker = Broker(execution=model)
+    yield broker
+    broker.close()
+    model.shutdown()
 
 
 class TestIsolatedFailureDomain:
-    def test_oltp_survives_cluster_outage(self, broker, cluster_factory,
-                                          app_server_factory):
+    def test_oltp_survives_cluster_outage(self, inline_broker):
         """Pull-based reads and writes keep working with the real-time
         component down; its requests simply go unanswered."""
-        cluster = cluster_factory(2, 2)
-        app = app_server_factory()
-        subscription = app.subscribe("items", {"v": {"$gte": 0}})
-        app.insert("items", {"_id": 1, "v": 1})
-        settle(cluster, broker)
-        assert wait_for(lambda: subscription.change_count == 1)
+        broker = inline_broker
+        config = InvaliDBConfig(query_partitions=2, write_partitions=2)
+        cluster = InvaliDBCluster(broker, config).start()
+        app = AppServer("app-1", broker, config=config)
+        try:
+            subscription = app.subscribe("items", {"v": {"$gte": 0}})
+            app.insert("items", {"_id": 1, "v": 1})
+            assert broker.drain()
+            assert subscription.change_count == 1
 
-        cluster.stop()  # the real-time component dies
+            cluster.stop()  # the real-time component dies
 
-        # OLTP path: fully functional.
-        app.insert("items", {"_id": 2, "v": 2})
-        app.update("items", 1, {"$set": {"v": 10}})
-        assert len(app.find("items", {})) == 2
-        assert app.find("items", {"v": 10})[0]["_id"] == 1
-        # Push path: silent (no crash, no notification).
-        time.sleep(0.3)
-        broker.drain()
-        assert subscription.change_count == 1
+            # OLTP path: fully functional.
+            app.insert("items", {"_id": 2, "v": 2})
+            app.update("items", 1, {"$set": {"v": 10}})
+            assert len(app.find("items", {})) == 2
+            assert app.find("items", {"v": 10})[0]["_id"] == 1
+            # Push path: silent (no crash, no notification).
+            assert broker.drain()
+            assert subscription.change_count == 1
+        finally:
+            app.close()
+            cluster.stop()
 
-    def test_subscribing_against_dead_cluster_does_not_block(self, broker,
-                                                             cluster_factory,
-                                                             app_server_factory):
-        cluster = cluster_factory(1, 1)
+    def test_subscribing_against_dead_cluster_does_not_block(
+            self, inline_broker):
+        broker = inline_broker
+        config = InvaliDBConfig(query_partitions=1, write_partitions=1)
+        cluster = InvaliDBCluster(broker, config).start()
         cluster.stop()
-        app = app_server_factory()
-        subscription = app.subscribe("items", {"v": 1})
-        # The initial result comes from the database, synchronously.
-        assert subscription.initial is not None
-        assert subscription.initial.documents == []
+        app = AppServer("app-1", broker, config=config)
+        try:
+            subscription = app.subscribe("items", {"v": 1})
+            # The initial result comes from the database, synchronously.
+            assert subscription.initial is not None
+            assert subscription.initial.documents == []
+        finally:
+            app.close()
 
 
 class TestRecovery:
-    def test_resubscribe_all_after_cluster_restart(self, broker,
-                                                   app_server_factory):
+    def test_resubscribe_all_after_cluster_restart(self, inline_broker):
         """After a cluster replacement, re-subscription restores push
         delivery and the sorting stage emits catch-up deltas."""
+        broker = inline_broker
         config = InvaliDBConfig(query_partitions=2, write_partitions=2)
         first = InvaliDBCluster(broker, config).start()
-        app = app_server_factory(config=config)
-        for index in range(6):
-            app.insert("articles", {"_id": index, "year": 2000 + index})
-        settle(first, broker)
-        flat = app.subscribe("articles", {"year": {"$gte": 2003}})
-        sorted_sub = app.subscribe("articles", {}, sort=[("year", -1)],
-                                   limit=3)
-        settle(first, broker)
-        first.stop()
-
-        # Writes during the outage are missed by the push path...
-        app.insert("articles", {"_id": 100, "year": 2050})
-        time.sleep(0.2)
-
-        # ...until a fresh cluster comes up and the client re-subscribes.
-        second = InvaliDBCluster(broker, config).start()
+        app = AppServer("app-1", broker, config=config)
         try:
-            assert app.client.resubscribe_all() == 2
-            settle(second, broker)
-            # The sorted subscription received the catch-up delta: the
-            # 2050 article entered its window during re-registration.
-            assert wait_for(
-                lambda: any(
-                    n.key == 100 for n in sorted_sub.notifications
-                )
-            )
-            # New writes flow again for both subscriptions.
-            app.insert("articles", {"_id": 101, "year": 2060})
-            settle(second, broker)
-            assert wait_for(
-                lambda: any(n.key == 101 for n in flat.notifications)
-            )
-            assert wait_for(
-                lambda: any(n.key == 101 for n in sorted_sub.notifications)
-            )
-            assert [d["_id"] for d in sorted_sub.result()] == [101, 100, 5]
+            for index in range(6):
+                app.insert("articles", {"_id": index, "year": 2000 + index})
+            assert broker.drain()
+            flat = app.subscribe("articles", {"year": {"$gte": 2003}})
+            sorted_sub = app.subscribe("articles", {}, sort=[("year", -1)],
+                                       limit=3)
+            assert broker.drain()
+            first.stop()
+
+            # Writes during the outage are missed by the push path...
+            app.insert("articles", {"_id": 100, "year": 2050})
+            assert broker.drain()
+            assert not any(n.key == 100 for n in sorted_sub.notifications)
+
+            # ...until a fresh cluster comes up and the client
+            # re-subscribes.
+            second = InvaliDBCluster(broker, config).start()
+            try:
+                assert app.client.resubscribe_all() == 2
+                assert broker.drain()
+                # The sorted subscription received the catch-up delta:
+                # the 2050 article entered its window during
+                # re-registration.
+                assert any(n.key == 100 for n in sorted_sub.notifications)
+                # New writes flow again for both subscriptions.
+                app.insert("articles", {"_id": 101, "year": 2060})
+                assert broker.drain()
+                assert any(n.key == 101 for n in flat.notifications)
+                assert any(n.key == 101 for n in sorted_sub.notifications)
+                assert [d["_id"] for d in sorted_sub.result()] == [
+                    101, 100, 5
+                ]
+            finally:
+                second.stop()
         finally:
-            second.stop()
+            app.close()
+            first.stop()
 
     def test_heartbeat_detects_outage_then_resubscribe_recovers(
-            self, broker, app_server_factory):
+            self, inline_broker):
+        """Deterministic models run no heartbeat thread; the supervision
+        path is driven explicitly via :meth:`publish_heartbeat`."""
+        broker = inline_broker
         config = InvaliDBConfig(query_partitions=1, write_partitions=1,
                                 heartbeat_interval=0.05,
                                 heartbeat_timeout=0.5)
         first = InvaliDBCluster(broker, config).start()
-        app = app_server_factory("hb-app", config=config)
-        subscription = app.subscribe("items", {"v": {"$gte": 0}})
-        assert wait_for(lambda: app.client.last_heartbeat is not None)
-        first.stop()
-        # Heartbeats stop; supervision flags the outage.
-        assert not app.client.check_heartbeat(
-            now=app.client.last_heartbeat + 5.0
-        )
-        assert subscription.notifications[-1].is_error
+        app = AppServer("hb-app", broker, config=config)
+        try:
+            subscription = app.subscribe("items", {"v": {"$gte": 0}})
+            assert first.publish_heartbeat() >= 1
+            assert app.client.last_heartbeat is not None
+            first.stop()
+            # Heartbeats stop; supervision flags the outage.
+            assert not app.client.check_heartbeat(
+                now=app.client.last_heartbeat + 5.0
+            )
+            assert subscription.notifications[-1].is_error
+        finally:
+            app.close()
+            first.stop()

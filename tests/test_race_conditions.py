@@ -1,4 +1,4 @@
-"""The paper's two race conditions, provoked through broker delays.
+"""The paper's two race conditions, provoked deterministically.
 
 Section 5.1 names them explicitly:
 
@@ -9,43 +9,50 @@ Section 5.1 names them explicitly:
   matching node *before* the subscription request arrives; without
   write stream retention the change would be lost.
 
-We skew message delivery with a per-channel delay function so the
-subscription request reliably loses the race, then assert convergence.
+The whole stack (broker + cluster grid) runs on one deterministic
+:class:`InlineExecutionModel`: undelayed messages cascade synchronously
+on the caller's thread, while delayed messages wait on a virtual-time
+heap until ``drain()`` advances the clock.  Skewing the subscription
+channel therefore makes the subscription request lose the race on
+*every* run — no wall-clock sleeps, no polling, same interleaving under
+any scheduler.
 """
-
-import time
 
 import pytest
 
-from repro.core.cluster import InvaliDBCluster
+from repro.core.cluster import InvaliDBCluster, serialize_query
 from repro.core.config import InvaliDBConfig
 from repro.core.server import AppServer
 from repro.event.broker import Broker
-from repro.event.channels import QUERY_PREFIX
+from repro.event.channels import QUERY_PREFIX, query_channel
+from repro.query.engine import Query
+from repro.runtime.execution import ExecutionConfig, InlineExecutionModel
 
 
-def wait_for(predicate, timeout=5.0):
-    deadline = time.monotonic() + timeout
-    while time.monotonic() < deadline:
-        if predicate():
-            return True
-        time.sleep(0.01)
-    return False
+def inline_stack(delay_fn=None, query_partitions=2, write_partitions=2,
+                 retention_seconds=10.0, seed=7):
+    """Broker + cluster + app server sharing one inline model."""
+    model = InlineExecutionModel(ExecutionConfig(mode="inline", seed=seed))
+    broker = Broker(delay_fn=delay_fn, execution=model)
+    config = InvaliDBConfig(
+        query_partitions=query_partitions,
+        write_partitions=write_partitions,
+        retention_seconds=retention_seconds,
+    )
+    cluster = InvaliDBCluster(broker, config).start()
+    app = AppServer("race-app", broker, config=config)
+    return model, broker, cluster, app
+
+
+def slow_subscriptions(channel):
+    """Subscription requests travel 150 (virtual) ms slower than writes."""
+    return 0.15 if channel.startswith(QUERY_PREFIX) else 0.0
 
 
 @pytest.fixture
 def slow_subscription_stack():
-    """A broker where subscription requests travel 150 ms slower than
-    writes — the write-subscription race, made deterministic."""
-    broker = Broker(
-        delay_fn=lambda channel: 0.15 if channel.startswith(QUERY_PREFIX)
-        else 0.0
-    )
-    config = InvaliDBConfig(query_partitions=2, write_partitions=2,
-                            retention_seconds=10.0)
-    cluster = InvaliDBCluster(broker, config).start()
-    app = AppServer("race-app", broker, config=config)
-    yield broker, cluster, app
+    model, broker, cluster, app = inline_stack(delay_fn=slow_subscriptions)
+    yield model, broker, cluster, app
     app.close()
     cluster.stop()
     broker.close()
@@ -54,35 +61,34 @@ def slow_subscription_stack():
 class TestWriteSubscriptionRace:
     def test_write_racing_subscription_is_replayed(self,
                                                    slow_subscription_stack):
-        broker, cluster, app = slow_subscription_stack
+        model, broker, cluster, app = slow_subscription_stack
         # Subscribe: the initial result is computed from an empty DB and
-        # the subscription request is now in (slow) flight.
+        # the subscription request now waits on the virtual-time heap.
         subscription = app.subscribe("items", {"v": {"$gte": 10}})
         assert subscription.initial.documents == []
         # The write overtakes the subscription request on the fast lane
-        # and reaches the matching nodes first.
+        # and reaches the matching nodes first — synchronously, since
+        # undelayed inline messages cascade on this very call.
         app.insert("items", {"_id": 1, "v": 50})
-        # Retention replay must still produce the add notification.
-        assert wait_for(lambda: subscription.change_count >= 1)
+        assert subscription.change_count == 0  # the query is not live yet
+        # drain() advances virtual time, delivering the subscription;
+        # retention replay must still produce the add notification.
+        assert broker.drain()
+        assert subscription.change_count >= 1
         assert [d["_id"] for d in subscription.result()] == [1]
 
     def test_without_retention_the_write_is_lost(self):
         """Ablation: zero retention reproduces the failure the paper's
         retention mechanism exists to prevent."""
-        broker = Broker(
-            delay_fn=lambda channel: 0.15 if channel.startswith(QUERY_PREFIX)
-            else 0.0
+        model, broker, cluster, app = inline_stack(
+            delay_fn=slow_subscriptions,
+            query_partitions=1, write_partitions=1, retention_seconds=0.0,
         )
-        config = InvaliDBConfig(query_partitions=1, write_partitions=1,
-                                retention_seconds=0.0)
-        cluster = InvaliDBCluster(broker, config).start()
-        app = AppServer("no-retention", broker, config=config)
         try:
             subscription = app.subscribe("items", {"v": {"$gte": 10}})
             app.insert("items", {"_id": 1, "v": 50})
-            time.sleep(0.6)
-            broker.drain()
-            cluster.drain()
+            assert broker.drain()
+            assert cluster.drain()
             # The change was lost: no notification, result diverges.
             assert subscription.change_count == 0
             assert subscription.result() == []
@@ -91,69 +97,85 @@ class TestWriteSubscriptionRace:
             cluster.stop()
             broker.close()
 
+    def test_interleaving_is_reproducible_across_seeds(self):
+        """The seeded scheduler changes service order, not outcomes:
+        convergence holds for every seed, deterministically."""
+        for seed in (1, 2, 3):
+            model, broker, cluster, app = inline_stack(
+                delay_fn=slow_subscriptions, seed=seed
+            )
+            try:
+                subscription = app.subscribe("items", {"v": {"$gte": 10}})
+                for key in range(4):
+                    app.insert("items", {"_id": key, "v": 50 + key})
+                assert broker.drain()
+                assert sorted(d["_id"] for d in subscription.result()) == [
+                    0, 1, 2, 3
+                ]
+            finally:
+                app.close()
+                cluster.stop()
+                broker.close()
+
 
 class TestWriteQueryRace:
-    def test_write_before_query_lands_in_initial_result(self, broker,
-                                                        cluster_factory,
-                                                        app_server_factory):
-        cluster = cluster_factory(2, 2, retention_seconds=10.0)
-        app = app_server_factory()
-        app.insert("items", {"_id": 1, "v": 50})
-        subscription = app.subscribe("items", {"v": {"$gte": 10}})
-        # The write committed before the pull-based query: it must be in
-        # the initial result and NOT produce a duplicate add.
-        assert [d["_id"] for d in subscription.initial.documents] == [1]
-        broker.drain()
-        cluster.drain()
-        time.sleep(0.2)
-        adds = [n for n in subscription.notifications
-                if n.match_type.value == "add" and n.key == 1]
-        assert adds == []
+    def test_write_before_query_lands_in_initial_result(self):
+        model, broker, cluster, app = inline_stack()
+        try:
+            app.insert("items", {"_id": 1, "v": 50})
+            subscription = app.subscribe("items", {"v": {"$gte": 10}})
+            # The write committed before the pull-based query: it must be
+            # in the initial result and NOT produce a duplicate add
+            # (staleness avoidance via version comparison).
+            assert [d["_id"] for d in subscription.initial.documents] == [1]
+            assert broker.drain()
+            assert cluster.drain()
+            adds = [n for n in subscription.notifications
+                    if n.match_type.value == "add" and n.key == 1]
+            assert adds == []
+        finally:
+            app.close()
+            cluster.stop()
+            broker.close()
 
-    def test_stale_bootstrap_corrected_by_retention(self, broker,
-                                                    cluster_factory,
-                                                    app_server_factory):
+    def test_stale_bootstrap_corrected_by_retention(self):
         """A delete racing the initial result: the subscription ships a
         bootstrap that still contains the deleted item; the retained
         (newer) delete must purge it."""
-        from repro.core.cluster import serialize_query
-        from repro.event.channels import query_channel
-        from repro.query.engine import Query
-
-        cluster = cluster_factory(1, 1, retention_seconds=10.0)
-        app = app_server_factory()
-        app.insert("items", {"_id": 1, "v": 50})
-        time.sleep(0.1)
-        broker.drain()
-        cluster.drain()
-        # Database-side delete whose after-image reaches the cluster NOW.
-        app.delete("items", 1)
-        time.sleep(0.1)
-        broker.drain()
-        cluster.drain()
-        # Hand-craft a STALE subscription: bootstrap still holds v1.
-        query = Query({"v": {"$gte": 10}}, collection="items")
-        subscription = app.subscribe("items", {"v": {"$gte": 10}})
-        # (subscribe() reads the current DB, which is already empty, so
-        # emulate the stale bootstrap through the wire directly.)
-        broker.publish(query_channel("default"), {
-            "kind": "subscribe",
-            "app_server": app.server_id,
-            "query_id": query.query_id,
-            "query_hash": query.hash,
-            "query": serialize_query(query),
-            "bootstrap": [{"_id": 1, "v": 50}],
-            "versions": [[1, 1]],
-            "slack": 2,
-        })
-        time.sleep(0.2)
-        broker.drain()
-        cluster.drain()
-        assert wait_for(
-            lambda: any(
+        model, broker, cluster, app = inline_stack(
+            query_partitions=1, write_partitions=1
+        )
+        try:
+            app.insert("items", {"_id": 1, "v": 50})
+            assert broker.drain()
+            # Database-side delete whose after-image reaches the cluster
+            # NOW (synchronously, inline).
+            app.delete("items", 1)
+            assert broker.drain()
+            # Hand-craft a STALE subscription: bootstrap still holds v1.
+            query = Query({"v": {"$gte": 10}}, collection="items")
+            subscription = app.subscribe("items", {"v": {"$gte": 10}})
+            # (subscribe() reads the current DB, which is already empty,
+            # so emulate the stale bootstrap through the wire directly.)
+            broker.publish(query_channel("default"), {
+                "kind": "subscribe",
+                "app_server": app.server_id,
+                "query_id": query.query_id,
+                "query_hash": query.hash,
+                "query": serialize_query(query),
+                "bootstrap": [{"_id": 1, "v": 50}],
+                "versions": [[1, 1]],
+                "slack": 2,
+            })
+            assert broker.drain()
+            assert cluster.drain()
+            assert any(
                 n.match_type.value == "remove"
                 for n in subscription.notifications
             )
-        )
-        node = cluster.filtering_node(0, 0)
-        assert node.result_partition(query.query_id) == []
+            node = cluster.filtering_node(0, 0)
+            assert node.result_partition(query.query_id) == []
+        finally:
+            app.close()
+            cluster.stop()
+            broker.close()

@@ -1,0 +1,368 @@
+"""Unit tests for the execution substrate: queues, models, scheduling.
+
+The bounded-queue tests exercise the shared FIFO primitive directly;
+the model tests cover the threaded model's condition-variable
+quiescence and the inline model's reproducible scheduling and
+virtual-time delays.
+"""
+
+import threading
+
+import pytest
+
+from repro.errors import ExecutionConfigError, QueueOverflowError
+from repro.runtime.execution import (
+    ExecutionConfig,
+    InlineExecutionModel,
+    ThreadedExecutionModel,
+    build_execution_model,
+    resolve_execution_model,
+)
+from repro.runtime.queues import BackpressurePolicy, BoundedQueue
+
+
+class TestBoundedQueue:
+    def test_fifo_order_and_batched_dequeue(self):
+        queue = BoundedQueue()
+        queue.put_many(range(10))
+        assert queue.get_batch(4) == [0, 1, 2, 3]
+        assert queue.get_batch(100) == [4, 5, 6, 7, 8, 9]
+        stats = queue.stats()
+        assert stats["batches"] == 2
+        assert stats["largest_batch"] == 6
+        assert stats["high_water"] == 10
+
+    def test_get_batch_never_waits_to_fill(self):
+        queue = BoundedQueue()
+        queue.put(1)
+        # One item available: the consumer gets it immediately even
+        # though max_batch is larger.
+        assert queue.get_batch(64, timeout=0.01) == [1]
+        assert queue.get_batch(64, timeout=0.01) == []
+
+    def test_block_policy_applies_backpressure(self):
+        queue = BoundedQueue(capacity=2, policy=BackpressurePolicy.BLOCK)
+        queue.put_many([1, 2])
+        released = threading.Event()
+
+        def producer():
+            queue.put(3)  # blocks until the consumer makes room
+            released.set()
+
+        thread = threading.Thread(target=producer, daemon=True)
+        thread.start()
+        assert not released.wait(timeout=0.1)
+        assert queue.get_batch(1) == [1]
+        assert released.wait(timeout=2.0)
+        assert queue.get_batch(10) == [2, 3]
+
+    def test_drop_oldest_policy_sheds_load(self):
+        queue = BoundedQueue(capacity=2,
+                             policy=BackpressurePolicy.DROP_OLDEST)
+        discarded = queue.put_many([1, 2, 3, 4])
+        assert discarded == 2
+        assert queue.get_batch(10) == [3, 4]
+        assert queue.stats()["dropped"] == 2
+
+    def test_error_policy_fails_fast(self):
+        queue = BoundedQueue(capacity=1, policy=BackpressurePolicy.ERROR)
+        queue.put(1)
+        with pytest.raises(QueueOverflowError):
+            queue.put(2)
+
+    def test_put_on_closed_queue_discards(self):
+        queue = BoundedQueue()
+        queue.put(1)
+        queue.close(drain=True)
+        assert queue.put(2) == 1  # reported as discarded
+        assert queue.get_batch(10) == [1]  # drained items still served
+        assert queue.get_batch(10) is None  # then the exit signal
+
+    def test_close_without_drain_discards_queued_items(self):
+        queue = BoundedQueue()
+        queue.put_many([1, 2, 3])
+        assert queue.close(drain=False) == 3
+        assert queue.get_batch(10) is None
+
+
+class TestExecutionConfig:
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ExecutionConfigError):
+            ExecutionConfig(mode="fibers")
+
+    def test_rejects_bad_capacity_and_batch(self):
+        with pytest.raises(ExecutionConfigError):
+            ExecutionConfig(queue_capacity=0)
+        with pytest.raises(ExecutionConfigError):
+            ExecutionConfig(max_batch=0)
+
+    def test_coerces_backpressure_strings(self):
+        config = ExecutionConfig(backpressure="drop_oldest")
+        assert config.backpressure is BackpressurePolicy.DROP_OLDEST
+        with pytest.raises(ExecutionConfigError):
+            ExecutionConfig(backpressure="yolo")
+
+    def test_build_and_resolve(self):
+        assert isinstance(
+            build_execution_model(ExecutionConfig(mode="inline")),
+            InlineExecutionModel,
+        )
+        model, owned = resolve_execution_model(None)
+        assert isinstance(model, ThreadedExecutionModel) and owned
+        model.shutdown()
+        shared = InlineExecutionModel()
+        assert resolve_execution_model(shared) == (shared, False)
+        with pytest.raises(ExecutionConfigError):
+            resolve_execution_model(42)
+
+
+class TestThreadedModel:
+    def test_drain_waits_for_in_flight_batches(self):
+        """drain() must cover items a handler is *currently* processing,
+        not just queue emptiness."""
+        model = ThreadedExecutionModel(ExecutionConfig(max_batch=8))
+        gate = threading.Event()
+        seen = []
+
+        def handler(batch):
+            gate.wait(timeout=5.0)
+            seen.extend(batch)
+
+        box = model.mailbox("slow", handler)
+        try:
+            box.put_many([1, 2, 3])
+            assert not model.drain(timeout=0.1)  # handler still holds them
+            gate.set()
+            assert model.drain(timeout=5.0)
+            assert sorted(seen) == [1, 2, 3]
+        finally:
+            model.shutdown()
+
+    def test_drain_covers_handler_reentrancy(self):
+        """A handler enqueuing follow-up work must extend quiescence."""
+        model = ThreadedExecutionModel()
+        hops = []
+
+        def second(batch):
+            hops.extend(batch)
+
+        box2 = model.mailbox("second", second)
+
+        def first(batch):
+            for item in batch:
+                box2.put(item + 1)
+
+        box1 = model.mailbox("first", first)
+        try:
+            box1.put_many([1, 2, 3])
+            assert model.drain(timeout=5.0)
+            assert sorted(hops) == [2, 3, 4]
+        finally:
+            model.shutdown()
+
+    def test_delayed_schedule_is_counted_by_drain(self):
+        model = ThreadedExecutionModel()
+        seen = []
+        box = model.mailbox("late", seen.extend)
+        try:
+            model.schedule(box, "x", delay=0.05)
+            assert model.drain(timeout=5.0)  # waits through the delay
+            assert seen == ["x"]
+        finally:
+            model.shutdown()
+
+    def test_call_later_fires_and_cancels(self):
+        model = ThreadedExecutionModel()
+        fired = threading.Event()
+        try:
+            handle = model.call_later(10.0, fired.set)
+            handle.cancel()
+            model.call_later(0.01, fired.set)
+            assert fired.wait(timeout=2.0)
+        finally:
+            model.shutdown()
+
+    def test_handler_error_does_not_kill_worker(self):
+        model = ThreadedExecutionModel(ExecutionConfig(max_batch=1))
+        seen = []
+
+        def handler(batch):
+            if batch[0] == "boom":
+                raise RuntimeError("boom")
+            seen.extend(batch)
+
+        box = model.mailbox("fragile", handler)
+        try:
+            box.put("boom")
+            box.put("ok")
+            assert model.drain(timeout=5.0)
+            assert seen == ["ok"]
+            assert box.stats()["handler_errors"] == 1
+        finally:
+            model.shutdown()
+
+    def test_stats_snapshot_shape(self):
+        model = ThreadedExecutionModel(ExecutionConfig(max_batch=16))
+        box = model.mailbox("a", lambda batch: None)
+        try:
+            box.put_many(range(5))
+            model.drain(timeout=5.0)
+            stats = model.stats()
+            assert stats["mode"] == "threaded"
+            assert stats["pending"] == 0
+            assert stats["mailboxes"]["a"]["enqueued"] == 5
+            assert stats["mailboxes"]["a"]["handled"] == 5
+        finally:
+            model.shutdown()
+
+
+class TestInlineModel:
+    def test_put_runs_cascade_synchronously(self):
+        model = InlineExecutionModel()
+        seen = []
+        box2 = model.mailbox("b", seen.extend)
+        box1 = model.mailbox("a", lambda batch: box2.put_many(
+            [item * 10 for item in batch]
+        ))
+        box1.put(1)
+        # No drain needed: the whole cascade ran on this thread.
+        assert seen == [10]
+
+    def test_reentrant_put_trampolines_instead_of_recursing(self):
+        model = InlineExecutionModel()
+        seen = []
+
+        def handler(batch):
+            for item in batch:
+                seen.append(item)
+                if item < 500:
+                    box.put(item + 1)  # would blow the stack if recursive
+
+        box = model.mailbox("loop", handler)
+        box.put(0)
+        assert seen == list(range(501))
+
+    def test_same_seed_same_service_order(self):
+        def run(seed):
+            model = InlineExecutionModel(
+                ExecutionConfig(mode="inline", seed=seed, max_batch=1)
+            )
+            order = []
+            boxes = [
+                model.mailbox(f"m{i}", lambda batch, i=i: order.append(i))
+                for i in range(3)
+            ]
+
+            def feed(batch):
+                for box in boxes:
+                    box.put_many(["x", "y"])
+
+            entry = model.mailbox("entry", feed)
+            entry.put("go")
+            return order
+
+        assert run(42) == run(42)  # reproducible
+        runs = {tuple(run(seed)) for seed in range(8)}
+        assert len(runs) > 1  # the seed genuinely varies the order
+
+    def test_delayed_item_waits_for_drain(self):
+        model = InlineExecutionModel()
+        seen = []
+        box = model.mailbox("late", seen.extend)
+        model.schedule(box, "delayed", delay=1.0)
+        box.put("fast")
+        assert seen == ["fast"]  # virtual time has not advanced
+        assert model.drain()
+        assert seen == ["fast", "delayed"]
+        assert model.virtual_now >= 1.0
+
+    def test_advance_releases_only_due_work(self):
+        model = InlineExecutionModel()
+        seen = []
+        box = model.mailbox("late", seen.extend)
+        model.schedule(box, "soon", delay=1.0)
+        model.schedule(box, "later", delay=5.0)
+        model.advance(2.0)
+        assert seen == ["soon"]
+        model.advance(5.0)
+        assert seen == ["soon", "later"]
+
+    def test_call_later_is_virtual_and_cancellable(self):
+        model = InlineExecutionModel()
+        fired = []
+        model.call_later(1.0, lambda: fired.append("a"))
+        handle = model.call_later(2.0, lambda: fired.append("b"))
+        handle.cancel()
+        assert model.drain()
+        assert fired == ["a"]
+
+    def test_delay_ordering_is_by_virtual_due_time(self):
+        model = InlineExecutionModel()
+        seen = []
+        box = model.mailbox("late", seen.extend)
+        model.schedule(box, "second", delay=2.0)
+        model.schedule(box, "first", delay=1.0)
+        assert model.drain()
+        assert seen == ["first", "second"]
+
+    def test_sources_are_pumped_during_drain(self):
+        model = InlineExecutionModel()
+        seen = []
+        box = model.mailbox("sink", seen.extend)
+        remaining = [3]
+
+        def pump():
+            if remaining[0] == 0:
+                return None
+            remaining[0] -= 1
+            box.put(remaining[0])
+            return True
+
+        model.add_source("spout", pump)
+        assert model.drain()
+        assert seen == [2, 1, 0]
+
+    def test_drop_oldest_policy_inline(self):
+        """put_many enqueues the whole batch before the trampoline runs,
+        so a bounded inline mailbox really does shed load."""
+        model = InlineExecutionModel()
+        held = []
+        shed = model.mailbox("shed", held.extend, capacity=2,
+                             policy="drop_oldest")
+        shed.put_many([1, 2, 3, 4])
+        assert held == [3, 4]
+        assert shed.stats()["dropped"] == 2
+
+    def test_error_policy_inline_fails_fast(self):
+        model = InlineExecutionModel()
+        strict = model.mailbox("strict", lambda batch: None, capacity=1,
+                               policy="error")
+        with pytest.raises(QueueOverflowError):
+            strict.put_many(["a", "b"])
+
+    def test_overflow_inside_handler_is_contained(self):
+        """An ERROR-policy overflow raised *inside* a handler counts as
+        a handler error instead of killing the scheduler — mirroring
+        the threaded model's containment."""
+        model = InlineExecutionModel()
+        strict = model.mailbox("strict", lambda batch: None, capacity=1,
+                               policy="error")
+
+        def overfill(batch):
+            strict.put("a")
+            strict.put("b")  # overflows while "a" is still queued
+
+        entry = model.mailbox("entry", overfill)
+        entry.put("go")  # must not raise
+        assert entry.stats()["handler_errors"] == 1
+
+    def test_stats_snapshot_shape(self):
+        model = InlineExecutionModel(ExecutionConfig(mode="inline", seed=1))
+        box = model.mailbox("a", lambda batch: None)
+        box.put_many([1, 2, 3])
+        stats = model.stats()
+        assert stats["mode"] == "inline"
+        assert stats["pending"] == 0
+        assert stats["mailboxes"]["a"]["handled"] == 3
+        model.schedule(box, 4, delay=1.0)
+        assert model.stats()["delayed"] == 1

@@ -1,8 +1,7 @@
 """Storm-like substrate tests: groupings, topology building, runtime."""
 
-import threading
 import time
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List
 
 import pytest
 
@@ -216,8 +215,13 @@ class TestRuntime:
             runtime.inject("b", {"bad": True})
             runtime.inject("b", {"bad": False})
             runtime.drain()
-            assert runtime.failures == [("b", 0)]
+            failures = runtime.failures
+            assert [(f.component, f.task_index) for f in failures] == [("b", 0)]
+            assert isinstance(failures[0].error, ValueError)
+            assert failures[0].tuple == {"bad": True}
             assert runtime.processed_counts()["b"] == 2
+            assert runtime.failure_counts()["b"] == 1
+            assert runtime.stats()["components"]["b"]["failed"] == 1
 
     def test_unknown_component_injection(self):
         topology = TopologyBuilder().add_bolt("b", CollectorBolt()).build()
