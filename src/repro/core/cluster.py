@@ -152,6 +152,8 @@ class _MatchingBolt(Bolt):
             coordinates,
             retention_seconds=self.cluster.config.retention_seconds,
             engine=self.cluster.engine,
+            use_index=self.cluster.config.query_index,
+            memoize=self.cluster.config.shared_predicate_memo,
         )
         self.cluster._filtering_nodes[task_index] = self.node
 
@@ -531,12 +533,24 @@ class InvaliDBCluster:
                 for server in registration.app_servers
             }
         per_node = {
-            str(node.coordinates): {
-                "queries": node.query_count,
-                "matched_operations": node.matched_operations,
-                "retained_after_images": len(node.retention),
-            }
+            str(node.coordinates): node.stats()
             for node in self._filtering_nodes.values()
+        }
+        nodes = list(self._filtering_nodes.values())
+        considered = sum(node.candidates_considered for node in nodes)
+        pruned = sum(node.candidates_pruned for node in nodes)
+        memo_hits = sum(node.memo_hits for node in nodes)
+        memo_misses = sum(node.memo_misses for node in nodes)
+        matching_totals = {
+            "matched_operations": sum(node.matched_operations for node in nodes),
+            "candidates_considered": considered,
+            "candidates_pruned": pruned,
+            "pruning_ratio": round(
+                pruned / (considered + pruned), 4
+            ) if considered + pruned else 0.0,
+            "memo_hit_rate": round(
+                memo_hits / (memo_hits + memo_misses), 4
+            ) if memo_hits + memo_misses else 0.0,
         }
         return {
             "grid": f"{self.scheme.query_partitions}x"
@@ -544,6 +558,7 @@ class InvaliDBCluster:
             "active_queries": active,
             "app_servers": sorted(app_servers),
             "notifications_sent": self.notifications_sent,
+            "matching": matching_totals,
             "matching_nodes": per_node,
             "runtime": self._runtime.stats(),
         }

@@ -48,6 +48,13 @@ class InvaliDBConfig:
     #: Poll frequency rate limit: minimum seconds between query renewals
     #: (makes database load "predictable and configurable").
     renewal_min_interval: float = 1.0
+    #: Predicate index in the filtering stage: candidate-set matching
+    #: instead of a linear scan over the query partition.  Disable only
+    #: for A/B measurements — results are identical either way.
+    query_index: bool = True
+    #: Share sub-predicate evaluations across queries per after-image
+    #: (SharedDB-style memoization in the matching nodes).
+    shared_predicate_memo: bool = True
     #: Execution substrate for the matching grid.  ``None`` (default)
     #: shares the broker's execution model, putting the event layer and
     #: the grid on one substrate; set an :class:`ExecutionConfig` to

@@ -3,7 +3,7 @@
 A :class:`FilteringNode` is one matching node in the 2D grid.  It holds
 a subset of all queries (its query partition) and sees a fraction of
 all written data items (its write partition).  For every incoming
-after-image it matches all of its queries and compares the current
+after-image it determines the affected queries and compares the current
 against the former matching status of the entity, producing
 :class:`MatchEvent` objects:
 
@@ -12,6 +12,25 @@ against the former matching status of the entity, producing
 * ``remove`` — the item just ceased matching;
 * anything else "is filtered out", so downstream stages only see
   relevant traffic.
+
+Per-write work is sublinear in the number of active queries: a
+:class:`~repro.query.index.QueryIndex` decomposes every registered
+query into indexable access predicates and generates a *candidate set*
+per after-image instead of scanning the whole query partition.  Two
+invariants keep the pruning loss-free:
+
+* **reverse-map invariant** — ``_matching_keys`` maps every entity key
+  to the queries it currently matches; those queries are ALWAYS
+  re-evaluated for a write to that key, so a ``remove``/``change`` is
+  emitted even when the new image no longer hits any index bucket.
+  Deletes skip predicate lookup entirely and use only the reverse map.
+* **superset invariant** — the index may return false positives (the
+  engine filters them) but never false negatives for a matching
+  document.
+
+Identical sub-predicates across candidate queries are evaluated once
+per after-image through a shared :class:`~repro.query.matcher.
+PredicateMemo` (SharedDB-style work sharing).
 
 The node also implements write stream retention: retained after-images
 are replayed against newly registered queries, closing the
@@ -22,11 +41,13 @@ writes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Set
 
 from repro.core.partitioning import NodeCoordinates
 from repro.core.retention import RetentionBuffer
 from repro.query.engine import MongoQueryEngine, PluggableQueryEngine, Query
+from repro.query.index import QueryIndex
+from repro.query.matcher import PredicateMemo
 from repro.types import AfterImage, Document, MatchType
 
 
@@ -65,12 +86,36 @@ class FilteringNode:
         coordinates: NodeCoordinates,
         retention_seconds: float = 5.0,
         engine: Optional[PluggableQueryEngine] = None,
+        use_index: bool = True,
+        memoize: bool = True,
     ):
         self.coordinates = coordinates
         self.engine = engine if engine is not None else MongoQueryEngine()
         self.retention = RetentionBuffer(retention_seconds)
         self._queries: Dict[str, _ActiveQuery] = {}
+        self.index: Optional[QueryIndex] = QueryIndex() if use_index else None
+        self._memoize = memoize
+        #: Reverse map: entity key -> ids of queries currently matching
+        #: it.  The removal-correctness backbone of indexed matching.
+        self._matching_keys: Dict[Any, Set[str]] = {}
+        #: Registration sequence per query id, so indexed candidate sets
+        #: are evaluated in exactly the order a full scan would use
+        #: (event streams stay byte-identical to the naive path).
+        self._order: Dict[str, int] = {}
+        self._next_order = 0
+        # -- runtime counters ------------------------------------------
+        #: Actual engine-level match computations (one per evaluated
+        #: candidate with a live document in the query's collection).
         self.matched_operations = 0
+        #: Query evaluations skipped thanks to candidate pruning.
+        self.candidates_pruned = 0
+        #: Candidates the index produced (including reverse-map hits).
+        self.candidates_considered = 0
+        #: After-images processed (post staleness check).
+        self.writes_processed = 0
+        #: Shared sub-predicate memoization outcome counts.
+        self.memo_hits = 0
+        self.memo_misses = 0
 
     # ------------------------------------------------------------------
     # Query lifecycle
@@ -94,13 +139,25 @@ class FilteringNode:
 
         Re-registration (query renewal or a second app server
         subscribing) replaces the previous bootstrap state wholesale.
+        The predicate index is keyed by the canonical query id, so it
+        needs no rebuild on re-registration.
         """
+        previous = self._queries.get(query.query_id)
+        if previous is not None:
+            self._forget_matches(query.query_id, previous)
+        else:
+            self._order[query.query_id] = self._next_order
+            self._next_order += 1
+            if self.index is not None:
+                self.index.add(query)
         state = _ActiveQuery(
             query=query,
             matching={doc["_id"]: versions.get(doc["_id"], 0) for doc in bootstrap},
             documents={doc["_id"]: doc for doc in bootstrap},
         )
         self._queries[query.query_id] = state
+        for key in state.matching:
+            self._matching_keys.setdefault(key, set()).add(query.query_id)
         events: List[MatchEvent] = []
         for after in self.retention.replay(now):
             known_version = state.matching.get(after.key, 0)
@@ -112,7 +169,23 @@ class FilteringNode:
 
     def deactivate_query(self, query_id: str) -> bool:
         """Drop a query; True when it was active."""
-        return self._queries.pop(query_id, None) is not None
+        state = self._queries.pop(query_id, None)
+        if state is None:
+            return False
+        self._forget_matches(query_id, state)
+        self._order.pop(query_id, None)
+        if self.index is not None:
+            self.index.remove(query_id)
+        return True
+
+    def _forget_matches(self, query_id: str, state: _ActiveQuery) -> None:
+        """Remove a query's reverse-map entries (state replace/drop)."""
+        for key in state.matching:
+            matchers = self._matching_keys.get(key)
+            if matchers is not None:
+                matchers.discard(query_id)
+                if not matchers:
+                    del self._matching_keys[key]
 
     def active_queries(self) -> List[str]:
         return list(self._queries)
@@ -129,35 +202,84 @@ class FilteringNode:
     # ------------------------------------------------------------------
 
     def process_write(self, after: AfterImage, now: float) -> List[MatchEvent]:
-        """Match an after-image against all active queries.
+        """Match an after-image against the affected queries.
 
         Stale after-images (older than an already-processed version of
-        the same entity) are dropped entirely.
+        the same entity) are dropped entirely.  With the predicate
+        index enabled, only candidate queries (index hits plus the
+        entity's previous matchers) are evaluated; without it, every
+        active query is scanned.
         """
         if not self.retention.observe(after, now):
             return []
+        self.writes_processed += 1
+        candidate_ids = self._candidate_ids(after)
+        self.candidates_considered += len(candidate_ids)
+        self.candidates_pruned += len(self._queries) - len(candidate_ids)
+        memo = PredicateMemo() if self._memoize else None
         events: List[MatchEvent] = []
-        for state in self._queries.values():
-            events.extend(self._evaluate(state, after))
-            self.matched_operations += 1
+        for query_id in candidate_ids:
+            state = self._queries.get(query_id)
+            if state is not None:
+                events.extend(self._evaluate(state, after, memo))
+        if memo is not None:
+            self.memo_hits += memo.hits
+            self.memo_misses += memo.misses
         return events
 
-    def _evaluate(self, state: _ActiveQuery, after: AfterImage) -> List[MatchEvent]:
+    def _candidate_ids(self, after: AfterImage) -> List[Any]:
+        """Queries to evaluate for *after*, in registration order."""
+        if self.index is None:
+            return list(self._queries)
+        previous = self._matching_keys.get(after.key)
+        if after.is_delete:
+            # A delete can only affect queries the entity currently
+            # matches: go straight to the reverse map.
+            if not previous:
+                return []
+            candidates = set(previous)
+        else:
+            candidates = self.index.candidates(
+                after.document,  # type: ignore[arg-type]
+                after.collection,
+            )
+            if previous:
+                candidates.update(previous)
+        order = self._order
+        return sorted(candidates, key=lambda query_id: order.get(query_id, -1))
+
+    def _evaluate(
+        self,
+        state: _ActiveQuery,
+        after: AfterImage,
+        memo: Optional[PredicateMemo] = None,
+    ) -> List[MatchEvent]:
         query = state.query
-        matches_now = (
-            not after.is_delete
-            and after.collection == query.collection
-            and self.engine.matches(query, after.document)  # type: ignore[arg-type]
-        )
+        if after.is_delete or after.collection != query.collection:
+            matches_now = False
+        else:
+            self.matched_operations += 1
+            matches_now = self.engine.matches(
+                query, after.document, memo  # type: ignore[arg-type]
+            )
         was_matching = after.key in state.matching
         if matches_now:
             state.matching[after.key] = after.version
             state.documents[after.key] = after.document  # type: ignore[assignment]
+            if not was_matching:
+                self._matching_keys.setdefault(after.key, set()).add(
+                    query.query_id
+                )
             match_type = MatchType.CHANGE if was_matching else MatchType.ADD
             return [self._event(query, match_type, after, after.document)]
         if was_matching:
             del state.matching[after.key]
             last_document = state.documents.pop(after.key, None)
+            matchers = self._matching_keys.get(after.key)
+            if matchers is not None:
+                matchers.discard(query.query_id)
+                if not matchers:
+                    del self._matching_keys[after.key]
             document = after.document if after.document is not None else last_document
             return [self._event(query, MatchType.REMOVE, after, document)]
         return []
@@ -186,6 +308,35 @@ class FilteringNode:
     @property
     def query_count(self) -> int:
         return len(self._queries)
+
+    @property
+    def pruning_ratio(self) -> float:
+        """Fraction of query evaluations skipped by candidate pruning."""
+        total = self.candidates_considered + self.candidates_pruned
+        return self.candidates_pruned / total if total else 0.0
+
+    @property
+    def memo_hit_rate(self) -> float:
+        total = self.memo_hits + self.memo_misses
+        return self.memo_hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, Any]:
+        """Operational snapshot of this node's matching work."""
+        snapshot: Dict[str, Any] = {
+            "queries": self.query_count,
+            "matched_operations": self.matched_operations,
+            "writes_processed": self.writes_processed,
+            "candidates_considered": self.candidates_considered,
+            "candidates_pruned": self.candidates_pruned,
+            "pruning_ratio": round(self.pruning_ratio, 4),
+            "memo_hits": self.memo_hits,
+            "memo_misses": self.memo_misses,
+            "memo_hit_rate": round(self.memo_hit_rate, 4),
+            "retained_after_images": len(self.retention),
+        }
+        if self.index is not None:
+            snapshot["index"] = self.index.stats()
+        return snapshot
 
     def __repr__(self) -> str:
         return (

@@ -21,9 +21,11 @@ from repro.query.ast import (
     Node,
     NoneOf,
     Not,
+    conjunctive_branches,
 )
 from repro.query.engine import MongoQueryEngine, PluggableQueryEngine, Query
-from repro.query.matcher import matches, matches_node
+from repro.query.index import QueryIndex
+from repro.query.matcher import PredicateMemo, matches, matches_node
 from repro.query.normalize import normalize_filter, query_hash
 from repro.query.parser import parse_query
 from repro.query.sortspec import SortSpec, compare_documents, document_sort_key
@@ -37,9 +39,12 @@ __all__ = [
     "NoneOf",
     "Not",
     "PluggableQueryEngine",
+    "PredicateMemo",
     "Query",
+    "QueryIndex",
     "SortSpec",
     "compare_documents",
+    "conjunctive_branches",
     "document_sort_key",
     "matches",
     "matches_node",

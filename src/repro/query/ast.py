@@ -13,7 +13,7 @@ canonical query identity (see :mod:`repro.query.normalize`).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import List, Tuple
 
 from repro.query.operators import Operator
 
@@ -111,6 +111,25 @@ def iter_nodes(root: Node):
         node = stack.pop()
         yield node
         stack.extend(reversed(node.children()))
+
+
+def conjunctive_branches(root: Node) -> Tuple[Node, ...]:
+    """The top-level conjunction branches of *root*, flattened.
+
+    ``AllOf`` contributes its branches (nested conjunctions are
+    flattened through), the empty filter contributes nothing, and any
+    other node is itself the single branch.  Every returned branch is a
+    *necessary* condition of the query — the property planners such as
+    :mod:`repro.query.index` rely on.
+    """
+    if isinstance(root, Always):
+        return ()
+    if isinstance(root, AllOf):
+        flattened: List[Node] = []
+        for branch in root.branches:
+            flattened.extend(conjunctive_branches(branch))
+        return tuple(flattened)
+    return (root,)
 
 
 def referenced_paths(root: Node) -> Tuple[str, ...]:

@@ -191,3 +191,153 @@ class TestLifecycle:
         partition = n.result_partition(QUERY.query_id)
         assert [d["_id"] for d in partition] == [2]
         assert n.query_count == 1
+
+    def test_re_registration_keeps_reverse_map_consistent(self):
+        n = node()
+        n.register_query(QUERY, [{"_id": 1, "v": 15}], {1: 1}, now=0.0)
+        n.register_query(QUERY, [{"_id": 2, "v": 20}], {2: 1}, now=0.0)
+        # Key 1 left the result on re-registration: a write making it
+        # non-matching must not produce a spurious remove.
+        assert n.process_write(update(1, {"v": 5}, version=2), now=0.0) == []
+        events = n.process_write(delete(2, version=2), now=0.0)
+        assert [e.match_type for e in events] == [MatchType.REMOVE]
+
+
+class TestMatchedOperationsCounter:
+    """matched_operations counts actual engine invocations — deletes and
+    foreign-collection writes never reach the engine."""
+
+    def test_counts_engine_invocations_only(self):
+        n = FilteringNode(NodeCoordinates(0, 0), use_index=False)
+        n.register_query(Query({"v": {"$gte": 10}}), [], {}, now=0.0)
+        n.register_query(Query({"v": {"$lt": 100}}), [], {}, now=0.0)
+        n.process_write(insert(1, {"v": 50}), now=0.0)
+        assert n.matched_operations == 2
+        n.process_write(delete(1, version=2), now=0.0)
+        assert n.matched_operations == 2  # deletes skip the engine
+        n.process_write(insert(2, {"v": 1}, collection="b"), now=0.0)
+        assert n.matched_operations == 2  # wrong collection too
+
+    def test_stale_writes_do_not_count(self):
+        n = node()
+        n.register_query(QUERY, [], {}, now=0.0)
+        n.process_write(update(1, {"v": 15}, version=3), now=0.0)
+        before = n.matched_operations
+        n.process_write(update(1, {"v": 5}, version=2), now=0.0)
+        assert n.matched_operations == before
+
+    def test_indexed_node_skips_non_candidates(self):
+        n = node()
+        queries = [Query({"v": i}) for i in range(20)]
+        for query in queries:
+            n.register_query(query, [], {}, now=0.0)
+        n.process_write(insert(1, {"v": 3}), now=0.0)
+        assert n.matched_operations == 1
+        assert n.candidates_pruned == 19
+        assert n.candidates_considered == 1
+        assert n.pruning_ratio == pytest.approx(0.95)
+
+    def test_naive_node_counts_zero_pruned(self):
+        n = FilteringNode(NodeCoordinates(0, 0), use_index=False)
+        for i in range(5):
+            n.register_query(Query({"v": i}), [], {}, now=0.0)
+        n.process_write(insert(1, {"v": 3}), now=0.0)
+        assert n.matched_operations == 5
+        assert n.candidates_pruned == 0
+        assert n.pruning_ratio == 0.0
+
+
+class TestReverseMapInvariant:
+    """Previously-matching entities are always re-evaluated, so removes
+    survive candidate pruning."""
+
+    def test_remove_emitted_when_new_image_misses_every_bucket(self):
+        n = node()
+        n.register_query(Query({"v": 15}), [], {}, now=0.0)
+        n.process_write(insert(1, {"v": 15}), now=0.0)
+        # The new value hits no index entry at all (different field).
+        events = n.process_write(update(1, {"w": 1}, version=2), now=0.0)
+        assert [e.match_type for e in events] == [MatchType.REMOVE]
+
+    def test_delete_consults_only_the_reverse_map(self):
+        n = node()
+        n.register_query(QUERY, [], {}, now=0.0)
+        n.process_write(insert(1, {"v": 15}), now=0.0)
+        considered_before = n.candidates_considered
+        events = n.process_write(delete(1, version=2), now=0.0)
+        assert [e.match_type for e in events] == [MatchType.REMOVE]
+        # Exactly the one previously-matching query was considered.
+        assert n.candidates_considered == considered_before + 1
+        # A delete of an unknown key considers nothing.
+        n.process_write(delete(99, version=1), now=0.0)
+        assert n.candidates_considered == considered_before + 1
+
+    def test_bootstrap_state_populates_reverse_map(self):
+        n = node()
+        n.register_query(Query({"v": 15}), [{"_id": 1, "v": 15}], {1: 1},
+                         now=0.0)
+        events = n.process_write(delete(1, version=2), now=0.0)
+        assert [e.match_type for e in events] == [MatchType.REMOVE]
+
+    def test_deactivation_clears_reverse_map(self):
+        n = node()
+        query = Query({"v": 15})
+        n.register_query(query, [], {}, now=0.0)
+        n.process_write(insert(1, {"v": 15}), now=0.0)
+        n.deactivate_query(query.query_id)
+        assert n.process_write(delete(1, version=2), now=0.0) == []
+
+
+class TestSharedPredicateMemo:
+    def test_shared_sub_predicates_hit_the_memo(self):
+        # Scan every query (no index) so all three evaluations share
+        # one memo: the second and third lookup of v >= 10 are hits.
+        n = FilteringNode(NodeCoordinates(0, 0), use_index=False,
+                          memoize=True)
+        n.register_query(Query({"v": {"$gte": 10}}), [], {}, now=0.0)
+        n.register_query(Query({"v": {"$gte": 10}, "tag": 1}), [], {},
+                         now=0.0)
+        n.register_query(Query({"v": {"$gte": 10}, "tag": 2}), [], {},
+                         now=0.0)
+        n.process_write(insert(1, {"v": 50, "tag": 1}), now=0.0)
+        assert n.memo_hits == 2
+        assert n.memo_hit_rate > 0
+
+    def test_memo_composes_with_candidate_pruning(self):
+        n = node()
+        n.register_query(Query({"v": {"$gte": 10}}), [], {}, now=0.0)
+        n.register_query(Query({"v": {"$gte": 10}, "tag": 1}), [], {},
+                         now=0.0)
+        n.register_query(Query({"v": {"$gte": 10}, "tag": 2}), [], {},
+                         now=0.0)
+        n.process_write(insert(1, {"v": 50, "tag": 1}), now=0.0)
+        # The tag:2 query is pruned (its equality bucket never fires);
+        # the two evaluated queries still share the v>=10 predicate.
+        assert n.candidates_pruned == 1
+        assert n.memo_hits == 1
+
+    def test_memo_disabled(self):
+        n = FilteringNode(NodeCoordinates(0, 0), memoize=False)
+        n.register_query(Query({"v": {"$gte": 10}}), [], {}, now=0.0)
+        n.register_query(Query({"v": {"$gte": 10}, "tag": 1}), [], {},
+                         now=0.0)
+        n.process_write(insert(1, {"v": 50, "tag": 1}), now=0.0)
+        assert n.memo_hits == 0 and n.memo_misses == 0
+
+
+class TestStats:
+    def test_stats_snapshot(self):
+        n = node()
+        n.register_query(QUERY, [], {}, now=0.0)
+        n.process_write(insert(1, {"v": 15}), now=0.0)
+        stats = n.stats()
+        assert stats["queries"] == 1
+        assert stats["writes_processed"] == 1
+        assert stats["matched_operations"] == 1
+        assert stats["index"]["queries"] == 1
+        assert 0.0 <= stats["pruning_ratio"] <= 1.0
+        assert 0.0 <= stats["memo_hit_rate"] <= 1.0
+
+    def test_naive_stats_have_no_index_section(self):
+        n = FilteringNode(NodeCoordinates(0, 0), use_index=False)
+        assert "index" not in n.stats()
