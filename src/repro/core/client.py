@@ -23,14 +23,21 @@ the InvaliDB cluster" (Section 5).  Responsibilities implemented here:
 
 from __future__ import annotations
 
+import random
 import threading
+import time
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.core.cluster import serialize_after_image, serialize_query
 from repro.core.config import InvaliDBConfig
 from repro.core.notifications import deserialize_change
 from repro.core.subscriptions import SubscriptionRecord, SubscriptionTable
-from repro.errors import SubscriptionError
+from repro.errors import (
+    BrokerClosedError,
+    CircuitOpenError,
+    OperationTimeoutError,
+    SubscriptionError,
+)
 from repro.event.broker import Broker
 from repro.event.channels import notification_channel, query_channel, write_channel
 from repro.query.engine import Query
@@ -104,6 +111,11 @@ class RealTimeSubscription:
         self._lock = threading.Lock()
         self._documents: Dict[Any, Document] = {}
         self._order: List[Any] = []
+        #: Highest write version applied per key — recovery replay and
+        #: duplicated broker messages re-deliver old changes, which must
+        #: not regress the materialized result.
+        self._versions: Dict[Any, int] = {}
+        self.stale_skipped = 0
 
     # -- delivery (called by the client) ------------------------------------
 
@@ -125,12 +137,25 @@ class RealTimeSubscription:
             self._on_change(notification)
 
     def _apply(self, notification: ChangeNotification) -> None:
-        """Maintain the local result materialization."""
+        """Maintain the local result materialization.
+
+        Idempotent and monotonic: a change older than the version
+        already applied for its key is skipped, and an ADD for a key
+        already present repositions instead of duplicating — so
+        at-least-once delivery (duplicates, recovery replay, catch-up
+        diffs) converges to the same result as exactly-once.
+        """
         key = notification.key
         match_type = notification.match_type
         if match_type is MatchType.ERROR:
             self.errors.append(notification.error or "unknown error")
             return
+        version = notification.version
+        if version and version < self._versions.get(key, 0):
+            self.stale_skipped += 1
+            return
+        if version:
+            self._versions[key] = version
         if match_type is MatchType.REMOVE:
             self._documents.pop(key, None)
             if key in self._order:
@@ -140,13 +165,7 @@ class RealTimeSubscription:
         if document is None:
             return
         self._documents[key] = document
-        if match_type is MatchType.ADD:
-            index = notification.index
-            if index is None or index > len(self._order):
-                self._order.append(key)
-            else:
-                self._order.insert(index, key)
-        elif match_type is MatchType.CHANGE_INDEX:
+        if match_type in (MatchType.ADD, MatchType.CHANGE_INDEX):
             if key in self._order:
                 self._order.remove(key)
             index = notification.index
@@ -187,6 +206,68 @@ class _RenewalLimiter:
             return True
 
 
+class CircuitBreaker:
+    """Trip after consecutive broker failures; probe after a cooldown.
+
+    States: *closed* (normal), *open* (every call rejected until the
+    reset interval elapsed), *half-open* (one probe allowed; success
+    closes, failure re-opens).  An open breaker is the client-side
+    complement of the heartbeat check: heartbeats detect a silent
+    cluster, the breaker detects a broker that fails actively —
+    ``check_heartbeat`` treats both as an outage.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(self, threshold: int, reset_interval: float):
+        self.threshold = threshold
+        self.reset_interval = reset_interval
+        self.state = self.CLOSED
+        self.consecutive_failures = 0
+        self.trips = 0
+        self.rejections = 0
+        self._opened_at = 0.0
+        self._lock = threading.Lock()
+
+    def allow(self, now: float) -> bool:
+        with self._lock:
+            if self.state == self.CLOSED:
+                return True
+            if self.state == self.OPEN:
+                if now - self._opened_at >= self.reset_interval:
+                    self.state = self.HALF_OPEN
+                    return True
+                self.rejections += 1
+                return False
+            return True  # half-open: let the probe through
+
+    def record_success(self) -> None:
+        with self._lock:
+            self.state = self.CLOSED
+            self.consecutive_failures = 0
+
+    def record_failure(self, now: float) -> None:
+        with self._lock:
+            self.consecutive_failures += 1
+            if (self.state == self.HALF_OPEN
+                    or self.consecutive_failures >= self.threshold):
+                if self.state != self.OPEN:
+                    self.trips += 1
+                self.state = self.OPEN
+                self._opened_at = now
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "state": self.state,
+                "consecutive_failures": self.consecutive_failures,
+                "trips": self.trips,
+                "rejections": self.rejections,
+            }
+
+
 class InvaliDBClient:
     """App-server-side broker between end users, database and cluster."""
 
@@ -217,6 +298,21 @@ class InvaliDBClient:
         self.bootstrap_latencies: List[float] = []
         self._lock = threading.Lock()
         self.last_heartbeat: Optional[float] = None
+        # -- resilience: retry with backoff + circuit breaker -----------
+        self._breaker = CircuitBreaker(
+            self.config.circuit_breaker_threshold,
+            self.config.circuit_breaker_reset,
+        )
+        self._retry_rng = random.Random(self.config.client_rng_seed)
+        self.publishes = 0
+        self.publish_retries = 0
+        self.publish_failures = 0
+        self.publish_timeouts = 0
+        self.renewals_sent = 0
+        self.resubscribes = 0
+        #: Backoff seconds accumulated (virtual under the inline model,
+        #: where sleeping would add nothing but wall-clock noise).
+        self.backoff_waited = 0.0
         self._notification_subscription = broker.subscribe(
             notification_channel(app_server_id), self._on_notification
         )
@@ -256,6 +352,67 @@ class InvaliDBClient:
         return [
             [doc["_id"], collection.version_of(doc["_id"])] for doc in documents
         ]
+
+    # ------------------------------------------------------------------
+    # Resilient publishing
+    # ------------------------------------------------------------------
+
+    def _publish(self, channel: str, message: Dict[str, Any],
+                 operation: str = "publish") -> None:
+        """Publish with retry, backoff + jitter, timeout and breaker.
+
+        The event layer is fire-and-forget, so a failed publish is
+        simply retried — at-most-once delivery means the worst case of
+        a retry racing a slow success is a duplicate, which the whole
+        notification path (versioned writes, idempotent client
+        materialization) already absorbs.  Backoff is only slept under
+        the threaded model; the deterministic inline model records it
+        as virtual waiting instead (sleeping there orders nothing).
+        """
+        if not self.config.client_retry:
+            self.broker.publish(channel, message)
+            self.publishes += 1
+            return
+        if not self._breaker.allow(self.config.clock()):
+            raise CircuitOpenError(self._breaker.consecutive_failures)
+        config = self.config
+        deadline = (time.monotonic() + config.publish_timeout
+                    if config.publish_timeout else None)
+        attempt = 0
+        while True:
+            try:
+                self.broker.publish(channel, message)
+            except BrokerClosedError:
+                # Permanent: the broker is gone, retrying cannot help.
+                self.publish_failures += 1
+                self._breaker.record_failure(config.clock())
+                raise
+            except Exception:
+                self.publish_failures += 1
+                self._breaker.record_failure(config.clock())
+                if attempt >= config.publish_max_retries:
+                    raise
+                if (deadline is not None
+                        and time.monotonic() >= deadline):
+                    self.publish_timeouts += 1
+                    raise OperationTimeoutError(
+                        operation, config.publish_timeout
+                    )
+                delay = min(
+                    config.publish_backoff_base * (2 ** attempt),
+                    config.publish_backoff_max,
+                )
+                delay += (self._retry_rng.random()
+                          * config.publish_backoff_jitter * delay)
+                self.backoff_waited += delay
+                if not self.broker.execution.deterministic:
+                    time.sleep(delay)
+                attempt += 1
+                self.publish_retries += 1
+                continue
+            self._breaker.record_success()
+            self.publishes += 1
+            return
 
     # ------------------------------------------------------------------
     # Subscription lifecycle
@@ -312,15 +469,17 @@ class InvaliDBClient:
         self._publish_subscribe(query, bootstrap, slack)
         return subscription
 
-    def _activate(self, query: Query, slack: int) -> List[Document]:
+    def _activate(self, query: Query, slack: int,
+                  renewal: bool = False) -> List[Document]:
         """Execute the rewritten query and send the subscribe request."""
         rewritten = query.rewritten_for_subscription(slack)
         bootstrap = self._execute(rewritten)
-        self._publish_subscribe(query, bootstrap, slack)
+        self._publish_subscribe(query, bootstrap, slack, renewal=renewal)
         return bootstrap
 
     def _publish_subscribe(
-        self, query: Query, bootstrap: List[Document], slack: int
+        self, query: Query, bootstrap: List[Document], slack: int,
+        renewal: bool = False,
     ) -> None:
         message = {
             "kind": "subscribe",
@@ -331,8 +490,9 @@ class InvaliDBClient:
             "bootstrap": bootstrap,
             "versions": self._versions_for(query, bootstrap),
             "slack": slack,
+            "renewal": renewal,
         }
-        self.broker.publish(query_channel(self.tenant), message)
+        self._publish(query_channel(self.tenant), message, "subscribe")
 
     @staticmethod
     def _visible_window(query: Query, bootstrap: List[Document]) -> List[Document]:
@@ -362,7 +522,7 @@ class InvaliDBClient:
                 self._slacks.pop(query.query_id, None)
                 self._handles.pop(query.query_id, None)
         if not still_used:
-            self.broker.publish(
+            self._publish(
                 query_channel(self.tenant),
                 {
                     "kind": "cancel",
@@ -370,6 +530,7 @@ class InvaliDBClient:
                     "query_id": query.query_id,
                     "query_hash": record.query_hash,
                 },
+                "cancel",
             )
 
     # ------------------------------------------------------------------
@@ -396,6 +557,7 @@ class InvaliDBClient:
                 old_index=change.old_index,
                 error=change.error,
                 timestamp=change.timestamp,
+                version=change.version,
             )
             subscription._deliver(notification)
 
@@ -454,7 +616,8 @@ class InvaliDBClient:
                 for query in self._queries.values()
             ]
         for query, slack in queries:
-            bootstrap = self._activate(query, slack)
+            bootstrap = self._activate(query, slack, renewal=True)
+            self.resubscribes += 1
             visible = self._visible_window(query, bootstrap)
             with self._lock:
                 handles = list(self._handles.get(query.query_id, ()))
@@ -513,7 +676,8 @@ class InvaliDBClient:
                 int(old_slack * self.config.renewal_slack_factor),
             )
             self._slacks[query_id] = new_slack
-        self._activate(query, new_slack)
+        self._activate(query, new_slack, renewal=True)
+        self.renewals_sent += 1
         return True
 
     # ------------------------------------------------------------------
@@ -525,7 +689,7 @@ class InvaliDBClient:
         with self._lock:
             queries = list(self._queries.values())
         for query in queries:
-            self.broker.publish(
+            self._publish(
                 query_channel(self.tenant),
                 {
                     "kind": "ttl",
@@ -533,22 +697,37 @@ class InvaliDBClient:
                     "query_id": query.query_id,
                     "query_hash": query.hash,
                 },
+                "ttl",
             )
         return len(queries)
 
     def check_heartbeat(self, now: Optional[float] = None) -> bool:
-        """Terminate all subscriptions when the cluster went silent.
+        """Terminate all subscriptions when the cluster is unreachable.
 
-        Returns True when the heartbeat is healthy.  "In the absence of
-        heartbeat messages, an application server terminates an affected
-        subscription with an error that can be handled by the subscribed
-        clients" (Section 5.1).
+        Returns True when the connection is healthy.  Two outage
+        signals feed this check: silence ("In the absence of heartbeat
+        messages, an application server terminates an affected
+        subscription with an error that can be handled by the
+        subscribed clients", Section 5.1) and an *open circuit breaker*
+        — a broker that rejects every publish is just as gone as one
+        that stops heartbeating.
         """
         now = self.config.clock() if now is None else now
+        if self._breaker.state == CircuitBreaker.OPEN:
+            self._terminate_subscriptions(
+                "circuit breaker open: event layer unreachable", now
+            )
+            return False
         if self.last_heartbeat is None:
             return True  # nothing received yet; grace period
         if now - self.last_heartbeat <= self.config.heartbeat_timeout:
             return True
+        self._terminate_subscriptions(
+            "heartbeat timeout: cluster unreachable", now
+        )
+        return False
+
+    def _terminate_subscriptions(self, reason: str, now: float) -> None:
         for record in self._table.all_records():
             with self._lock:
                 handles = list(self._handles.get(record.query.query_id, ()))
@@ -558,12 +737,11 @@ class InvaliDBClient:
                         subscription_id=subscription.subscription_id,
                         query_id=record.query.query_id,
                         match_type=MatchType.ERROR,
-                        error="heartbeat timeout: cluster unreachable",
+                        error=reason,
                         timestamp=now,
                     )
                 )
                 subscription.closed = True
-        return False
 
     # ------------------------------------------------------------------
     # Write forwarding
@@ -571,7 +749,9 @@ class InvaliDBClient:
 
     def forward_write(self, after: AfterImage) -> None:
         """Publish one after-image to the cluster's write channel."""
-        self.broker.publish(write_channel(self.tenant), serialize_after_image(after))
+        self._publish(
+            write_channel(self.tenant), serialize_after_image(after), "write"
+        )
 
     def attach(self, collection: Any) -> Callable[[], None]:
         """Forward every write of *collection* automatically."""
@@ -601,3 +781,23 @@ class InvaliDBClient:
     @property
     def subscription_count(self) -> int:
         return len(self._table)
+
+    def stats(self) -> Dict[str, Any]:
+        """Client-side resilience counters (all zero on a clean run)."""
+        with self._lock:
+            stale = sum(
+                handle.stale_skipped
+                for handles in self._handles.values()
+                for handle in handles
+            )
+        return {
+            "publishes": self.publishes,
+            "publish_retries": self.publish_retries,
+            "publish_failures": self.publish_failures,
+            "publish_timeouts": self.publish_timeouts,
+            "backoff_waited": round(self.backoff_waited, 6),
+            "renewals_sent": self.renewals_sent,
+            "resubscribes": self.resubscribes,
+            "stale_notifications_skipped": stale,
+            "circuit": self._breaker.stats(),
+        }

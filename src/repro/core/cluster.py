@@ -37,8 +37,10 @@ from repro.core.notifications import (
     serialize_change,
 )
 from repro.core.partitioning import PartitioningScheme
+from repro.core.retention import RetentionBuffer
 from repro.core.sorting import SortingNode
 from repro.core.subscriptions import QueryRegistration
+from repro.core.supervisor import NodeSupervisor
 from repro.event.broker import Broker
 from repro.event.channels import notification_channel, query_channel, write_channel
 from repro.query.engine import MongoQueryEngine, Query
@@ -130,6 +132,7 @@ class _WriteIngestionBolt(Bolt):
 
     def process(self, tuple_: Dict[str, Any]) -> None:
         wp = self.cluster.scheme.write_partition_of(tuple_["key"])
+        self.cluster._retain_write(wp, tuple_)
         forwarded = dict(tuple_)
         forwarded["write_partition"] = wp
         self.emit(forwarded)
@@ -299,7 +302,20 @@ class InvaliDBCluster:
         self._heartbeat_thread: Optional[threading.Thread] = None
         self._stopping = threading.Event()
         self.notifications_sent = 0
+        self.queries_renewed = 0
+        #: Recovery state, cluster level (survives any one node's
+        #: death): the latest subscribe wire payload per query, and one
+        #: retained write stream per write partition.
+        self._wires: Dict[str, Dict[str, Any]] = {}
+        self._retention_lock = threading.Lock()
+        self._write_retention: Dict[int, RetentionBuffer] = {
+            wp: RetentionBuffer(self.config.retention_seconds)
+            for wp in range(self.scheme.write_partitions)
+        }
         self._runtime = self._build_runtime()
+        self.supervisor: Optional[NodeSupervisor] = None
+        if self.config.supervision:
+            self.supervisor = NodeSupervisor(self).attach()
 
     # ------------------------------------------------------------------
     # Topology wiring
@@ -343,7 +359,11 @@ class InvaliDBCluster:
         builder.connect("query-ingestion", "sorting", FieldsGrouping("query_id"))
         builder.connect("write-ingestion", "matching", CustomGrouping(route_write))
         builder.connect("matching", "sorting", FieldsGrouping("query_id"))
-        return LocalRuntime(builder.build(), execution=self._execution)
+        return LocalRuntime(
+            builder.build(),
+            execution=self._execution,
+            error_threshold=self.config.crash_error_threshold or None,
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -428,6 +448,14 @@ class InvaliDBCluster:
                 )
                 self._registrations[query.query_id] = registration
             registration.subscribe(tuple_["app_server"], now)
+            # The latest subscribe wire IS the query's recovery record:
+            # a restarted matching node re-registers from it.
+            self._wires[query.query_id] = {
+                key: value for key, value in tuple_.items()
+                if key != "__task__"
+            }
+            if tuple_.get("renewal"):
+                self.queries_renewed += 1
 
     def _cancel(self, tuple_: Dict[str, Any]) -> bool:
         """Unsubscribe one app server; True when the query is now unused."""
@@ -440,13 +468,19 @@ class InvaliDBCluster:
                 return False
             del self._registrations[tuple_["query_id"]]
             self._query_cache.pop(tuple_["query_id"], None)
+            self._wires.pop(tuple_["query_id"], None)
             return True
 
     def _extend_ttl(self, tuple_: Dict[str, Any]) -> None:
+        # The extension must happen under the registry lock: releasing
+        # it between the lookup and extend() races sweep_expired, which
+        # could expire-and-cancel the registration in the gap and then
+        # have the late extend() resurrect a query the grid already
+        # deactivated.
         with self._registration_lock:
             registration = self._registrations.get(tuple_["query_id"])
-        if registration is not None:
-            registration.extend(tuple_["app_server"], self.config.clock())
+            if registration is not None:
+                registration.extend(tuple_["app_server"], self.config.clock())
 
     def sweep_expired(self) -> List[str]:
         """Deactivate queries whose every subscriber's TTL lapsed.
@@ -462,6 +496,7 @@ class InvaliDBCluster:
                 if not registration.active:
                     del self._registrations[query_id]
                     self._query_cache.pop(query_id, None)
+                    self._wires.pop(query_id, None)
                     deactivated.append((query_id, registration.query.hash))
         for query_id, query_hash in deactivated:
             self._runtime.inject(
@@ -471,6 +506,28 @@ class InvaliDBCluster:
                  "force": True},
             )
         return [query_id for query_id, _ in deactivated]
+
+    # ------------------------------------------------------------------
+    # Recovery state (read by the NodeSupervisor)
+    # ------------------------------------------------------------------
+
+    def _retain_write(self, wp: int, tuple_: Dict[str, Any]) -> None:
+        """Record an after-image in the write partition's retained
+        stream (cluster level, so it survives any matching node)."""
+        after = deserialize_after_image(tuple_)
+        with self._retention_lock:
+            self._write_retention[wp].observe(after, self.config.clock())
+
+    def _retained_writes(self, wp: int) -> List[Dict[str, Any]]:
+        """Wire payloads of the write partition's retention window."""
+        with self._retention_lock:
+            images = self._write_retention[wp].replay(self.config.clock())
+        return [serialize_after_image(after) for after in images]
+
+    def _subscribe_wires(self) -> List[Dict[str, Any]]:
+        """The stored subscribe request of every active query."""
+        with self._registration_lock:
+            return list(self._wires.values())
 
     # ------------------------------------------------------------------
     # Notification fan-out
@@ -552,14 +609,33 @@ class InvaliDBCluster:
                 memo_hits / (memo_hits + memo_misses), 4
             ) if memo_hits + memo_misses else 0.0,
         }
+        injector = self._execution.fault_injector
+        faults = (
+            injector.stats() if injector is not None
+            else {
+                "armed": False, "injected": 0, "dropped": 0,
+                "duplicated": 0, "delayed": 0, "reordered": 0,
+                "corrupted": 0, "crashes": 0, "errors": 0, "rules": [],
+            }
+        )
+        supervisor = (
+            self.supervisor.stats() if self.supervisor is not None
+            else {
+                "crashes_seen": 0, "restarts": 0, "replayed_writes": 0,
+                "reregistered_queries": 0, "gave_up": 0, "pending": 0,
+            }
+        )
         return {
             "grid": f"{self.scheme.query_partitions}x"
                     f"{self.scheme.write_partitions}",
             "active_queries": active,
             "app_servers": sorted(app_servers),
             "notifications_sent": self.notifications_sent,
+            "queries_renewed": self.queries_renewed,
             "matching": matching_totals,
             "matching_nodes": per_node,
+            "faults": faults,
+            "supervisor": supervisor,
             "runtime": self._runtime.stats(),
         }
 

@@ -61,6 +61,41 @@ class InvaliDBConfig:
     #: give the cluster its own (e.g. bounded queues with a different
     #: backpressure policy, or a dedicated inline model).
     execution: Optional[ExecutionConfig] = None
+    #: Supervised recovery: restart crashed matching/sorting tasks and
+    #: rebuild their state from retained streams (Section 5's isolated
+    #: failure domains).  Disable to reproduce the unsupervised seed.
+    supervision: bool = True
+    #: Exponential restart backoff: first restart after ``base``
+    #: seconds, then ``base * factor**n`` capped at ``max`` (virtual
+    #: seconds under the inline model).
+    supervisor_backoff_base: float = 0.05
+    supervisor_backoff_factor: float = 2.0
+    supervisor_backoff_max: float = 2.0
+    #: Give up restarting one task after this many attempts.
+    supervisor_max_restarts: int = 8
+    #: Consecutive handler errors after which a task counts as poisoned
+    #: and is crashed (0 disables — errors are recorded and skipped).
+    crash_error_threshold: int = 0
+    #: Client-side resilience: retry failed publishes with exponential
+    #: backoff + jitter and guard the broker with a circuit breaker.
+    #: Disable to surface broker errors directly (seed behavior).
+    client_retry: bool = True
+    #: Retries after the first failed publish attempt.
+    publish_max_retries: int = 4
+    #: Backoff curve: ``base * 2**attempt`` seconds, capped at ``max``,
+    #: plus up to ``jitter`` * delay of random extra.
+    publish_backoff_base: float = 0.05
+    publish_backoff_max: float = 1.0
+    publish_backoff_jitter: float = 0.5
+    #: Per-operation budget: a publish (including retries) exceeding
+    #: this raises OperationTimeoutError (0 disables).
+    publish_timeout: float = 0.0
+    #: Circuit breaker: open after this many consecutive failures …
+    circuit_breaker_threshold: int = 5
+    #: … and probe again (half-open) after this many seconds.
+    circuit_breaker_reset: float = 2.0
+    #: Seed for client-side retry jitter (None = nondeterministic).
+    client_rng_seed: Optional[int] = None
     #: Time source (injectable for deterministic tests).
     clock: Clock = field(default=time.time, repr=False)
 
@@ -93,6 +128,34 @@ class InvaliDBConfig:
             raise ClusterConfigError("subscription_ttl must be positive")
         if self.renewal_min_interval < 0:
             raise ClusterConfigError("renewal_min_interval must be >= 0")
+        if self.supervisor_backoff_base <= 0:
+            raise ClusterConfigError("supervisor_backoff_base must be > 0")
+        if self.supervisor_backoff_factor < 1.0:
+            raise ClusterConfigError(
+                "supervisor_backoff_factor must be >= 1.0"
+            )
+        if self.supervisor_backoff_max < self.supervisor_backoff_base:
+            raise ClusterConfigError(
+                "supervisor_backoff_max must be >= supervisor_backoff_base"
+            )
+        if self.supervisor_max_restarts < 1:
+            raise ClusterConfigError("supervisor_max_restarts must be >= 1")
+        if self.crash_error_threshold < 0:
+            raise ClusterConfigError("crash_error_threshold must be >= 0")
+        if self.publish_max_retries < 0:
+            raise ClusterConfigError("publish_max_retries must be >= 0")
+        if self.publish_backoff_base <= 0 or self.publish_backoff_max <= 0:
+            raise ClusterConfigError("publish backoff bounds must be > 0")
+        if not 0.0 <= self.publish_backoff_jitter <= 1.0:
+            raise ClusterConfigError(
+                "publish_backoff_jitter must be in [0, 1]"
+            )
+        if self.publish_timeout < 0:
+            raise ClusterConfigError("publish_timeout must be >= 0")
+        if self.circuit_breaker_threshold < 1:
+            raise ClusterConfigError("circuit_breaker_threshold must be >= 1")
+        if self.circuit_breaker_reset <= 0:
+            raise ClusterConfigError("circuit_breaker_reset must be > 0")
 
     @property
     def matching_node_count(self) -> int:

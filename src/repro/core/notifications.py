@@ -28,6 +28,8 @@ class QueryChange:
     old_index: Optional[int] = None
     error: Optional[str] = None
     timestamp: float = 0.0
+    #: Version of the underlying write (0 = unknown/sorted-window diff).
+    version: int = 0
 
     @property
     def is_error(self) -> bool:
@@ -42,6 +44,7 @@ def change_from_match_event(event: MatchEvent) -> QueryChange:
         key=event.key,
         document=event.document,
         timestamp=event.timestamp,
+        version=event.version,
     )
 
 
@@ -59,6 +62,7 @@ def bind_to_subscription(
         old_index=change.old_index,
         error=change.error,
         timestamp=change.timestamp,
+        version=change.version,
     )
 
 
@@ -73,6 +77,7 @@ def serialize_change(change: QueryChange) -> Dict[str, Any]:
         "old_index": change.old_index,
         "error": change.error,
         "timestamp": change.timestamp,
+        "version": change.version,
     }
 
 
@@ -86,4 +91,5 @@ def deserialize_change(payload: Dict[str, Any]) -> QueryChange:
         old_index=payload.get("old_index"),
         error=payload.get("error"),
         timestamp=payload.get("timestamp", 0.0),
+        version=payload.get("version", 0),
     )

@@ -121,6 +121,31 @@ class QueueOverflowError(ExecutionError):
         self.capacity = capacity
 
 
+class InjectedFaultError(ExecutionError):
+    """An operation failed because a fault plan said it must.
+
+    Raised by ``Broker.publish`` on an ``error`` fault — the failure
+    mode that client-side retry and the circuit breaker are built for.
+    """
+
+    def __init__(self, scope: str, name: str):
+        super().__init__(f"injected fault: {scope} {name!r} rejected the message")
+        self.scope = scope
+        self.name = name
+
+
+class TaskCrashedError(ExecutionError):
+    """A topology task died (injected crash or poisoning threshold)."""
+
+    def __init__(self, component: str, task_index: int, reason: str):
+        super().__init__(
+            f"task {component}[{task_index}] crashed: {reason}"
+        )
+        self.component = component
+        self.task_index = task_index
+        self.reason = reason
+
+
 # ---------------------------------------------------------------------------
 # Stream substrate errors
 # ---------------------------------------------------------------------------
@@ -175,6 +200,31 @@ class HeartbeatTimeoutError(InvaliDBError):
 
 class RenewalRateLimitedError(InvaliDBError):
     """A query renewal was suppressed by the poll frequency rate limit."""
+
+
+class CircuitOpenError(InvaliDBError):
+    """The client's circuit breaker is open: the broker is presumed down.
+
+    Operations fail fast instead of retrying; the breaker half-opens
+    after its reset timeout and closes again on the first success.
+    """
+
+    def __init__(self, failures: int):
+        super().__init__(
+            f"circuit breaker open after {failures} consecutive broker failures"
+        )
+        self.failures = failures
+
+
+class OperationTimeoutError(InvaliDBError):
+    """A client operation exhausted its per-operation deadline."""
+
+    def __init__(self, operation: str, timeout: float):
+        super().__init__(
+            f"operation {operation!r} timed out after {timeout:.3f}s"
+        )
+        self.operation = operation
+        self.timeout = timeout
 
 
 # ---------------------------------------------------------------------------

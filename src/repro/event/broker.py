@@ -31,13 +31,14 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
-from repro.errors import BrokerClosedError
+from repro.errors import BrokerClosedError, InjectedFaultError
 from repro.event.codec import Codec, JsonCodec
 from repro.runtime.execution import (
     ExecutionConfig,
     ExecutionModel,
     resolve_execution_model,
 )
+from repro.runtime.faults import CHANNEL
 
 Listener = Callable[[str, Any], None]
 DelayFn = Callable[[str], float]
@@ -102,16 +103,38 @@ class Broker:
     # ------------------------------------------------------------------
 
     def publish(self, channel: str, payload: Any) -> None:
-        """Encode *payload* and enqueue it for asynchronous delivery."""
+        """Encode *payload* and enqueue it for asynchronous delivery.
+
+        When a fault injector is attached to the execution model,
+        channel-scope faults apply here: ``error`` makes the publish
+        itself raise :class:`~repro.errors.InjectedFaultError` (the
+        failure clients must retry), ``drop``/``duplicate``/``delay``/
+        ``corrupt`` act on the in-flight message.
+        """
         if self._closed:
             raise BrokerClosedError(f"broker {self.name!r} is closed")
-        wire = self._codec.encode(payload)
         delay = self._delivery_delay
         if self._delay_fn is not None:
             delay = max(delay, self._delay_fn(channel))
-        with self._lock:
-            self._published += 1
-        self._execution.schedule(self._mailbox, (channel, wire), delay)
+        copies = 1
+        injector = self._execution.fault_injector
+        if injector is not None:
+            decision = injector.decide(CHANNEL, channel, payload)
+            if decision.error:
+                raise InjectedFaultError(CHANNEL, channel)
+            with self._lock:
+                self._published += 1
+            if decision.drop:
+                return
+            payload = decision.payload
+            delay += decision.delay
+            copies = decision.copies
+        else:
+            with self._lock:
+                self._published += 1
+        wire = self._codec.encode(payload)
+        for _ in range(copies):
+            self._execution.schedule(self._mailbox, (channel, wire), delay)
 
     # ------------------------------------------------------------------
     # Subscribing

@@ -13,6 +13,11 @@ asynchronous subsystems:
 
 Select with :class:`ExecutionConfig` (``mode="threaded" | "inline"``)
 or pass a shared model instance so broker and cluster drain together.
+
+Chaos testing plugs in here: a :class:`FaultPlan` (see
+:mod:`repro.runtime.faults`) attached to a model injects message drops,
+duplicates, delays, reordering, corruption and task crashes — fully
+deterministic under the inline model.
 """
 
 from repro.runtime.execution import (
@@ -25,6 +30,12 @@ from repro.runtime.execution import (
     build_execution_model,
     resolve_execution_model,
 )
+from repro.runtime.faults import (
+    FaultDecision,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+)
 from repro.runtime.queues import BackpressurePolicy, BoundedQueue
 
 __all__ = [
@@ -32,6 +43,10 @@ __all__ = [
     "BoundedQueue",
     "ExecutionConfig",
     "ExecutionModel",
+    "FaultDecision",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
     "InlineExecutionModel",
     "Mailbox",
     "ThreadedExecutionModel",

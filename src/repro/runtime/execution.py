@@ -43,6 +43,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.errors import ExecutionConfigError
+from repro.runtime.faults import MAILBOX, FaultInjector, FaultPlan
 from repro.runtime.queues import BackpressurePolicy, BoundedQueue
 
 BatchHandler = Callable[[List[Any]], None]
@@ -72,6 +73,9 @@ class ExecutionConfig:
     seed: Optional[int] = None
     #: Default worker join patience on shutdown.
     shutdown_timeout: float = 2.0
+    #: Optional fault schedule; the built model starts with its
+    #: :class:`~repro.runtime.faults.FaultInjector` attached.
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.mode not in (THREADED, INLINE):
@@ -92,6 +96,10 @@ class ExecutionConfig:
             ) from None
         if self.shutdown_timeout < 0:
             raise ExecutionConfigError("shutdown_timeout must be >= 0")
+        if self.fault_plan is not None and not isinstance(
+            self.fault_plan, FaultPlan
+        ):
+            raise ExecutionConfigError("fault_plan must be a FaultPlan or None")
 
 
 class TimerHandle:
@@ -121,6 +129,10 @@ class Mailbox(abc.ABC):
         ...
 
     @abc.abstractmethod
+    def put_direct(self, item: Any) -> None:
+        """Deliver bypassing fault injection (recovery/replay traffic)."""
+
+    @abc.abstractmethod
     def close(self, drain: bool = True) -> None:
         ...
 
@@ -141,6 +153,19 @@ class ExecutionModel(abc.ABC):
 
     def __init__(self, config: Optional[ExecutionConfig] = None):
         self.config = config if config is not None else ExecutionConfig()
+        #: Optional chaos hook: when set, undelayed mailbox deliveries
+        #: consult it for drop/duplicate/delay/corrupt decisions.  The
+        #: broker and the topology runtime read this attribute too (for
+        #: channel faults and task crashes), so attaching one injector
+        #: here covers the whole pipeline.
+        self.fault_injector: Optional[FaultInjector] = (
+            self.config.fault_plan.build()
+            if self.config.fault_plan is not None else None
+        )
+
+    def set_fault_injector(self, injector: Optional[FaultInjector]) -> None:
+        """Attach (or detach, with ``None``) a fault injector."""
+        self.fault_injector = injector
 
     @abc.abstractmethod
     def mailbox(
@@ -236,10 +261,13 @@ class _ThreadedMailbox(Mailbox):
     # -- producer ---------------------------------------------------------
 
     def put(self, item: Any) -> None:
-        self._model._track_put(self._queue, (item,))
+        self._model._deliver(self, (item,))
 
     def put_many(self, items: List[Any]) -> None:
-        self._model._track_put(self._queue, items)
+        self._model._deliver(self, items)
+
+    def put_direct(self, item: Any) -> None:
+        self._model._track_put(self._queue, (item,))
 
     # -- consumer ---------------------------------------------------------
 
@@ -308,6 +336,27 @@ class ThreadedExecutionModel(ExecutionModel):
 
     # -- accounting -------------------------------------------------------
 
+    def _deliver(self, box: "_ThreadedMailbox", items: Any) -> None:
+        """Apply mailbox-scope faults, then enqueue what survives."""
+        injector = self.fault_injector
+        if injector is None:
+            self._track_put(box._queue, items)
+            return
+        immediate: List[Any] = []
+        for item in items:
+            decision = injector.decide(MAILBOX, box.name, item)
+            if decision.drop:
+                continue
+            for _ in range(decision.copies):
+                if decision.delay > 0:
+                    self._schedule_on_queue(
+                        box._queue, decision.payload, decision.delay
+                    )
+                else:
+                    immediate.append(decision.payload)
+        if immediate:
+            self._track_put(box._queue, immediate)
+
     def _track_put(self, queue: BoundedQueue, items: Any) -> None:
         items = list(items)
         if not items:
@@ -363,13 +412,18 @@ class ThreadedExecutionModel(ExecutionModel):
         if delay <= 0:
             mailbox.put(item)
             return
+        self._schedule_on_queue(mailbox._queue, item, delay)
+
+    def _schedule_on_queue(self, queue: BoundedQueue, item: Any,
+                           delay: float) -> None:
+        """Timer-heap delivery straight into *queue* (no fault re-check)."""
         with self._quiet:
             self._pending += 1
         due = time.monotonic() + delay
         with self._timer_cv:
             heapq.heappush(
                 self._timer_heap,
-                (due, next(self._sequence), mailbox._queue, item, [False]),
+                (due, next(self._sequence), queue, item, [False]),
             )
             self._ensure_timer_thread()
             self._timer_cv.notify()
@@ -455,12 +509,15 @@ class ThreadedExecutionModel(ExecutionModel):
     def stats(self) -> Dict[str, Any]:
         with self._quiet:
             pending = self._pending
-        return {
+        snapshot = {
             "mode": THREADED,
             "pending": pending,
             "max_batch": self.config.max_batch,
             "mailboxes": {box.name: box.stats() for box in self._mailboxes},
         }
+        if self.fault_injector is not None:
+            snapshot["faults"] = self.fault_injector.stats()
+        return snapshot
 
 
 # ---------------------------------------------------------------------------
@@ -492,6 +549,9 @@ class _InlineMailbox(Mailbox):
 
     def put_many(self, items: List[Any]) -> None:
         self._model._put(self, items)
+
+    def put_direct(self, item: Any) -> None:
+        self._model._put(self, (item,), faulted=False)
 
     def _enqueue(self, item: Any) -> None:
         """Append under the model lock; enforces drop/error policies.
@@ -599,10 +659,31 @@ class InlineExecutionModel(ExecutionModel):
 
     # -- scheduling -------------------------------------------------------
 
-    def _put(self, box: _InlineMailbox, items: Any) -> None:
+    def _put(self, box: _InlineMailbox, items: Any,
+             faulted: bool = True) -> None:
         with self._lock:
-            for item in items:
-                box._enqueue(item)
+            injector = self.fault_injector if faulted else None
+            if injector is None:
+                for item in items:
+                    box._enqueue(item)
+            else:
+                for item in items:
+                    decision = injector.decide(MAILBOX, box.name, item)
+                    if decision.drop:
+                        continue
+                    for _ in range(decision.copies):
+                        if decision.delay > 0:
+                            # Virtual-time heap: released by drain()
+                            # without re-faulting, like the threaded
+                            # timer thread.
+                            heapq.heappush(
+                                self._delayed,
+                                (self._vnow + decision.delay,
+                                 next(self._sequence), "item",
+                                 box, decision.payload, [False]),
+                            )
+                        else:
+                            box._enqueue(decision.payload)
             if not self._running:
                 self._pump()
 
@@ -740,7 +821,7 @@ class InlineExecutionModel(ExecutionModel):
 
     def stats(self) -> Dict[str, Any]:
         with self._lock:
-            return {
+            snapshot = {
                 "mode": INLINE,
                 "pending": sum(len(box._items) for box in self._mailboxes),
                 "delayed": len(self._delayed),
@@ -749,3 +830,6 @@ class InlineExecutionModel(ExecutionModel):
                 "mailboxes": {box.name: box.stats()
                               for box in self._mailboxes},
             }
+        if self.fault_injector is not None:
+            snapshot["faults"] = self.fault_injector.stats()
+        return snapshot

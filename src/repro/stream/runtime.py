@@ -19,16 +19,20 @@ from __future__ import annotations
 import itertools
 import threading
 from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Optional, Union
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
-from repro.errors import RuntimeStateError
+from repro.errors import RuntimeStateError, TaskCrashedError
 from repro.runtime.execution import (
     ExecutionConfig,
     ExecutionModel,
     Mailbox,
     resolve_execution_model,
 )
+from repro.runtime.faults import FaultInjector
 from repro.stream.topology import Bolt, Component, ComponentSpec, Spout, Topology
+
+#: Signature of a crash listener: (component, task_index, reason).
+CrashListener = "Callable[[str, int, str], None]"
 
 
 @dataclass
@@ -60,6 +64,15 @@ class _Task:
         self.name = f"{spec.name}[{task_index}]"
         self.mailbox: Optional[Mailbox] = None
         self.processed = 0
+        #: Crash state: a crashed task keeps its mailbox (so producers
+        #: never block on a missing handler) but silently drops every
+        #: tuple until a supervisor restarts it — exactly the message
+        #: loss a real node failure causes.
+        self.crashed = False
+        self.crash_reason: Optional[str] = None
+        self.consecutive_errors = 0
+        self.dropped_while_crashed = 0
+        self.restarts = 0
         # Emission buffer, populated only while a batch is in flight on
         # this task's (single) worker; flushed grouped by destination.
         self._out: Optional[List[Any]] = None
@@ -112,12 +125,32 @@ class _Task:
     # -- bolt path -------------------------------------------------------
 
     def _handle_batch(self, batch: List[Any]) -> None:
+        if self.crashed:
+            self.dropped_while_crashed += len(batch)
+            return
+        injector = self.runtime.fault_injector
+        if injector is not None:
+            # Crash faults fire per tuple: the prefix before the crash
+            # point is still processed (the node died mid-stream), the
+            # rest is lost with the task.
+            for position, _ in enumerate(batch):
+                if injector.crashes_task(self.name):
+                    prefix = batch[:position]
+                    if prefix:
+                        self._process(prefix)
+                    self.dropped_while_crashed += len(batch) - position
+                    self.runtime._crash_task(self, "injected crash")
+                    return
+        self._process(batch)
+
+    def _process(self, batch: List[Any]) -> None:
         bolt = self.component
         self._out = []
         try:
             if self._custom_batch:
                 try:
                     bolt.process_batch(batch)
+                    self.consecutive_errors = 0
                 except Exception as exc:  # noqa: BLE001 - a failing batch
                     # must not kill the task; Storm would replay/ack,
                     # we record-and-go.
@@ -125,19 +158,38 @@ class _Task:
                         self.spec.name, self.task_index,
                         error=exc, tuple_=list(batch),
                     )
+                    self._note_handler_error()
                 self.processed += len(batch)
             else:
                 for tuple_ in batch:
+                    if self.crashed:
+                        self.dropped_while_crashed += 1
+                        continue
                     try:
                         bolt.process(tuple_)
+                        self.consecutive_errors = 0
                     except Exception as exc:  # noqa: BLE001
                         self.runtime.record_failure(
                             self.spec.name, self.task_index,
                             error=exc, tuple_=tuple_,
                         )
+                        self._note_handler_error()
                     self.processed += 1
         finally:
             self._flush()
+
+    def _note_handler_error(self) -> None:
+        """Track consecutive failures; past the threshold the task is
+        considered poisoned and crashes (supervised recovery takes over,
+        replacing retry-forever on a wedged node)."""
+        self.consecutive_errors += 1
+        threshold = self.runtime.error_threshold
+        if threshold and self.consecutive_errors >= threshold:
+            self.runtime._crash_task(
+                self,
+                f"poisoned: {self.consecutive_errors} consecutive "
+                f"handler errors",
+            )
 
     # -- spout path ------------------------------------------------------
 
@@ -169,11 +221,16 @@ class LocalRuntime:
         self,
         topology: Topology,
         execution: Union[None, ExecutionConfig, ExecutionModel] = None,
+        error_threshold: Optional[int] = None,
     ):
         self.topology = topology
         self._execution, self._owns_execution = resolve_execution_model(
             execution
         )
+        #: Consecutive handler errors after which a task is declared
+        #: poisoned and crashed (None/0 disables — seed behavior).
+        self.error_threshold = error_threshold
+        self._crash_listener: Optional[Any] = None
         self._tasks: Dict[str, List[_Task]] = {}
         self._started = False
         self._stopped = False
@@ -190,6 +247,12 @@ class LocalRuntime:
     @property
     def execution(self) -> ExecutionModel:
         return self._execution
+
+    @property
+    def fault_injector(self) -> Optional[FaultInjector]:
+        """The execution model's injector (read dynamically so an
+        injector attached after construction is still honored)."""
+        return self._execution.fault_injector
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -241,7 +304,8 @@ class LocalRuntime:
 
     # -- injection & routing ---------------------------------------------------
 
-    def inject(self, component: str, tuple_: Mapping[str, Any]) -> None:
+    def inject(self, component: str, tuple_: Mapping[str, Any],
+               direct: bool = False) -> None:
         """Push a tuple into *component* from outside the topology.
 
         Incoming-edge groupings do not apply here — there is no edge:
@@ -249,7 +313,9 @@ class LocalRuntime:
         round-robins across the component's tasks for an even spread
         (the seed hashed ``id(tuple_)``, which CPython recycles, badly
         skewing the distribution), unless an integer ``__task__`` field
-        selects a task explicitly.
+        selects a task explicitly.  ``direct=True`` bypasses fault
+        injection — the reliable path supervised recovery uses for
+        re-registration and replay traffic.
         """
         tasks = self._tasks.get(component)
         if tasks is None:
@@ -263,7 +329,70 @@ class LocalRuntime:
             index = next(self._inject_counters[component]) % len(tasks)
         mailbox = tasks[index].mailbox
         if mailbox is not None:
-            mailbox.put(tuple_)
+            if direct:
+                mailbox.put_direct(tuple_)
+            else:
+                mailbox.put(tuple_)
+
+    # -- crash & restart (supervised recovery) -----------------------------
+
+    def set_crash_listener(self, listener: Optional[Any]) -> None:
+        """Register a callback ``(component, task_index, reason)`` fired
+        once per crash (a supervisor's detection hook)."""
+        self._crash_listener = listener
+
+    def _crash_task(self, task: _Task, reason: str) -> None:
+        if task.crashed:
+            return
+        task.crashed = True
+        task.crash_reason = reason
+        self.record_failure(
+            task.spec.name, task.task_index,
+            error=TaskCrashedError(task.spec.name, task.task_index, reason),
+        )
+        listener = self._crash_listener
+        if listener is not None:
+            try:
+                listener(task.spec.name, task.task_index, reason)
+            except Exception:  # noqa: BLE001 - a broken supervisor must
+                # not take the worker down with it.
+                pass
+
+    def crash_task(self, component: str, task_index: int,
+                   reason: str = "killed") -> None:
+        """Kill one task from the outside (tests, chaos drivers)."""
+        self._crash_task(self._tasks[component][task_index], reason)
+
+    def crashed_tasks(self) -> List[Tuple[str, int, str]]:
+        return [
+            (task.spec.name, task.task_index, task.crash_reason or "")
+            for tasks in self._tasks.values()
+            for task in tasks
+            if task.crashed
+        ]
+
+    def restart_task(self, component: str, task_index: int) -> Component:
+        """Replace a crashed task's component with a fresh instance.
+
+        The mailbox (and everything queued in it since the crash) is
+        kept; the component is rebuilt from its spec and re-prepared, so
+        bolt-local state starts empty — reconstructing it from retained
+        streams is the supervisor's job, not the runtime's.
+        """
+        task = self._tasks[component][task_index]
+        task.component = task.spec.build_task()
+        task._custom_batch = (
+            isinstance(task.component, Bolt)
+            and type(task.component).process_batch is not Bolt.process_batch
+        )
+        task.component.prepare(
+            task.task_index, task.spec.parallelism, task._emit
+        )
+        task.crashed = False
+        task.crash_reason = None
+        task.consecutive_errors = 0
+        task.restarts += 1
+        return task.component
 
     # -- introspection -----------------------------------------------------------
 
@@ -330,6 +459,11 @@ class LocalRuntime:
                 "dropped": dropped,
                 "batches": batches,
                 "largest_batch": largest_batch,
+                "crashed": sum(1 for task in tasks if task.crashed),
+                "restarts": sum(task.restarts for task in tasks),
+                "dropped_while_crashed": sum(
+                    task.dropped_while_crashed for task in tasks
+                ),
             }
         return {
             "components": components,

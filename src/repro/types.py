@@ -102,6 +102,10 @@ class ChangeNotification:
     error: Optional[str] = None
     initial: bool = False
     timestamp: float = 0.0
+    #: Version of the write behind this change (0 = unknown; sorted
+    #: queries diff whole windows, so only unsorted changes carry one).
+    #: Lets clients drop stale re-deliveries after recovery replay.
+    version: int = 0
 
     @property
     def is_error(self) -> bool:
