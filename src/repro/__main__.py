@@ -1,19 +1,29 @@
-"""Self-contained demo: ``python -m repro``.
+"""Command-line entry points: ``python -m repro [inspect]``.
 
-Boots a 2x2 InvaliDB cluster, subscribes to a sorted real-time query,
-streams a few writes, and prints the notifications — a 5-second tour of
-what the library does.
+Without arguments, runs the self-contained demo: boots a 2x2 InvaliDB
+cluster, subscribes to a sorted real-time query, streams a few writes,
+and prints the notifications — a 5-second tour of what the library
+does.
+
+``python -m repro inspect`` boots a telemetry-enabled cluster on the
+deterministic inline execution model, pushes a synthetic workload
+through it, and renders the live cluster inspector: matching-grid
+occupancy, mailbox queue health, write-path latency percentiles and
+fault/recovery counters.  ``--json`` and ``--prometheus`` dump the
+same snapshot in machine-readable form; ``--slow`` prints the slow
+-event log.
 """
 
 from __future__ import annotations
 
+import argparse
 import time
 
 from repro import AppServer, InvaliDBCluster, InvaliDBConfig
 from repro.event import Broker
 
 
-def main() -> int:
+def demo() -> int:
     print("InvaliDB reproduction — self demo (python -m repro)\n")
     broker = Broker()
     config = InvaliDBConfig(query_partitions=2, write_partitions=2)
@@ -65,6 +75,85 @@ def main() -> int:
     cluster.stop()
     broker.close()
     return 0 if converged else 1
+
+
+def inspect(args: argparse.Namespace) -> int:
+    """Boot an inline telemetry-on cluster, run a workload, render it."""
+    from repro.obs.export import format_slow_events, to_json, to_prometheus
+    from repro.obs.inspector import render
+    from repro.obs.telemetry import TelemetryConfig
+    from repro.runtime.execution import ExecutionConfig, InlineExecutionModel
+
+    qp, _, wp = args.grid.partition("x")
+    model = InlineExecutionModel(
+        ExecutionConfig(mode="inline", seed=args.seed)
+    )
+    broker = Broker(execution=model)
+    config = InvaliDBConfig(
+        query_partitions=int(qp), write_partitions=int(wp or qp),
+        # Trace every write: the inspector exists to show the write
+        # path, so it overrides the production sampling default.
+        telemetry=TelemetryConfig(trace_sample_rate=1.0),
+    )
+    cluster = InvaliDBCluster(broker, config).start()
+    app = AppServer("inspect-app", broker, config=config)
+    try:
+        app.subscribe("items", {"v": {"$gte": 0}})
+        app.subscribe("items", {}, sort=[("v", -1)], limit=5)
+        broker.drain()
+        for i in range(args.writes):
+            app.insert("items", {"_id": i, "v": i % 17})
+        for i in range(0, args.writes, 3):
+            app.update("items", i, {"$inc": {"v": 100}})
+        for i in range(0, args.writes, 7):
+            app.delete("items", i)
+        broker.drain()
+        if args.json:
+            print(to_json(cluster.telemetry, indent=2))
+        elif args.prometheus:
+            print(to_prometheus(cluster.telemetry), end="")
+        elif args.slow:
+            print(format_slow_events(cluster.telemetry), end="")
+        else:
+            print(render(cluster.snapshot()), end="")
+        return 0
+    finally:
+        app.close()
+        cluster.stop()
+        broker.close()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="InvaliDB reproduction: demo and cluster inspector.",
+    )
+    sub = parser.add_subparsers(dest="command")
+    inspect_parser = sub.add_parser(
+        "inspect",
+        help="run a telemetry-enabled workload and render the inspector",
+    )
+    inspect_parser.add_argument(
+        "--grid", default="2x2", help="matching grid as QPxWP (default 2x2)"
+    )
+    inspect_parser.add_argument(
+        "--writes", type=int, default=60,
+        help="synthetic writes to push through (default 60)",
+    )
+    inspect_parser.add_argument(
+        "--seed", type=int, default=7, help="inline-model seed (default 7)"
+    )
+    output = inspect_parser.add_mutually_exclusive_group()
+    output.add_argument("--json", action="store_true",
+                        help="dump the telemetry snapshot as JSON")
+    output.add_argument("--prometheus", action="store_true",
+                        help="dump the registry in Prometheus text format")
+    output.add_argument("--slow", action="store_true",
+                        help="print the slow-event log")
+    args = parser.parse_args(argv)
+    if args.command == "inspect":
+        return inspect(args)
+    return demo()
 
 
 if __name__ == "__main__":

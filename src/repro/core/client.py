@@ -40,6 +40,14 @@ from repro.errors import (
 )
 from repro.event.broker import Broker
 from repro.event.channels import notification_channel, query_channel, write_channel
+from repro.obs.tracing import (
+    DELIVER,
+    MATERIALIZE,
+    PUBLISH,
+    begin_span,
+    end_span,
+    trace_of,
+)
 from repro.query.engine import Query
 from repro.query.sortspec import SortInput
 from repro.types import (
@@ -318,6 +326,26 @@ class InvaliDBClient:
         )
         self._closed = False
 
+    @property
+    def telemetry(self):
+        """The telemetry attached to the event layer's execution model.
+
+        Read dynamically (not cached at construction): the cluster
+        attaches telemetry to the shared model when it boots, which may
+        happen after this client was built.
+        """
+        return self.broker.execution.telemetry
+
+    def _start_trace(self, kind: str, key: Any) -> Optional[Dict[str, Any]]:
+        """Open a write-path trace with its ``publish`` span, or None."""
+        tel = self.telemetry
+        if not tel.enabled:
+            return None
+        now = tel.now()
+        trace = tel.tracer.start(kind, key, now)
+        begin_span(trace, PUBLISH, now)
+        return trace
+
     # ------------------------------------------------------------------
     # Database access
     # ------------------------------------------------------------------
@@ -405,6 +433,10 @@ class InvaliDBClient:
                 delay += (self._retry_rng.random()
                           * config.publish_backoff_jitter * delay)
                 self.backoff_waited += delay
+                tel = self.telemetry
+                if tel.enabled:
+                    tel.histogram("client.backoff_seconds").record(delay)
+                    tel.counter("client.publish_retries").inc()
                 if not self.broker.execution.deterministic:
                     time.sleep(delay)
                 attempt += 1
@@ -492,6 +524,9 @@ class InvaliDBClient:
             "slack": slack,
             "renewal": renewal,
         }
+        trace = self._start_trace("subscribe", query.query_id)
+        if trace is not None:
+            message["trace"] = trace
         self._publish(query_channel(self.tenant), message, "subscribe")
 
     @staticmethod
@@ -542,6 +577,12 @@ class InvaliDBClient:
             self.last_heartbeat = payload.get("timestamp", self.config.clock())
             return
         change = deserialize_change(payload)
+        tel = self.telemetry
+        trace = trace_of(payload) if tel.enabled else None
+        if trace is not None:
+            tnow = tel.now()
+            end_span(trace, DELIVER, tnow)
+            begin_span(trace, MATERIALIZE, tnow)
         if change.is_error:
             self._handle_maintenance_error(change.query_id)
         with self._lock:
@@ -558,8 +599,13 @@ class InvaliDBClient:
                 error=change.error,
                 timestamp=change.timestamp,
                 version=change.version,
+                trace=trace,
             )
             subscription._deliver(notification)
+        if trace is not None:
+            tnow = tel.now()
+            end_span(trace, MATERIALIZE, tnow)
+            tel.tracer.complete(trace, tnow)
 
     # ------------------------------------------------------------------
     # Query renewal (maintenance errors)
@@ -749,9 +795,11 @@ class InvaliDBClient:
 
     def forward_write(self, after: AfterImage) -> None:
         """Publish one after-image to the cluster's write channel."""
-        self._publish(
-            write_channel(self.tenant), serialize_after_image(after), "write"
-        )
+        payload = serialize_after_image(after)
+        trace = self._start_trace("write", after.key)
+        if trace is not None:
+            payload["trace"] = trace
+        self._publish(write_channel(self.tenant), payload, "write")
 
     def attach(self, collection: Any) -> Callable[[], None]:
         """Forward every write of *collection* automatically."""

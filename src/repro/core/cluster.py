@@ -43,6 +43,17 @@ from repro.core.subscriptions import QueryRegistration
 from repro.core.supervisor import NodeSupervisor
 from repro.event.broker import Broker
 from repro.event.channels import notification_channel, query_channel, write_channel
+from repro.obs.telemetry import build_telemetry
+from repro.obs.tracing import (
+    DELIVER,
+    FILTER,
+    PUBLISH,
+    SORT,
+    begin_span,
+    end_span,
+    fork,
+    trace_of,
+)
 from repro.query.engine import MongoQueryEngine, Query
 from repro.runtime.execution import ExecutionModel, build_execution_model
 from repro.stream.topology import Bolt, CustomGrouping, FieldsGrouping, TopologyBuilder
@@ -157,24 +168,12 @@ class _MatchingBolt(Bolt):
             engine=self.cluster.engine,
             use_index=self.cluster.config.query_index,
             memoize=self.cluster.config.shared_predicate_memo,
+            telemetry=self.cluster.telemetry,
         )
         self.cluster._filtering_nodes[task_index] = self.node
 
     def process(self, tuple_: Dict[str, Any]) -> None:
-        assert self.node is not None
-        kind = tuple_["kind"]
-        now = self.cluster.config.clock()
-        if kind == "write":
-            after = deserialize_after_image(tuple_)
-            events = self.node.process_write(after, now)
-        elif kind == "subscribe":
-            events = self._register(tuple_, now)
-        elif kind == "cancel":
-            self.node.deactivate_query(tuple_["query_id"])
-            return
-        else:
-            return
-        self._dispatch(events)
+        self.process_batch([tuple_])
 
     def _register(self, tuple_: Dict[str, Any], now: float) -> List[MatchEvent]:
         assert self.node is not None
@@ -193,33 +192,60 @@ class _MatchingBolt(Bolt):
         """Process a chunk of after-images / requests in arrival order,
         accumulating match events so the downstream emission (sorting
         stage + notification fan-out) happens in one pass per chunk
-        instead of one broker/queue round-trip per tuple."""
+        instead of one broker/queue round-trip per tuple.
+
+        Tracing: each tuple's riding trace is forked (grid tuples are
+        shared across edges), its ``publish`` span closed and a
+        ``filter`` span wrapped around the matching work; every
+        resulting match event inherits a fork of that trace.
+        """
         assert self.node is not None
-        events: List[MatchEvent] = []
+        tel = self.cluster.telemetry
+        pairs: List[Tuple[MatchEvent, Optional[Dict[str, Any]]]] = []
         now = self.cluster.config.clock()
         for tuple_ in tuples:
             kind = tuple_["kind"]
+            trace = fork(trace_of(tuple_)) if tel.enabled else None
+            if trace is not None:
+                tnow = tel.now()
+                end_span(trace, PUBLISH, tnow)
+                begin_span(trace, FILTER, tnow)
             if kind == "write":
                 after = deserialize_after_image(tuple_)
-                events.extend(self.node.process_write(after, now))
+                events = self.node.process_write(after, now)
             elif kind == "subscribe":
-                events.extend(self._register(tuple_, now))
+                events = self._register(tuple_, now)
             elif kind == "cancel":
                 self.node.deactivate_query(tuple_["query_id"])
-        self._dispatch(events)
-
-    def _dispatch(self, events: List[MatchEvent]) -> None:
-        for event in events:
-            if event.needs_sorting:
-                self.emit(
-                    {
-                        "kind": "match-event",
-                        "query_id": event.query_id,
-                        "event": event,
-                    }
-                )
+                events = []
             else:
-                self.cluster._publish_change(change_from_match_event(event))
+                events = []
+            if trace is not None:
+                end_span(trace, FILTER, tel.now())
+            pairs.extend((event, trace) for event in events)
+        self._dispatch(pairs)
+
+    def _dispatch(
+        self,
+        pairs: List[Tuple[MatchEvent, Optional[Dict[str, Any]]]],
+    ) -> None:
+        tel = self.cluster.telemetry
+        for event, trace in pairs:
+            if event.needs_sorting:
+                message: Dict[str, Any] = {
+                    "kind": "match-event",
+                    "query_id": event.query_id,
+                    "event": event,
+                }
+                branch = fork(trace)
+                if branch is not None:
+                    begin_span(branch, SORT, tel.now())
+                    message["trace"] = branch
+                self.emit(message)
+            else:
+                self.cluster._publish_change(
+                    change_from_match_event(event), fork(trace)
+                )
 
 
 class _SortingBolt(Bolt):
@@ -234,18 +260,29 @@ class _SortingBolt(Bolt):
 
     def prepare(self, task_index: int, parallelism: int, emit: Any) -> None:
         super().prepare(task_index, parallelism, emit)
-        self.node = SortingNode(task_index, engine=self.cluster.engine)
+        self.node = SortingNode(task_index, engine=self.cluster.engine,
+                                telemetry=self.cluster.telemetry)
         self.cluster._sorting_nodes[task_index] = self.node
 
     def process(self, tuple_: Dict[str, Any]) -> None:
         assert self.node is not None
         kind = tuple_["kind"]
+        tel = self.cluster.telemetry
+        trace = fork(trace_of(tuple_)) if tel.enabled else None
         if kind == "match-event":
+            # The ``sort`` span was opened by the matching bolt when it
+            # routed the event here; close it around the maintenance.
             changes = self.node.handle_event(tuple_["event"])
+            if trace is not None:
+                end_span(trace, SORT, tel.now())
         elif kind == "subscribe":
             query = self.cluster._query_from_wire(tuple_)
             if not query.needs_sorting_stage:
                 return
+            if trace is not None:
+                tnow = tel.now()
+                end_span(trace, PUBLISH, tnow)
+                begin_span(trace, SORT, tnow)
             versions = {key: version for key, version in tuple_["versions"]}
             changes = self.node.register_query(
                 query,
@@ -254,13 +291,15 @@ class _SortingBolt(Bolt):
                 slack=tuple_.get("slack", self.cluster.config.default_slack),
                 timestamp=self.cluster.config.clock(),
             )
+            if trace is not None:
+                end_span(trace, SORT, tel.now())
         elif kind == "cancel":
             self.node.deactivate_query(tuple_["query_id"])
             return
         else:
             return
         for change in changes:
-            self.cluster._publish_change(change)
+            self.cluster._publish_change(change, fork(trace))
 
 
 class InvaliDBCluster:
@@ -289,6 +328,20 @@ class InvaliDBCluster:
             self._owns_execution = True
         else:
             self._execution = broker.execution
+        # Observability.  A configured spec is built and attached to the
+        # grid's execution model AND the broker's (they may differ), so
+        # mailboxes, the fault injector and subscribed clients all feed
+        # one registry; with no spec the cluster inherits whatever is
+        # already attached to the model (usually the no-op handle).
+        if self.config.telemetry is not None:
+            self.telemetry = build_telemetry(self.config.telemetry)
+            self._execution.set_telemetry(self.telemetry)
+            if broker.execution is not self._execution:
+                broker.execution.set_telemetry(self.telemetry)
+        else:
+            self.telemetry = self._execution.telemetry
+        if self.telemetry.enabled:
+            self.telemetry.registry.register_collector(self._collect_metrics)
         self.engine = MongoQueryEngine()
         self.scheme = PartitioningScheme(
             self.config.query_partitions, self.config.write_partitions
@@ -449,10 +502,12 @@ class InvaliDBCluster:
                 self._registrations[query.query_id] = registration
             registration.subscribe(tuple_["app_server"], now)
             # The latest subscribe wire IS the query's recovery record:
-            # a restarted matching node re-registers from it.
+            # a restarted matching node re-registers from it.  The
+            # riding trace (if any) is dropped — recovery re-injection
+            # must not extend a long-completed trace.
             self._wires[query.query_id] = {
                 key: value for key, value in tuple_.items()
-                if key != "__task__"
+                if key not in ("__task__", "trace")
             }
             if tuple_.get("renewal"):
                 self.queries_renewed += 1
@@ -533,13 +588,33 @@ class InvaliDBCluster:
     # Notification fan-out
     # ------------------------------------------------------------------
 
-    def _publish_change(self, change: QueryChange) -> None:
+    def _publish_change(
+        self,
+        change: QueryChange,
+        trace: Optional[Dict[str, Any]] = None,
+    ) -> None:
         with self._registration_lock:
             registration = self._registrations.get(change.query_id)
             app_servers = [] if registration is None else registration.app_servers
         payload = serialize_change(change)
-        for app_server in app_servers:
-            self.broker.publish(notification_channel(app_server), payload)
+        tel = self.telemetry
+        if trace is not None and app_servers:
+            # One branch per subscriber: each delivery is its own span
+            # (and its own completed trace at the client).  Callers
+            # always pass an owned fork, so the common single-subscriber
+            # case reuses it without re-forking; extra branches must be
+            # forked *before* the first branch is mutated below.
+            branches = [trace]
+            branches += [fork(trace) for _ in app_servers[1:]]
+        else:
+            branches = [None] * len(app_servers)
+        for app_server, branch in zip(app_servers, branches):
+            message = payload
+            if branch is not None:
+                begin_span(branch, DELIVER, tel.now())
+                message = dict(payload)
+                message["trace"] = branch
+            self.broker.publish(notification_channel(app_server), message)
             self.notifications_sent += 1
 
     # ------------------------------------------------------------------
@@ -580,26 +655,66 @@ class InvaliDBCluster:
         with self._registration_lock:
             return list(self._registrations)
 
-    def stats(self) -> Dict[str, Any]:
-        """Operational snapshot: grid shape, load, notification volume."""
+    def _collect_metrics(self) -> Dict[str, Any]:
+        """Registry collector bridging the cluster's plain hot-path
+        counters into telemetry snapshots.  Must stay cheap and must
+        NOT call :meth:`snapshot` (the registry invokes this from
+        inside its own snapshot)."""
         with self._registration_lock:
             active = len(self._registrations)
-            app_servers = {
+        nodes = list(self._filtering_nodes.values())
+        return {
+            "cluster.active_queries": active,
+            "cluster.notifications_sent": self.notifications_sent,
+            "cluster.queries_renewed": self.queries_renewed,
+            "cluster.writes_processed": sum(
+                node.writes_processed for node in nodes
+            ),
+            "cluster.matched_operations": sum(
+                node.matched_operations for node in nodes
+            ),
+        }
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The unified observability view: one pass over the grid.
+
+        Registration state is captured under a single lock
+        acquisition; each filtering node's counters are read exactly
+        once and totals are derived from those same rows (the old
+        ``stats()`` walked every node five times).  The shape is the
+        contract of :func:`repro.obs.inspector.render` and the
+        exporters; :meth:`stats` remains as a compatibility shim over
+        this view.
+
+        Thread-safety: node counters are plain attributes written by
+        their owning grid task; reading them here without a lock can
+        lag by an in-flight increment but can never tear (ints swap
+        atomically under the GIL), which is fine for monitoring.
+        """
+        with self._registration_lock:
+            active = len(self._registrations)
+            app_servers = sorted({
                 server
                 for registration in self._registrations.values()
                 for server in registration.app_servers
-            }
-        per_node = {
-            str(node.coordinates): node.stats()
-            for node in self._filtering_nodes.values()
-        }
-        nodes = list(self._filtering_nodes.values())
-        considered = sum(node.candidates_considered for node in nodes)
-        pruned = sum(node.candidates_pruned for node in nodes)
-        memo_hits = sum(node.memo_hits for node in nodes)
-        memo_misses = sum(node.memo_misses for node in nodes)
+            })
+        matching_rows: List[Dict[str, Any]] = []
+        considered = pruned = memo_hits = memo_misses = matched = 0
+        for index in sorted(self._filtering_nodes):
+            node = self._filtering_nodes[index]
+            row = node.stats()
+            row["node"] = f"matching[{index}]"
+            row["coordinates"] = str(node.coordinates)
+            row["query_partition"] = node.coordinates.query_partition
+            row["write_partition"] = node.coordinates.write_partition
+            matching_rows.append(row)
+            considered += row["candidates_considered"]
+            pruned += row["candidates_pruned"]
+            memo_hits += row["memo_hits"]
+            memo_misses += row["memo_misses"]
+            matched += row["matched_operations"]
         matching_totals = {
-            "matched_operations": sum(node.matched_operations for node in nodes),
+            "matched_operations": matched,
             "candidates_considered": considered,
             "candidates_pruned": pruned,
             "pruning_ratio": round(
@@ -609,6 +724,31 @@ class InvaliDBCluster:
                 memo_hits / (memo_hits + memo_misses), 4
             ) if memo_hits + memo_misses else 0.0,
         }
+        sorting_rows = [
+            {
+                "node": f"sorting[{index}]",
+                "query_partition": index,
+                "queries": self._sorting_nodes[index].query_count,
+                "events_processed":
+                    self._sorting_nodes[index].events_processed,
+                "renewals_requested":
+                    self._sorting_nodes[index].renewals_requested,
+            }
+            for index in sorted(self._sorting_nodes)
+        ]
+        execution_stats = self._execution.stats()
+        mailboxes = [
+            {
+                "name": name,
+                "depth": box.get("depth", 0),
+                "enqueued": box.get("enqueued", 0),
+                "processed": box.get("handled", box.get("dequeued", 0)),
+                "dropped": box.get("dropped", 0),
+            }
+            for name, box in sorted(
+                execution_stats.get("mailboxes", {}).items()
+            )
+        ]
         injector = self._execution.fault_injector
         faults = (
             injector.stats() if injector is not None
@@ -626,17 +766,48 @@ class InvaliDBCluster:
             }
         )
         return {
-            "grid": f"{self.scheme.query_partitions}x"
-                    f"{self.scheme.write_partitions}",
+            "config": {
+                "query_partitions": self.scheme.query_partitions,
+                "write_partitions": self.scheme.write_partitions,
+                "sorting_nodes": self.config.sorting_nodes,
+                "execution_mode": execution_stats.get("mode"),
+                "telemetry_enabled": self.telemetry.enabled,
+            },
             "active_queries": active,
-            "app_servers": sorted(app_servers),
+            "app_servers": app_servers,
             "notifications_sent": self.notifications_sent,
             "queries_renewed": self.queries_renewed,
-            "matching": matching_totals,
-            "matching_nodes": per_node,
+            "matching": matching_rows,
+            "matching_totals": matching_totals,
+            "sorting": sorting_rows,
+            "mailboxes": mailboxes,
+            "telemetry": self.telemetry.snapshot(),
             "faults": faults,
             "supervisor": supervisor,
             "runtime": self._runtime.stats(),
+        }
+
+    def stats(self) -> Dict[str, Any]:
+        """Operational snapshot: grid shape, load, notification volume.
+
+        Compatibility shim over :meth:`snapshot` preserving the legacy
+        key layout (``matching`` = grid totals, ``matching_nodes`` =
+        per-coordinates dicts)."""
+        snap = self.snapshot()
+        return {
+            "grid": f"{self.scheme.query_partitions}x"
+                    f"{self.scheme.write_partitions}",
+            "active_queries": snap["active_queries"],
+            "app_servers": snap["app_servers"],
+            "notifications_sent": snap["notifications_sent"],
+            "queries_renewed": snap["queries_renewed"],
+            "matching": snap["matching_totals"],
+            "matching_nodes": {
+                row["coordinates"]: row for row in snap["matching"]
+            },
+            "faults": snap["faults"],
+            "supervisor": snap["supervisor"],
+            "runtime": snap["runtime"],
         }
 
     def filtering_node(self, qp: int, wp: int) -> Optional[FilteringNode]:

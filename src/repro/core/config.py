@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.errors import ClusterConfigError
+from repro.obs.telemetry import NullTelemetry, Telemetry, TelemetryConfig
 from repro.runtime.execution import ExecutionConfig
 
 Clock = Callable[[], float]
@@ -96,6 +97,14 @@ class InvaliDBConfig:
     circuit_breaker_reset: float = 2.0
     #: Seed for client-side retry jitter (None = nondeterministic).
     client_rng_seed: Optional[int] = None
+    #: Observability: ``None``/``False`` = disabled (no-op handles,
+    #: near-zero cost), ``True`` = enabled with defaults, a
+    #: :class:`~repro.obs.telemetry.TelemetryConfig` for knobs, or an
+    #: existing :class:`~repro.obs.telemetry.Telemetry` to share one
+    #: registry across clusters.  The cluster attaches the handle to
+    #: its execution model (and the broker's), so the event layer, the
+    #: grid stages and subscribed clients all report into one registry.
+    telemetry: object = None
     #: Time source (injectable for deterministic tests).
     clock: Clock = field(default=time.time, repr=False)
 
@@ -156,6 +165,13 @@ class InvaliDBConfig:
             raise ClusterConfigError("circuit_breaker_threshold must be >= 1")
         if self.circuit_breaker_reset <= 0:
             raise ClusterConfigError("circuit_breaker_reset must be > 0")
+        if self.telemetry is not None and not isinstance(
+            self.telemetry, (bool, TelemetryConfig, Telemetry, NullTelemetry)
+        ):
+            raise ClusterConfigError(
+                "telemetry must be None, a bool, a TelemetryConfig or a "
+                "Telemetry instance"
+            )
 
     @property
     def matching_node_count(self) -> int:

@@ -45,6 +45,7 @@ from typing import Any, Dict, List, Optional, Set
 
 from repro.core.partitioning import NodeCoordinates
 from repro.core.retention import RetentionBuffer
+from repro.obs.telemetry import NULL_TELEMETRY
 from repro.query.engine import MongoQueryEngine, PluggableQueryEngine, Query
 from repro.query.index import QueryIndex
 from repro.query.matcher import PredicateMemo
@@ -88,6 +89,7 @@ class FilteringNode:
         engine: Optional[PluggableQueryEngine] = None,
         use_index: bool = True,
         memoize: bool = True,
+        telemetry=None,
     ):
         self.coordinates = coordinates
         self.engine = engine if engine is not None else MongoQueryEngine()
@@ -116,6 +118,14 @@ class FilteringNode:
         #: Shared sub-predicate memoization outcome counts.
         self.memo_hits = 0
         self.memo_misses = 0
+        # Telemetry: per-write distributions of how many candidates the
+        # index produced vs. how many evaluations pruning skipped.  The
+        # plain counters above stay the hot-path source of truth (the
+        # cluster bridges them into snapshots via a registry collector);
+        # these histograms add the *shape* a single total cannot show.
+        tel = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._examined_hist = tel.histogram("filter.candidates_examined")
+        self._pruned_hist = tel.histogram("filter.candidates_pruned")
 
     # ------------------------------------------------------------------
     # Query lifecycle
@@ -214,8 +224,14 @@ class FilteringNode:
             return []
         self.writes_processed += 1
         candidate_ids = self._candidate_ids(after)
+        pruned = len(self._queries) - len(candidate_ids)
         self.candidates_considered += len(candidate_ids)
-        self.candidates_pruned += len(self._queries) - len(candidate_ids)
+        self.candidates_pruned += pruned
+        # Distribution shape only: sample 1-in-4 writes (phase-locked
+        # to the exact writes_processed counter for determinism).
+        if (self.writes_processed & 3) == 1:
+            self._examined_hist.record(len(candidate_ids))
+            self._pruned_hist.record(pruned)
         memo = PredicateMemo() if self._memoize else None
         events: List[MatchEvent] = []
         for query_id in candidate_ids:

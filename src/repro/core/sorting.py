@@ -37,6 +37,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.core.filtering import MatchEvent
 from repro.core.notifications import QueryChange
 from repro.errors import QueryMaintenanceError
+from repro.obs.telemetry import NULL_TELEMETRY
 from repro.query.engine import MongoQueryEngine, PluggableQueryEngine, Query
 from repro.types import Document, MatchType
 
@@ -178,7 +179,8 @@ class SortingNode:
     """One node of the sorting stage; owns a partition of sorted queries."""
 
     def __init__(self, node_index: int = 0,
-                 engine: Optional[PluggableQueryEngine] = None):
+                 engine: Optional[PluggableQueryEngine] = None,
+                 telemetry=None):
         self.node_index = node_index
         self.engine = engine if engine is not None else MongoQueryEngine()
         self._states: Dict[str, _SortedQueryState] = {}
@@ -186,6 +188,16 @@ class SortingNode:
         #: a renewal can emit the delta "from the last valid to the
         #: current result representation" (Section 5.2).
         self._last_visible: Dict[str, List[Tuple[Any, Document]]] = {}
+        # -- runtime counters ------------------------------------------
+        #: Filtering-stage events consumed (including events for
+        #: unknown/inactive queries, which are dropped).
+        self.events_processed = 0
+        #: Maintenance errors emitted (each doubles as a renewal request).
+        self.renewals_requested = 0
+        # Telemetry: distribution of the slack remaining after each
+        # event — how close limit queries run to a maintenance error.
+        tel = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._slack_hist = tel.histogram("sort.slack_remaining")
 
     # ------------------------------------------------------------------
     # Query lifecycle
@@ -235,6 +247,7 @@ class SortingNode:
 
     def handle_event(self, event: MatchEvent) -> List[QueryChange]:
         """Consume one filtering-stage event, emit visible-window changes."""
+        self.events_processed += 1
         state = self._states.get(event.query_id)
         if state is None or not state.active:
             return []
@@ -247,6 +260,12 @@ class SortingNode:
             ok = state.upsert(event.key, event.document, event.version)
         if not ok:
             return [self._maintenance_error(state, event)]
+        # Distribution shape only: sample 1-in-4 events, phase-locked
+        # to the exact events_processed counter for determinism.
+        if (self.events_processed & 3) == 1:
+            slack = state.current_slack()
+            if slack is not None:
+                self._slack_hist.record(slack)
         after = state.visible()
         self._last_visible[event.query_id] = after
         return self._diff(
@@ -258,6 +277,7 @@ class SortingNode:
         self, state: _SortedQueryState, event: MatchEvent
     ) -> QueryChange:
         """Deactivate the query and emit the renewal-request error."""
+        self.renewals_requested += 1
         state.active = False
         query_id = state.query.query_id
         # The last *valid* window precedes the failing operation; it is

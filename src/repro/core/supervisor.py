@@ -31,6 +31,8 @@ from __future__ import annotations
 import threading
 from typing import TYPE_CHECKING, Any, Dict, List, Tuple
 
+from repro.obs.tracing import PUBLISH, begin_span
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.cluster import InvaliDBCluster
 
@@ -48,6 +50,9 @@ class NodeSupervisor:
         #: successful recovery so a long-lived task gets fresh budget.
         self._attempts: Dict[Tuple[str, int], int] = {}
         self._pending: Dict[Tuple[str, int], Any] = {}
+        #: Crash timestamp per pending restart (telemetry clock), so
+        #: the crash-to-recovered gap lands in a histogram.
+        self._crash_times: Dict[Tuple[str, int], float] = {}
         # -- counters ---------------------------------------------------
         self.crashes_seen = 0
         self.restarts = 0
@@ -78,6 +83,9 @@ class NodeSupervisor:
                 self.gave_up += 1
                 return
             self._attempts[key] = attempt + 1
+            telemetry = self.cluster.telemetry
+            if telemetry.enabled:
+                self._crash_times.setdefault(key, telemetry.now())
             delay = min(
                 config.supervisor_backoff_base
                 * config.supervisor_backoff_factor ** attempt,
@@ -103,6 +111,12 @@ class NodeSupervisor:
         # loops (re-crashing before recovery completes) exhaust it.
         with self._lock:
             self._attempts[key] = 0
+            crashed_at = self._crash_times.pop(key, None)
+        telemetry = self.cluster.telemetry
+        if telemetry.enabled and crashed_at is not None:
+            telemetry.histogram("supervisor.restart_seconds").record(
+                max(0.0, telemetry.now() - crashed_at)
+            )
 
     # ------------------------------------------------------------------
     # State reconstruction
@@ -128,10 +142,22 @@ class NodeSupervisor:
             cluster._runtime.inject("matching", payload, direct=True)
             with self._lock:
                 self.reregistered_queries += 1
+        # Retained writes are re-serialized from after-images, so the
+        # original write's trace is gone — recovery starts a fresh
+        # replay-flagged trace per re-injected image instead, keeping
+        # recovery traffic visible (and attributable) in transcripts.
+        tracer = cluster.telemetry.tracer if cluster.telemetry.enabled else None
         for payload in cluster._retained_writes(wp):
             replayed = dict(payload)
             replayed["write_partition"] = wp
             replayed["__task__"] = task_index
+            if tracer is not None:
+                now = cluster.telemetry.now()
+                trace = tracer.start("write", payload.get("key"), now,
+                                     replay=True)
+                if trace is not None:
+                    begin_span(trace, PUBLISH, now)
+                    replayed["trace"] = trace
             cluster._runtime.inject("matching", replayed, direct=True)
             with self._lock:
                 self.replayed_writes += 1

@@ -33,6 +33,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.errors import BrokerClosedError, InjectedFaultError
 from repro.event.codec import Codec, JsonCodec
+from repro.obs.metrics import NULL_COUNTER
 from repro.runtime.execution import (
     ExecutionConfig,
     ExecutionModel,
@@ -91,6 +92,24 @@ class Broker:
         self._mailbox = self._execution.mailbox(
             f"{name}-dispatch", self._dispatch_batch
         )
+        # Telemetry handles, cached per telemetry identity: the cluster
+        # may attach telemetry to the shared execution model *after*
+        # this broker was built, so re-resolve when the handle changes.
+        self._tel_identity: Any = None
+        self._tel_published = NULL_COUNTER
+        self._tel_delivered = NULL_COUNTER
+
+    def _tel_counters(self) -> Tuple[Any, Any]:
+        telemetry = self._execution.telemetry
+        if telemetry is not self._tel_identity:
+            self._tel_identity = telemetry
+            self._tel_published = telemetry.counter(
+                "broker.published", broker=self.name
+            )
+            self._tel_delivered = telemetry.counter(
+                "broker.delivered", broker=self.name
+            )
+        return self._tel_published, self._tel_delivered
 
     @property
     def execution(self) -> ExecutionModel:
@@ -117,6 +136,8 @@ class Broker:
         if self._delay_fn is not None:
             delay = max(delay, self._delay_fn(channel))
         copies = 1
+        published, _ = self._tel_counters()
+        published.inc()
         injector = self._execution.fault_injector
         if injector is not None:
             decision = injector.decide(CHANNEL, channel, payload)
@@ -178,6 +199,7 @@ class Broker:
     # ------------------------------------------------------------------
 
     def _dispatch_batch(self, batch: List[Tuple[str, bytes]]) -> None:
+        _, delivered = self._tel_counters()
         for channel, wire in batch:
             payload = self._codec.decode(wire)
             for subscription in self._subscribers_for(channel):
@@ -190,6 +212,7 @@ class Broker:
                 else:
                     with self._lock:
                         self._delivered += 1
+                    delivered.inc()
 
     def _subscribers_for(self, channel: str) -> List[Subscription]:
         with self._lock:

@@ -1,0 +1,88 @@
+"""Observability: metrics registry, write-path tracing, exporters.
+
+See DESIGN.md §9 for the registry design, the span model and the
+overhead methodology.  Everything here is dependency-free and safe to
+import from any layer; components receive their telemetry handle via
+the execution model (``execution.telemetry``), mirroring the PR 3
+fault-injector plumbing.
+"""
+
+from repro.obs.export import (
+    format_slow_events,
+    slow_events,
+    to_json,
+    to_prometheus,
+)
+from repro.obs.inspector import render as render_inspector
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+)
+from repro.obs.telemetry import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Telemetry,
+    TelemetryConfig,
+    build_telemetry,
+)
+from repro.obs.tracing import (
+    DELIVER,
+    FILTER,
+    MATERIALIZE,
+    NULL_TRACER,
+    PUBLISH,
+    SORT,
+    STAGES,
+    Tracer,
+    begin_span,
+    end_span,
+    fork,
+    is_complete,
+    new_trace,
+    span_names,
+    spans_of,
+    total_duration,
+    trace_of,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+    "NULL_TELEMETRY",
+    "NULL_TRACER",
+    "NullTelemetry",
+    "Telemetry",
+    "TelemetryConfig",
+    "Tracer",
+    "build_telemetry",
+    "begin_span",
+    "end_span",
+    "fork",
+    "is_complete",
+    "new_trace",
+    "span_names",
+    "spans_of",
+    "total_duration",
+    "trace_of",
+    "to_json",
+    "to_prometheus",
+    "slow_events",
+    "format_slow_events",
+    "render_inspector",
+    "PUBLISH",
+    "FILTER",
+    "SORT",
+    "DELIVER",
+    "MATERIALIZE",
+    "STAGES",
+]

@@ -1,0 +1,163 @@
+"""The cluster inspector: a per-node grid table for humans.
+
+Renders the unified :meth:`InvaliDBCluster.snapshot` view — matching
+grid occupancy, per-mailbox queue health, write-path latency
+percentiles, fault/recovery counters — as fixed-width text.  Exposed
+as ``python -m repro inspect``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Sequence
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "-"
+        if value and abs(value) < 0.01:
+            return f"{value:.2e}"
+        return f"{value:,.2f}"
+    return str(value)
+
+
+def _table(headers: Sequence[str], rows: List[Sequence[Any]]) -> str:
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(row[i]) for row in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    def line(parts: Sequence[str]) -> str:
+        return "  ".join(p.rjust(widths[i]) for i, p in enumerate(parts))
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)
+
+
+def _pct(part: float, whole: float) -> Optional[float]:
+    return 100.0 * part / whole if whole else None
+
+
+def _ms(seconds: Any) -> Optional[float]:
+    if seconds is None or (isinstance(seconds, float)
+                           and math.isnan(seconds)):
+        return None
+    return seconds * 1000.0
+
+
+def _labeled(telemetry_snap: Dict[str, Any], name: str,
+             label: str) -> Dict[str, Dict[str, Any]]:
+    """Index a labeled metric family by one label's value."""
+    out: Dict[str, Dict[str, Any]] = {}
+    for entry in telemetry_snap.get(name, []) or []:
+        labels = entry.get("labels", {})
+        if label in labels:
+            out[labels[label]] = entry
+    return out
+
+
+def render(snapshot: Dict[str, Any]) -> str:
+    """The full inspector report for one cluster snapshot."""
+    sections: List[str] = []
+    config = snapshot.get("config", {})
+    qp = config.get("query_partitions", "?")
+    wp = config.get("write_partitions", "?")
+    telemetry_snap = snapshot.get("telemetry") or {}
+    sections.append(
+        f"InvaliDB cluster inspector — {qp}x{wp} matching grid, "
+        f"telemetry {'on' if telemetry_snap else 'off'}"
+    )
+
+    matching = snapshot.get("matching", [])
+    if matching:
+        rows = []
+        for node in matching:
+            considered = node.get("candidates_considered", 0)
+            pruned = node.get("candidates_pruned", 0)
+            memo_hits = node.get("memo_hits", 0)
+            memo_total = memo_hits + node.get("memo_misses", 0)
+            rows.append([
+                node.get("node", "?"),
+                node.get("query_partition"),
+                node.get("write_partition"),
+                node.get("queries"),
+                node.get("writes_processed"),
+                node.get("matched_operations"),
+                _pct(pruned, considered + pruned),
+                _pct(memo_hits, memo_total),
+            ])
+        sections.append("matching grid\n" + _table(
+            ["node", "qp", "wp", "queries", "writes", "matched",
+             "pruned%", "memo%"],
+            rows,
+        ))
+
+    sorting = snapshot.get("sorting", [])
+    if sorting:
+        rows = [
+            [node.get("node", "?"), node.get("query_partition"),
+             node.get("queries"), node.get("events_processed"),
+             node.get("renewals_requested")]
+            for node in sorting
+        ]
+        sections.append("sorting stage\n" + _table(
+            ["node", "qp", "queries", "events", "renewals"], rows,
+        ))
+
+    mailboxes = snapshot.get("mailboxes", [])
+    if mailboxes:
+        dwell = _labeled(telemetry_snap, "mailbox.dwell_seconds",
+                         "mailbox")
+        batch = _labeled(telemetry_snap, "mailbox.batch_size", "mailbox")
+        rows = []
+        for box in mailboxes:
+            name = box.get("name", "?")
+            rows.append([
+                name,
+                box.get("depth"),
+                box.get("enqueued"),
+                box.get("processed"),
+                box.get("dropped"),
+                batch.get(name, {}).get("average"),
+                _ms(dwell.get(name, {}).get("p95")),
+            ])
+        sections.append("mailboxes\n" + _table(
+            ["mailbox", "depth", "in", "out", "dropped", "batch~",
+             "dwell p95 ms"],
+            rows,
+        ))
+
+    e2e = telemetry_snap.get("trace.e2e_seconds")
+    if isinstance(e2e, dict) and e2e.get("count"):
+        rows = [[
+            "end-to-end", e2e["count"], _ms(e2e.get("p50")),
+            _ms(e2e.get("p95")), _ms(e2e.get("p99")), _ms(e2e.get("max")),
+        ]]
+        for stage, entry in sorted(
+            _labeled(telemetry_snap, "trace.span_seconds",
+                     "stage").items()
+        ):
+            if entry.get("count"):
+                rows.append([
+                    stage, entry["count"], _ms(entry.get("p50")),
+                    _ms(entry.get("p95")), _ms(entry.get("p99")),
+                    _ms(entry.get("max")),
+                ])
+        sections.append("write-path latency\n" + _table(
+            ["stage", "count", "p50 ms", "p95 ms", "p99 ms", "max ms"],
+            rows,
+        ))
+
+    counters = []
+    for source in ("faults", "supervisor", "client"):
+        for key, value in sorted((snapshot.get(source) or {}).items()):
+            if isinstance(value, (int, float)) and value:
+                counters.append([f"{source}.{key}", value])
+    if counters:
+        sections.append("fault / recovery counters\n"
+                        + _table(["counter", "value"], counters))
+
+    return "\n\n".join(sections) + "\n"

@@ -1,0 +1,181 @@
+"""The telemetry facade: config + registry + tracer + clock, in one handle.
+
+Every instrumented component reads a single ``telemetry`` attribute
+(attached to the execution model exactly like the PR 3 fault injector)
+and asks it for metric handles.  Two implementations share the
+interface:
+
+* :class:`Telemetry` — live: a real registry, a real tracer, and a
+  clock (``time.perf_counter`` under the threaded execution model,
+  virtual time under the deterministic inline model);
+* :class:`NullTelemetry` — disabled: hands out the shared no-op
+  metric singletons and never creates a trace.  The module-level
+  :data:`NULL_TELEMETRY` instance is the default everywhere, so an
+  un-configured cluster pays one attribute load and a no-op call per
+  instrumentation point.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Union
+
+from repro.obs.metrics import (
+    DEFAULT_BASE,
+    DEFAULT_BUCKETS,
+    DEFAULT_GROWTH,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    MetricsRegistry,
+)
+from repro.obs.tracing import NULL_TRACER, Tracer
+
+
+@dataclass
+class TelemetryConfig:
+    """Knobs for the observability subsystem.
+
+    ``histogram_growth`` bounds percentile quantization error (a value
+    is reported as its bucket's upper bound, at most ``growth - 1``
+    relative error); benchmarks that assert tight paper envelopes use
+    a finer growth factor than the default.
+    """
+
+    enabled: bool = True
+    tracing: bool = True
+    #: Head-based trace sampling: the fraction of writes that carry a
+    #: trace (``1.0`` = every write).  Metrics are always complete —
+    #: sampling only gates span creation and the trace's ride inside
+    #: serialized payloads, which dominate tracing cost.  The default
+    #: traces one write in four, the production setting the overhead
+    #: benchmark measures; tests that assert on every notification's
+    #: span chain (and the inspector CLI) pass ``1.0`` explicitly.
+    #: Sampling is deterministic: the decision is a pure function of
+    #: the tracer's sequence number, so same-seed inline runs sample
+    #: identical writes.
+    trace_sample_rate: float = 0.25
+    #: Traces slower end-to-end than this (seconds) go to the slow log.
+    slow_trace_threshold: float = 0.1
+    #: Ring-buffer capacity for trace transcripts and slow events.
+    transcript_capacity: int = 256
+    histogram_base: float = DEFAULT_BASE
+    histogram_growth: float = DEFAULT_GROWTH
+    histogram_buckets: int = DEFAULT_BUCKETS
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.trace_sample_rate <= 1.0:
+            raise ValueError("trace_sample_rate must be in (0, 1]")
+        if self.slow_trace_threshold < 0:
+            raise ValueError("slow_trace_threshold must be >= 0")
+        if self.transcript_capacity < 1:
+            raise ValueError("transcript_capacity must be >= 1")
+
+
+class Telemetry:
+    """Live telemetry: one registry + tracer behind one handle."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        config: Optional[TelemetryConfig] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ):
+        self.config = config or TelemetryConfig()
+        self.registry = MetricsRegistry()
+        #: ``now`` IS the clock callable (no wrapping method): span
+        #: timestamps are taken on every hop of the write path, so one
+        #: saved indirection per call is measurable in the overhead
+        #: benchmark.
+        self.now: Callable[[], float] = clock or time.perf_counter
+        self.tracer = Tracer(
+            self.registry,
+            enabled=self.config.tracing,
+            sample_rate=self.config.trace_sample_rate,
+            slow_threshold=self.config.slow_trace_threshold,
+            transcript_capacity=self.config.transcript_capacity,
+        )
+
+    # -- clock ------------------------------------------------------------
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Swap the time source (the cluster binds virtual time when it
+        attaches telemetry to a deterministic execution model)."""
+        self.now = clock
+
+    # -- handle creation (delegates to the registry) ----------------------
+    def counter(self, name: str, **labels: Any):
+        return self.registry.counter(name, **labels)
+
+    def gauge(self, name: str, **labels: Any):
+        return self.registry.gauge(name, **labels)
+
+    def histogram(self, name: str, **labels: Any):
+        return self.registry.histogram(
+            name,
+            base=self.config.histogram_base,
+            growth=self.config.histogram_growth,
+            buckets=self.config.histogram_buckets,
+            **labels,
+        )
+
+    # -- views ------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        snap = self.registry.snapshot()
+        snap["trace"] = self.tracer.stats()
+        return snap
+
+
+class NullTelemetry:
+    """Telemetry disabled: shared no-op handles, no traces, no clock."""
+
+    enabled = False
+    tracer = NULL_TRACER
+    config = None
+    registry = None
+
+    def now(self) -> float:
+        return 0.0
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        pass
+
+    def counter(self, name: str, **labels: Any):
+        return NULL_COUNTER
+
+    def gauge(self, name: str, **labels: Any):
+        return NULL_GAUGE
+
+    def histogram(self, name: str, **labels: Any):
+        return NULL_HISTOGRAM
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {}
+
+
+NULL_TELEMETRY = NullTelemetry()
+
+TelemetrySpec = Union[None, bool, TelemetryConfig, Telemetry]
+
+
+def build_telemetry(spec: TelemetrySpec) -> Union[Telemetry, NullTelemetry]:
+    """Resolve the ``InvaliDBConfig(telemetry=...)`` value.
+
+    ``None``/``False`` → disabled; ``True`` → defaults; a
+    :class:`TelemetryConfig` → live with those knobs (unless
+    ``enabled=False``); an existing :class:`Telemetry` passes through
+    (lets a test share one registry across clusters).
+    """
+    if spec is None or spec is False:
+        return NULL_TELEMETRY
+    if spec is True:
+        return Telemetry()
+    if isinstance(spec, TelemetryConfig):
+        return Telemetry(spec) if spec.enabled else NULL_TELEMETRY
+    if isinstance(spec, (Telemetry, NullTelemetry)):
+        return spec
+    raise TypeError(
+        f"telemetry must be None, bool, TelemetryConfig or Telemetry, "
+        f"got {type(spec).__name__}"
+    )

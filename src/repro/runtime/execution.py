@@ -43,6 +43,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.errors import ExecutionConfigError
+from repro.obs.telemetry import NULL_TELEMETRY
 from repro.runtime.faults import MAILBOX, FaultInjector, FaultPlan
 from repro.runtime.queues import BackpressurePolicy, BoundedQueue
 
@@ -144,6 +145,10 @@ class Mailbox(abc.ABC):
     def stats(self) -> Dict[str, Any]:
         ...
 
+    def bind_telemetry(self, telemetry) -> None:
+        """Attach telemetry handles (depth/dwell/batch/drops); no-op by
+        default so custom mailboxes stay uninstrumented."""
+
 
 class ExecutionModel(abc.ABC):
     """Factory and scheduler for mailboxes, sources and timers."""
@@ -162,10 +167,32 @@ class ExecutionModel(abc.ABC):
             self.config.fault_plan.build()
             if self.config.fault_plan is not None else None
         )
+        #: Observability hook, plumbed exactly like the fault injector:
+        #: the broker, the topology runtime and the grid stages all read
+        #: ``execution.telemetry`` for their metric handles.  Defaults
+        #: to the shared no-op so uninstrumented runs pay one attribute
+        #: load per instrumentation point.
+        self.telemetry = NULL_TELEMETRY
 
     def set_fault_injector(self, injector: Optional[FaultInjector]) -> None:
         """Attach (or detach, with ``None``) a fault injector."""
         self.fault_injector = injector
+        if injector is not None and self.telemetry.enabled:
+            injector.bind_telemetry(self.telemetry)
+
+    def set_telemetry(self, telemetry) -> None:
+        """Attach (or detach, with ``None``) a telemetry handle.
+
+        Existing mailboxes are instrumented in place; mailboxes created
+        afterwards pick the handle up at construction.  An attached
+        fault injector starts attributing its firings to labeled
+        registry counters.
+        """
+        self.telemetry = NULL_TELEMETRY if telemetry is None else telemetry
+        for box in getattr(self, "_mailboxes", []):
+            box.bind_telemetry(self.telemetry)
+        if self.fault_injector is not None:
+            self.fault_injector.bind_telemetry(self.telemetry)
 
     @abc.abstractmethod
     def mailbox(
@@ -268,6 +295,17 @@ class _ThreadedMailbox(Mailbox):
 
     def put_direct(self, item: Any) -> None:
         self._model._track_put(self._queue, (item,))
+
+    def bind_telemetry(self, telemetry) -> None:
+        if not telemetry.enabled:
+            return
+        self._queue.instrument(
+            telemetry.now,
+            telemetry.histogram("mailbox.dwell_seconds", mailbox=self.name),
+            telemetry.histogram("mailbox.batch_size", mailbox=self.name),
+            telemetry.gauge("mailbox.depth", mailbox=self.name),
+            telemetry.counter("mailbox.dropped", mailbox=self.name),
+        )
 
     # -- consumer ---------------------------------------------------------
 
@@ -387,6 +425,7 @@ class ThreadedExecutionModel(ExecutionModel):
             policy=(self.config.backpressure if policy is None
                     else BackpressurePolicy.coerce(policy)),
         )
+        box.bind_telemetry(self.telemetry)
         self._mailboxes.append(box)
         return box
 
@@ -543,6 +582,17 @@ class _InlineMailbox(Mailbox):
         self.batches = 0
         self.largest_batch = 0
         self.handler_errors = 0
+        # Telemetry (bound via bind_telemetry; None = uninstrumented).
+        # Sparse dwell stamps, same scheme as BoundedQueue's: every 8th
+        # appended item records ``(append_index, time)``; the dequeue
+        # side pops stamps whose item has left the list and records
+        # their dwell.
+        self._stamps: Optional[List[Any]] = None
+        self._tel_clock = None
+        self._dwell_hist = None
+        self._batch_hist = None
+        self._depth_gauge = None
+        self._drop_counter = None
 
     def put(self, item: Any) -> None:
         self._model._put(self, (item,))
@@ -553,6 +603,25 @@ class _InlineMailbox(Mailbox):
     def put_direct(self, item: Any) -> None:
         self._model._put(self, (item,), faulted=False)
 
+    def bind_telemetry(self, telemetry) -> None:
+        if not telemetry.enabled:
+            return
+        with self._model._lock:
+            self._tel_clock = telemetry.now
+            self._dwell_hist = telemetry.histogram(
+                "mailbox.dwell_seconds", mailbox=self.name
+            )
+            self._batch_hist = telemetry.histogram(
+                "mailbox.batch_size", mailbox=self.name
+            )
+            self._depth_gauge = telemetry.gauge(
+                "mailbox.depth", mailbox=self.name
+            )
+            self._drop_counter = telemetry.counter(
+                "mailbox.dropped", mailbox=self.name
+            )
+            self._stamps = []  # items already queued ride unsampled
+
     def _enqueue(self, item: Any) -> None:
         """Append under the model lock; enforces drop/error policies.
 
@@ -561,6 +630,8 @@ class _InlineMailbox(Mailbox):
         """
         if self._closed:
             self.dropped += 1
+            if self._drop_counter is not None:
+                self._drop_counter.inc()
             return
         if self._capacity is not None and len(self._items) >= self._capacity:
             if self._policy is BackpressurePolicy.ERROR:
@@ -570,8 +641,16 @@ class _InlineMailbox(Mailbox):
             if self._policy is BackpressurePolicy.DROP_OLDEST:
                 self._items.pop(0)
                 self.dropped += 1
+                if self._stamps is not None:
+                    removed = self.enqueued - len(self._items)
+                    while self._stamps and self._stamps[0][0] <= removed:
+                        self._stamps.pop(0)
+                    self._drop_counter.inc()
         self._items.append(item)
         self.enqueued += 1
+        if self._stamps is not None and (self.enqueued & 7) == 1:
+            self._stamps.append((self.enqueued, self._tel_clock()))
+            self._depth_gauge.set(len(self._items))
         self.high_water = max(self.high_water, len(self._items))
 
     def close(self, drain: bool = True) -> None:
@@ -579,8 +658,13 @@ class _InlineMailbox(Mailbox):
             if drain:
                 self._model._pump()
             self._closed = True
-            self.dropped += len(self._items)
+            discarded = len(self._items)
+            self.dropped += discarded
             self._items.clear()
+            if self._stamps is not None:
+                self._stamps.clear()
+                if discarded:
+                    self._drop_counter.inc(discarded)
 
     def depth(self) -> int:
         with self._model._lock:
@@ -639,6 +723,17 @@ class InlineExecutionModel(ExecutionModel):
     def virtual_now(self) -> float:
         return self._vnow
 
+    def set_telemetry(self, telemetry) -> None:
+        """Bind the telemetry clock to virtual time, then attach.
+
+        Every trace timestamp and dwell measurement under this model
+        reads ``virtual_now`` — sleep-free, and byte-identical across
+        same-seed runs.
+        """
+        if telemetry is not None and telemetry.enabled:
+            telemetry.bind_clock(lambda: self._vnow)
+        super().set_telemetry(telemetry)
+
     # -- factory ----------------------------------------------------------
 
     def mailbox(self, name, handler, capacity=None, policy=None):
@@ -649,6 +744,7 @@ class InlineExecutionModel(ExecutionModel):
             policy=(self.config.backpressure if policy is None
                     else BackpressurePolicy.coerce(policy)),
         )
+        box.bind_telemetry(self.telemetry)
         with self._lock:
             self._mailboxes.append(box)
         return box
@@ -736,6 +832,22 @@ class InlineExecutionModel(ExecutionModel):
                 del box._items[:n]
                 box.batches += 1
                 box.largest_batch = max(box.largest_batch, n)
+                stamps = box._stamps
+                if stamps is not None:
+                    # Sparse sampling, same scheme as BoundedQueue:
+                    # dwell for the 1-in-8 stamped items that left in
+                    # this batch, batch size for 1-in-8 batches —
+                    # phase-locked to exact counters for determinism.
+                    removed = box.enqueued - len(box._items)
+                    if stamps and stamps[0][0] <= removed:
+                        tnow = box._tel_clock()
+                        while stamps and stamps[0][0] <= removed:
+                            box._dwell_hist.record(
+                                max(0.0, tnow - stamps.pop(0)[1])
+                            )
+                        box._depth_gauge.set(len(box._items))
+                    if (box.batches & 7) == 1:
+                        box._batch_hist.record(n)
                 try:
                     box._handler(batch)
                 except Exception:  # noqa: BLE001 - mirror the threaded

@@ -48,6 +48,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.errors import ExecutionConfigError
+from repro.obs.telemetry import NULL_TELEMETRY
 
 # Scopes a rule can bind to.
 CHANNEL = "channel"
@@ -171,6 +172,10 @@ class FaultInjector:
         self._states = [_RuleState(rule) for rule in plan.rules]
         self._lock = threading.Lock()
         self._armed = True
+        # Telemetry attribution: labeled counters per (kind, scope),
+        # created lazily on first firing (no-ops when unbound).
+        self._telemetry = NULL_TELEMETRY
+        self._fault_counters: Dict[Any, Any] = {}
         # -- counters ---------------------------------------------------
         self.injected = 0
         self.dropped = 0
@@ -184,6 +189,23 @@ class FaultInjector:
     # ------------------------------------------------------------------
     # Arming
     # ------------------------------------------------------------------
+
+    def bind_telemetry(self, telemetry) -> None:
+        """Attribute injected faults to labeled registry counters."""
+        with self._lock:
+            self._telemetry = NULL_TELEMETRY if telemetry is None else telemetry
+            self._fault_counters = {}
+
+    def _count_fault(self, kind: str, scope: str) -> None:
+        """Bump ``faults.injected{kind=,scope=}`` (caller holds _lock)."""
+        key = (kind, scope)
+        counter = self._fault_counters.get(key)
+        if counter is None:
+            counter = self._telemetry.counter(
+                "faults.injected", kind=kind, scope=scope
+            )
+            self._fault_counters[key] = counter
+        counter.inc()
 
     def disarm(self) -> None:
         """Stop injecting; already-scheduled delayed copies still land."""
@@ -242,6 +264,7 @@ class FaultInjector:
                 if not self._fires(state):
                     continue
                 self.injected += 1
+                self._count_fault(rule.kind, scope)
                 if rule.kind == DROP:
                     decision.drop = True
                     self.dropped += 1
@@ -279,6 +302,7 @@ class FaultInjector:
                 if self._fires(state):
                     self.injected += 1
                     self.crashes += 1
+                    self._count_fault(CRASH, MAILBOX)
                     return True
         return False
 

@@ -14,7 +14,18 @@ now sit on:
 * **batched dequeue** — a consumer takes up to ``max_batch`` items in
   one lock acquisition, which is what lets filtering nodes process
   after-images in chunks instead of one tuple at a time;
-* depth / high-water / drop counters for the ``stats()`` snapshots.
+* depth / high-water / drop counters for the ``stats()`` snapshots;
+* optional telemetry (:meth:`BoundedQueue.instrument`): queue-depth
+  gauge, drop counter, batch-size histogram, and a dwell-time
+  histogram.  Telemetry is **sampled** so instrumentation stays off
+  the per-item hot path: every 8th enqueued item is stamped with
+  ``(append_index, time)`` under the queue's existing lock, and its
+  dwell is recorded when the dequeue (or eviction) side observes the
+  item has left the deque; batch sizes are recorded for 1 in 8
+  batches, phase-locked to the exact ``enqueued``/``batches``
+  counters so deterministic runs sample identical points.  Drop
+  counts stay exact on every operation; the depth gauge refreshes at
+  each sampling point.
 """
 
 from __future__ import annotations
@@ -74,6 +85,29 @@ class BoundedQueue:
         self.high_water = 0
         self.batches = 0
         self.largest_batch = 0
+        # Telemetry (attached via instrument(); None = uninstrumented).
+        # Sparse ``(append_index, time)`` dwell stamps — module doc.
+        self._stamps: Optional[Deque[Any]] = None
+        self._tel_clock = None
+        self._dwell_hist = None
+        self._batch_hist = None
+        self._depth_gauge = None
+        self._drop_counter = None
+
+    def instrument(self, clock, dwell_hist, batch_hist, depth_gauge,
+                   drop_counter) -> None:
+        """Attach telemetry handles (idempotent; see module docstring).
+
+        Items already queued ride unsampled — stamping starts with the
+        next enqueue.
+        """
+        with self._lock:
+            self._tel_clock = clock
+            self._dwell_hist = dwell_hist
+            self._batch_hist = batch_hist
+            self._depth_gauge = depth_gauge
+            self._drop_counter = drop_counter
+            self._stamps = deque()
 
     # ------------------------------------------------------------------
     # Producer side
@@ -92,6 +126,7 @@ class BoundedQueue:
         with self._not_full:
             if self._closed:
                 return len(items)
+            stamps = self._stamps
             for item in items:
                 if self.capacity is not None:
                     if self.policy is BackpressurePolicy.BLOCK:
@@ -105,10 +140,18 @@ class BoundedQueue:
                         if self.policy is BackpressurePolicy.ERROR:
                             raise QueueOverflowError(self.name, self.capacity)
                         self._items.popleft()  # DROP_OLDEST
+                        if stamps is not None:
+                            removed = self.enqueued - len(self._items)
+                            while stamps and stamps[0][0] <= removed:
+                                stamps.popleft()
+                            self._drop_counter.inc()
                         self.dropped += 1
                         discarded += 1
                 self._items.append(item)
                 self.enqueued += 1
+                if stamps is not None and (self.enqueued & 7) == 1:
+                    stamps.append((self.enqueued, self._tel_clock()))
+                    self._depth_gauge.set(len(self._items))
             self.high_water = max(self.high_water, len(self._items))
             self._not_empty.notify()
         return discarded
@@ -157,6 +200,20 @@ class BoundedQueue:
             self.dequeued += n
             self.batches += 1
             self.largest_batch = max(self.largest_batch, n)
+            stamps = self._stamps
+            if stamps is not None:
+                # Sparse sampling (module doc): dwell for stamped items
+                # that left in this batch, size for 1-in-8 batches.
+                removed = self.enqueued - len(self._items)
+                if stamps and stamps[0][0] <= removed:
+                    now = self._tel_clock()
+                    while stamps and stamps[0][0] <= removed:
+                        self._dwell_hist.record(
+                            max(0.0, now - stamps.popleft()[1])
+                        )
+                    self._depth_gauge.set(len(self._items))
+                if (self.batches & 7) == 1:
+                    self._batch_hist.record(n)
             self._not_full.notify_all()
             return batch
 
@@ -180,6 +237,10 @@ class BoundedQueue:
                 discarded = len(self._items)
                 self.dropped += discarded
                 self._items.clear()
+                if self._stamps is not None:
+                    self._stamps.clear()
+                    if discarded:
+                        self._drop_counter.inc(discarded)
             self._not_empty.notify_all()
             self._not_full.notify_all()
             return discarded

@@ -138,15 +138,18 @@ class SimulatedInvaliDB:
         duration: float = 10.0,
         warmup: float = 2.0,
         max_events: int = 2_000_000,
+        histogram=None,
     ) -> LatencyStats:
         """Simulate *duration* seconds of steady load; returns stats in ms.
 
         Configurations whose offered matching-node utilization exceeds
         130 % are reported as :data:`SATURATED` without simulating —
-        their queues grow without bound by construction.
+        their queues grow without bound by construction.  *histogram*
+        (optional) additionally streams every sample into a telemetry
+        registry histogram.
         """
         samples = self.run_samples(queries, write_rate, duration, warmup,
-                                   max_events)
+                                   max_events, histogram=histogram)
         if samples is None:
             return SATURATED
         return LatencyStats.from_samples(samples)
@@ -158,13 +161,14 @@ class SimulatedInvaliDB:
         duration: float = 10.0,
         warmup: float = 2.0,
         max_events: int = 2_000_000,
+        histogram=None,
     ) -> Optional[List[float]]:
         """Raw notification latency samples in ms (None when saturated)."""
         if self.matching_utilization(queries, write_rate) > 1.3:
             return None
         rng = random.Random(self.seed)
         simulator = Simulator()
-        recorder = LatencyRecorder(warmup_until=warmup)
+        recorder = LatencyRecorder(warmup_until=warmup, histogram=histogram)
         ingestion = [
             FifoServer(simulator, f"ingest-{index}")
             for index in range(self.write_ingestion_nodes)

@@ -58,10 +58,18 @@ def _nearest_rank(ordered: List[float], quantile: float) -> float:
 
 
 class LatencyRecorder:
-    """Accumulates latency samples during a simulation run."""
+    """Accumulates latency samples during a simulation run.
 
-    def __init__(self, warmup_until: float = 0.0):
+    An optional *histogram* (a streaming log-bucket histogram from
+    :mod:`repro.obs.metrics`, or anything with a ``record`` method)
+    receives every post-warm-up sample as it lands, so simulated
+    distributions flow through the same telemetry registry as the
+    functional stack's.
+    """
+
+    def __init__(self, warmup_until: float = 0.0, histogram=None):
         self.warmup_until = warmup_until
+        self.histogram = histogram
         self._samples: List[float] = []
         self.dropped = 0
 
@@ -71,6 +79,8 @@ class LatencyRecorder:
             self.dropped += 1
             return
         self._samples.append(latency)
+        if self.histogram is not None:
+            self.histogram.record(latency)
 
     @property
     def samples(self) -> List[float]:

@@ -106,6 +106,13 @@ class ChangeNotification:
     #: queries diff whole windows, so only unsorted changes carry one).
     #: Lets clients drop stale re-deliveries after recovery replay.
     version: int = 0
+    #: Write-path trace (telemetry only; ``None`` when tracing is off).
+    #: Excluded from equality/repr so transcript comparisons and wire
+    #: round-trip checks see identical notifications whether or not a
+    #: trace rode along.
+    trace: Optional[Dict[str, Any]] = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def is_error(self) -> bool:

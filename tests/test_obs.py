@@ -1,0 +1,431 @@
+"""Unit tests for the observability subsystem (``repro.obs``).
+
+Covers the metrics registry (counters, gauges, streaming log-bucket
+histograms and their merge/percentile math), the trace/span helpers,
+the tracer's deterministic head sampling and slow-event log, the
+telemetry facade and its config resolution, the exporters (JSON,
+Prometheus text format, slow-event rendering) and the cluster
+inspector — plus the ``python -m repro inspect`` CLI entry point.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.core.config import InvaliDBConfig
+from repro.errors import ClusterConfigError
+from repro.obs.export import (
+    format_slow_events,
+    slow_events,
+    to_json,
+    to_prometheus,
+)
+from repro.obs.inspector import render
+from repro.obs.metrics import (
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.telemetry import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Telemetry,
+    TelemetryConfig,
+    build_telemetry,
+)
+from repro.obs.tracing import (
+    DELIVER,
+    FILTER,
+    PUBLISH,
+    Tracer,
+    begin_span,
+    end_span,
+    fork,
+    is_complete,
+    new_trace,
+    span_names,
+    spans_of,
+    total_duration,
+    trace_of,
+)
+
+
+class TestCounterAndGauge:
+    def test_counter_increments(self):
+        counter = Counter("writes")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        assert counter.snapshot() == {"type": "counter", "value": 5}
+
+    def test_gauge_last_write_wins(self):
+        gauge = Gauge("depth")
+        gauge.set(3.0)
+        gauge.set(1.5)
+        assert gauge.value == 1.5
+        assert gauge.snapshot() == {"type": "gauge", "value": 1.5}
+
+
+class TestHistogram:
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", base=0.0)
+        with pytest.raises(ValueError):
+            Histogram("h", growth=1.0)
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=1)
+
+    def test_empty_snapshot_is_nan(self):
+        snap = Histogram("h").snapshot()
+        assert snap["count"] == 0
+        assert math.isnan(snap["p50"]) and math.isnan(snap["min"])
+
+    def test_exact_fields_and_bounded_percentile_error(self):
+        hist = Histogram("h", base=1e-6, growth=1.25)
+        values = [0.001 * (i + 1) for i in range(100)]
+        hist.record_many(values)
+        snap = hist.snapshot()
+        assert snap["count"] == 100
+        assert snap["sum"] == pytest.approx(sum(values))
+        assert snap["min"] == pytest.approx(min(values))
+        assert snap["max"] == pytest.approx(max(values))
+        # A percentile reports its bucket's upper bound: never below
+        # the true quantile, and within one growth factor above it.
+        for quantile in (0.50, 0.95, 0.99):
+            true = values[max(0, math.ceil(quantile * 100) - 1)]
+            reported = hist.percentile(quantile)
+            assert true <= reported <= true * 1.25 + 1e-12
+
+    def test_max_caps_top_percentile(self):
+        hist = Histogram("h")
+        hist.record(0.010)
+        # One sample: every percentile is the exact max, not the
+        # (larger) bucket bound.
+        assert hist.percentile(0.99) == pytest.approx(0.010)
+
+    def test_overflow_lands_in_last_bucket(self):
+        hist = Histogram("h", base=1e-3, growth=2.0, buckets=4)
+        hist.record(1e9)
+        assert hist.count == 1
+        assert hist.max == pytest.approx(1e9)  # extrema stay exact
+        # The percentile collapses to the last bucket's bound — the
+        # price of fixed memory when a value overflows the geometry.
+        assert hist.percentile(0.5) == pytest.approx(1e-3 * 2.0 ** 3)
+
+    def test_merge_adds_counts_and_extrema(self):
+        left, right = Histogram("h"), Histogram("h")
+        left.record_many([0.001, 0.002])
+        right.record_many([0.004, 0.0005])
+        left.merge(right)
+        assert left.count == 4
+        assert left.min == pytest.approx(0.0005)
+        assert left.max == pytest.approx(0.004)
+        assert left.sum == pytest.approx(0.0075)
+
+    def test_merge_rejects_different_geometry(self):
+        with pytest.raises(ValueError):
+            Histogram("h", growth=1.25).merge(Histogram("h", growth=2.0))
+
+    def test_cumulative_buckets_monotone(self):
+        hist = Histogram("h")
+        hist.record_many([0.001, 0.001, 0.01, 0.1])
+        buckets = hist.cumulative_buckets()
+        bounds = [bound for bound, _ in buckets]
+        counts = [count for _, count in buckets]
+        assert bounds == sorted(bounds)
+        assert counts == sorted(counts)
+        assert counts[-1] == 4
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_handle(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.counter("a", node="1") is not registry.counter("a")
+        assert (registry.histogram("h", stage="filter")
+                is registry.histogram("h", stage="filter"))
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+        with pytest.raises(TypeError):
+            registry.histogram("x")
+
+    def test_snapshot_groups_labeled_series(self):
+        registry = MetricsRegistry()
+        registry.counter("plain").inc(2)
+        registry.counter("fam", node="0").inc()
+        registry.counter("fam", node="1").inc(3)
+        snap = registry.snapshot()
+        assert snap["plain"]["value"] == 2
+        values = {entry["labels"]["node"]: entry["value"]
+                  for entry in snap["fam"]}
+        assert values == {"0": 1, "1": 3}
+
+    def test_collectors_feed_snapshot_and_broken_ones_are_skipped(self):
+        registry = MetricsRegistry()
+        registry.register_collector(lambda: {"bridged.value": 42})
+        registry.register_collector(lambda: 1 / 0)
+        snap = registry.snapshot()
+        assert snap["bridged.value"] == 42
+
+
+class TestNullHandles:
+    def test_null_handles_are_shared_noops(self):
+        telemetry = NullTelemetry()
+        assert telemetry.counter("a") is NULL_COUNTER
+        assert telemetry.gauge("b") is NULL_GAUGE
+        assert telemetry.histogram("c") is NULL_HISTOGRAM
+        NULL_COUNTER.inc()
+        NULL_GAUGE.set(9.0)
+        NULL_HISTOGRAM.record(1.0)
+        assert NULL_COUNTER.value == 0
+        assert NULL_GAUGE.value == 0.0
+        assert math.isnan(NULL_HISTOGRAM.percentile(0.5))
+        assert telemetry.snapshot() == {}
+        assert NULL_TELEMETRY.tracer.start("write", 1, 0.0) is None
+
+
+class TestTraceHelpers:
+    def test_span_lifecycle(self):
+        trace = new_trace("t-1", "write", 7, 1.0)
+        begin_span(trace, PUBLISH, 1.0)
+        assert not is_complete(trace)
+        end_span(trace, PUBLISH, 2.0)
+        begin_span(trace, FILTER, 2.0)
+        end_span(trace, FILTER, 2.5)
+        assert is_complete(trace)
+        assert span_names(trace) == [PUBLISH, FILTER]
+        assert spans_of(trace) == [(PUBLISH, 1.0, 2.0), (FILTER, 2.0, 2.5)]
+        assert total_duration(trace) == pytest.approx(1.5)
+
+    def test_end_span_closes_most_recent_and_is_idempotent(self):
+        trace = new_trace("t-1", "write", 7, 0.0)
+        begin_span(trace, FILTER, 1.0)
+        end_span(trace, FILTER, 2.0)
+        end_span(trace, FILTER, 99.0)  # already closed: no effect
+        end_span(trace, DELIVER, 3.0)  # never opened: no effect
+        assert spans_of(trace) == [(FILTER, 1.0, 2.0)]
+
+    def test_fork_isolates_branches(self):
+        trace = new_trace("t-1", "write", 7, 0.0)
+        begin_span(trace, PUBLISH, 0.0)
+        end_span(trace, PUBLISH, 1.0)
+        branch = fork(trace)
+        begin_span(branch, DELIVER, 1.0)
+        assert span_names(trace) == [PUBLISH]
+        assert span_names(branch) == [PUBLISH, DELIVER]
+        assert fork(None) is None
+
+    def test_trace_of_is_defensive(self):
+        trace = new_trace("t-1", "write", 7, 0.0)
+        assert trace_of({"trace": trace}) is trace
+        assert trace_of({"trace": "corrupted"}) is None
+        assert trace_of({"trace": {"spans": "oops"}}) is None
+        assert trace_of({"no": "trace"}) is None
+        assert trace_of(b"not a dict") is None
+        assert trace_of(None) is None
+
+    def test_helpers_accept_none(self):
+        begin_span(None, PUBLISH, 0.0)
+        end_span(None, PUBLISH, 0.0)
+
+
+class TestTracer:
+    def test_sampling_is_deterministic_one_in_period(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(registry, sample_rate=0.25)
+        sampled = [tracer.start("write", i, 0.0) for i in range(20)]
+        carried = [trace is not None for trace in sampled]
+        assert carried == [i % 4 == 0 for i in range(20)]
+        assert tracer.started == 5
+        assert tracer.sampled_out == 15
+
+    def test_disabled_tracer_returns_none(self):
+        tracer = Tracer(MetricsRegistry(), enabled=False)
+        assert tracer.start("write", 1, 0.0) is None
+
+    def test_complete_records_histograms_and_transcript(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(registry, slow_threshold=10.0)
+        trace = tracer.start("write", 1, 0.0)
+        begin_span(trace, PUBLISH, 0.0)
+        end_span(trace, PUBLISH, 0.5)
+        tracer.complete(trace, 0.5)
+        assert tracer.completed == 1
+        assert list(tracer.transcripts) == [trace]
+        assert registry.histogram("trace.e2e_seconds").count == 1
+        assert tracer.stats()["slow_events"] == 0
+        tracer.complete(None, 1.0)  # untraced write: no-op
+        assert tracer.completed == 1
+
+    def test_slow_traces_logged_with_span_breakdown(self):
+        tracer = Tracer(MetricsRegistry(), slow_threshold=0.1)
+        trace = tracer.start("write", 9, 0.0)
+        begin_span(trace, PUBLISH, 0.0)
+        end_span(trace, PUBLISH, 0.2)
+        begin_span(trace, FILTER, 0.2)  # left open: closed at complete
+        tracer.complete(trace, 0.3)
+        assert len(tracer.slow_events) == 1
+        event = tracer.slow_events[0]
+        assert event["trace_id"] == trace["id"]
+        assert event["total_seconds"] == pytest.approx(0.2)
+        assert [span["name"] for span in event["spans"]] == [PUBLISH, FILTER]
+
+
+class TestTelemetryFacade:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TelemetryConfig(trace_sample_rate=0.0)
+        with pytest.raises(ValueError):
+            TelemetryConfig(trace_sample_rate=1.5)
+        with pytest.raises(ValueError):
+            TelemetryConfig(slow_trace_threshold=-1.0)
+        with pytest.raises(ValueError):
+            TelemetryConfig(transcript_capacity=0)
+
+    def test_build_telemetry_resolution(self):
+        assert build_telemetry(None) is NULL_TELEMETRY
+        assert build_telemetry(False) is NULL_TELEMETRY
+        assert build_telemetry(True).enabled
+        assert build_telemetry(
+            TelemetryConfig(enabled=False)) is NULL_TELEMETRY
+        live = Telemetry()
+        assert build_telemetry(live) is live
+        built = build_telemetry(TelemetryConfig(trace_sample_rate=1.0))
+        assert built.tracer.sample_period == 1
+        with pytest.raises(TypeError):
+            build_telemetry("yes please")
+
+    def test_bind_clock_swaps_time_source(self):
+        telemetry = Telemetry()
+        telemetry.bind_clock(lambda: 123.0)
+        assert telemetry.now() == 123.0
+
+    def test_invalidb_config_rejects_bad_telemetry(self):
+        with pytest.raises(ClusterConfigError):
+            InvaliDBConfig(telemetry="enabled")
+
+    def test_histogram_uses_configured_geometry(self):
+        telemetry = Telemetry(TelemetryConfig(histogram_growth=1.5))
+        assert telemetry.histogram("h").growth == 1.5
+
+
+class TestExporters:
+    def build(self):
+        telemetry = Telemetry(TelemetryConfig(slow_trace_threshold=0.05))
+        telemetry.counter("broker.published", broker="b").inc(7)
+        telemetry.gauge("mailbox.depth", mailbox="m").set(2.0)
+        telemetry.histogram("trace.e2e_seconds").record_many(
+            [0.001, 0.002, 0.004])
+        return telemetry
+
+    def test_to_json_round_trips(self):
+        snap = json.loads(to_json(self.build()))
+        assert snap["broker.published"][0]["value"] == 7
+        assert snap["trace.e2e_seconds"]["count"] == 3
+        assert snap["trace"]["completed"] == 0
+
+    def test_prometheus_text_format(self):
+        text = to_prometheus(self.build())
+        assert "# TYPE broker_published counter" in text
+        assert 'broker_published{broker="b"} 7' in text
+        assert "# TYPE mailbox_depth gauge" in text
+        assert "# TYPE trace_e2e_seconds histogram" in text
+        assert 'trace_e2e_seconds_bucket{le="+Inf"} 3' in text
+        assert "trace_e2e_seconds_count 3" in text
+
+    def test_prometheus_when_disabled(self):
+        assert to_prometheus(NULL_TELEMETRY) == "# telemetry disabled\n"
+
+    def test_slow_event_rendering(self):
+        telemetry = self.build()
+        trace = telemetry.tracer.start("write", 3, 0.0)
+        begin_span(trace, PUBLISH, 0.0)
+        end_span(trace, PUBLISH, 0.2)
+        telemetry.tracer.complete(trace, 0.2)
+        events = slow_events(telemetry)
+        assert len(events) == 1
+        text = format_slow_events(telemetry)
+        assert trace["id"] in text and "publish=" in text
+        assert slow_events(NULL_TELEMETRY) == []
+        assert "no slow traces" in format_slow_events(NULL_TELEMETRY)
+
+
+class TestInspector:
+    def test_render_empty_snapshot(self):
+        text = render({})
+        assert "InvaliDB cluster inspector" in text
+
+    def test_render_sections(self):
+        snapshot = {
+            "config": {"query_partitions": 2, "write_partitions": 2},
+            "matching": [{
+                "node": "matching[0]", "query_partition": 0,
+                "write_partition": 0, "queries": 3, "writes_processed": 10,
+                "matched_operations": 4, "candidates_considered": 8,
+                "candidates_pruned": 16, "memo_hits": 1, "memo_misses": 3,
+            }],
+            "sorting": [{
+                "node": "sorting[0]", "query_partition": 0, "queries": 1,
+                "events_processed": 5, "renewals_requested": 0,
+            }],
+            "mailboxes": [{
+                "name": "matching[0]", "depth": 0, "enqueued": 10,
+                "processed": 10, "dropped": 0,
+            }],
+            "telemetry": {
+                "trace.e2e_seconds": {
+                    "count": 4, "p50": 0.001, "p95": 0.002, "p99": 0.002,
+                    "max": 0.003,
+                },
+                "trace.span_seconds": [{
+                    "labels": {"stage": "filter"}, "count": 4,
+                    "p50": 0.0005, "p95": 0.001, "p99": 0.001, "max": 0.001,
+                }],
+            },
+            "faults": {"injected": 2, "dropped": 1},
+            "supervisor": {"restarts": 1},
+        }
+        text = render(snapshot)
+        assert "matching grid" in text
+        assert "sorting stage" in text
+        assert "mailboxes" in text
+        assert "write-path latency" in text
+        assert "end-to-end" in text and "filter" in text
+        assert "faults.injected" in text
+        assert "supervisor.restarts" in text
+        # Pruned 16 of 24 candidate evaluations.
+        assert "66.67" in text
+
+
+class TestInspectCli:
+    def test_inspect_renders_grid_table(self, capsys):
+        from repro.__main__ import main
+        assert main(["inspect", "--writes", "30", "--grid", "2x2"]) == 0
+        out = capsys.readouterr().out
+        assert "matching grid" in out
+        assert "write-path latency" in out
+
+    def test_inspect_json_parses(self, capsys):
+        from repro.__main__ import main
+        assert main(["inspect", "--writes", "12", "--json"]) == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["trace"]["completed"] > 0
+
+    def test_inspect_prometheus(self, capsys):
+        from repro.__main__ import main
+        assert main(["inspect", "--writes", "12", "--prometheus"]) == 0
+        assert "# TYPE" in capsys.readouterr().out
+
+    def test_inspect_slow(self, capsys):
+        from repro.__main__ import main
+        assert main(["inspect", "--writes", "12", "--slow"]) == 0
+        assert "slow" in capsys.readouterr().out
