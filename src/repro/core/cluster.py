@@ -27,6 +27,7 @@ application servers can detect cluster failure (Section 5).
 from __future__ import annotations
 
 import threading
+from dataclasses import replace
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.config import InvaliDBConfig
@@ -58,7 +59,7 @@ from repro.query.engine import MongoQueryEngine, Query
 from repro.runtime.execution import ExecutionModel, build_execution_model
 from repro.stream.topology import Bolt, CustomGrouping, FieldsGrouping, TopologyBuilder
 from repro.stream.runtime import LocalRuntime
-from repro.types import AfterImage, WriteKind
+from repro.types import AfterImage, MatchType, WriteKind
 
 
 def serialize_query(query: Query) -> Dict[str, Any]:
@@ -230,6 +231,8 @@ class _MatchingBolt(Bolt):
         pairs: List[Tuple[MatchEvent, Optional[Dict[str, Any]]]],
     ) -> None:
         tel = self.cluster.telemetry
+        if self.cluster.config.notification_coalescing and len(pairs) > 1:
+            pairs = self._coalesce(pairs)
         for event, trace in pairs:
             if event.needs_sorting:
                 message: Dict[str, Any] = {
@@ -247,6 +250,64 @@ class _MatchingBolt(Bolt):
                     change_from_match_event(event), fork(trace)
                 )
 
+    def _coalesce(
+        self,
+        pairs: List[Tuple[MatchEvent, Optional[Dict[str, Any]]]],
+    ) -> List[Tuple[MatchEvent, Optional[Dict[str, Any]]]]:
+        """Collapse redundant per-(query, key) notifications in a batch.
+
+        Within one dispatch batch, events for the same (query, key) are
+        superseded by the last one — the filtering stage drops stale
+        versions, so arrival order IS version order and the latest
+        version wins.  Only the unsorted fast path coalesces: sorting
+        windows need every transition to stay positionally correct.
+
+        The surviving event's match type is rewritten against the
+        client's pre-batch state, which the FIRST batched event for the
+        key encodes (``add`` ⇔ the key was absent): an ``add`` followed
+        by a ``change`` must stay an ``add`` (the client never saw the
+        key, and a bare ``change`` would not enter its order), an
+        ``add`` followed by a ``remove`` nets out to nothing, and any
+        other transition of a known key collapses to ``change`` or
+        ``remove``.  Client materialization therefore stays idempotent
+        and identical to replaying the full stream.
+        """
+        last_index: Dict[Tuple[str, Any], int] = {}
+        first_type: Dict[Tuple[str, Any], MatchType] = {}
+        for index, (event, _) in enumerate(pairs):
+            if event.needs_sorting:
+                continue
+            group = (event.query_id, event.key)
+            if group not in first_type:
+                first_type[group] = event.match_type
+            last_index[group] = index
+        coalesced: List[Tuple[MatchEvent, Optional[Dict[str, Any]]]] = []
+        dropped = 0
+        for index, (event, trace) in enumerate(pairs):
+            if event.needs_sorting:
+                coalesced.append((event, trace))
+                continue
+            group = (event.query_id, event.key)
+            if last_index[group] != index:
+                dropped += 1
+                continue
+            was_known = first_type[group] is not MatchType.ADD
+            final = event.match_type
+            if final is MatchType.REMOVE:
+                if not was_known:
+                    # add → … → remove: the client never saw the key.
+                    dropped += 1
+                    continue
+            elif was_known:
+                if final is not MatchType.CHANGE:
+                    event = replace(event, match_type=MatchType.CHANGE)
+            elif final is not MatchType.ADD:
+                event = replace(event, match_type=MatchType.ADD)
+            coalesced.append((event, trace))
+        if dropped:
+            self.cluster.notifications_coalesced += dropped
+        return coalesced
+
 
 class _SortingBolt(Bolt):
     """Sorting-stage task: owns one :class:`SortingNode`."""
@@ -260,8 +321,12 @@ class _SortingBolt(Bolt):
 
     def prepare(self, task_index: int, parallelism: int, emit: Any) -> None:
         super().prepare(task_index, parallelism, emit)
-        self.node = SortingNode(task_index, engine=self.cluster.engine,
-                                telemetry=self.cluster.telemetry)
+        self.node = SortingNode(
+            task_index,
+            engine=self.cluster.engine,
+            telemetry=self.cluster.telemetry,
+            incremental=self.cluster.config.incremental_sorting,
+        )
         self.cluster._sorting_nodes[task_index] = self.node
 
     def process(self, tuple_: Dict[str, Any]) -> None:
@@ -355,6 +420,10 @@ class InvaliDBCluster:
         self._heartbeat_thread: Optional[threading.Thread] = None
         self._stopping = threading.Event()
         self.notifications_sent = 0
+        #: Notifications coalesced away within dispatch batches (the
+        #: fan-out the client never had to see).  Monitoring-grade, like
+        #: notifications_sent: incremented from bolt threads.
+        self.notifications_coalesced = 0
         self.queries_renewed = 0
         #: Recovery state, cluster level (survives any one node's
         #: death): the latest subscribe wire payload per query, and one
@@ -666,6 +735,7 @@ class InvaliDBCluster:
         return {
             "cluster.active_queries": active,
             "cluster.notifications_sent": self.notifications_sent,
+            "cluster.notifications_coalesced": self.notifications_coalesced,
             "cluster.queries_renewed": self.queries_renewed,
             "cluster.writes_processed": sum(
                 node.writes_processed for node in nodes
@@ -733,6 +803,8 @@ class InvaliDBCluster:
                     self._sorting_nodes[index].events_processed,
                 "renewals_requested":
                     self._sorting_nodes[index].renewals_requested,
+                "window_comparisons":
+                    self._sorting_nodes[index].window_comparisons,
             }
             for index in sorted(self._sorting_nodes)
         ]
@@ -776,6 +848,7 @@ class InvaliDBCluster:
             "active_queries": active,
             "app_servers": app_servers,
             "notifications_sent": self.notifications_sent,
+            "notifications_coalesced": self.notifications_coalesced,
             "queries_renewed": self.queries_renewed,
             "matching": matching_rows,
             "matching_totals": matching_totals,
@@ -800,6 +873,7 @@ class InvaliDBCluster:
             "active_queries": snap["active_queries"],
             "app_servers": snap["app_servers"],
             "notifications_sent": snap["notifications_sent"],
+            "notifications_coalesced": snap["notifications_coalesced"],
             "queries_renewed": snap["queries_renewed"],
             "matching": snap["matching_totals"],
             "matching_nodes": {

@@ -56,6 +56,17 @@ class InvaliDBConfig:
     #: Share sub-predicate evaluations across queries per after-image
     #: (SharedDB-style memoization in the matching nodes).
     shared_predicate_memo: bool = True
+    #: Incremental sorted-window maintenance: O(log W) positioning plus
+    #: positional diffing instead of the legacy snapshot-diff path.
+    #: Disable only for A/B measurements and the equivalence suite —
+    #: notification streams are identical either way.
+    incremental_sorting: bool = True
+    #: Coalesce redundant per-(query, key) notifications within one
+    #: dispatch batch of the matching stage (latest version wins, match
+    #: types rewritten so client materialization stays correct).  Only
+    #: affects batched execution models; the inline model dispatches
+    #: per-tuple and is unaffected.
+    notification_coalescing: bool = True
     #: Execution substrate for the matching grid.  ``None`` (default)
     #: shares the broker's execution model, putting the event layer and
     #: the grid on one substrate; set an :class:`ExecutionConfig` to

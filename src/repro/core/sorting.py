@@ -23,10 +23,26 @@ above the horizon.  Consequences:
 * when the window outgrows its capacity it is truncated and the
   horizon moves up, keeping per-query memory bounded.
 
-Change notifications are derived by diffing the visible window before
-and after each event: items entering get ``add`` (with index), items
-leaving get ``remove``, and the written item itself gets ``change`` or
-``changeIndex`` depending on whether its position moved.
+Two event-application paths share these semantics:
+
+* the **incremental** path (default) keeps a key→entry map plus a
+  bisect-ordered parallel sort-key list, locates an entry's old and new
+  positions in O(log W) comparisons, and derives the exact
+  ``add``/``remove``/``change``/``changeIndex`` stream from positional
+  arithmetic on the offset/limit window boundaries — no linear scans,
+  no full-window snapshots, no dict-rebuilding diff;
+* the **legacy** path (``incremental=False``) diffs full before/after
+  snapshots of the visible window, O(W) per event.  It is retained as
+  the reference implementation for the equivalence suite and for A/B
+  benchmarks; both paths produce bit-for-bit identical notification
+  streams, maintenance errors and horizon transitions.
+
+An event changes window membership by at most three entries (the
+written item plus one entry crossing each window boundary), so the
+incremental differ emits from those positions alone: removals ordered
+by their old window index first, then additions and the written item's
+transition ordered by new window index — exactly the order the
+snapshot diff produces.
 """
 
 from __future__ import annotations
@@ -53,7 +69,7 @@ class _Entry:
 class _SortedQueryState:
     """Ordered window of one sorted query."""
 
-    def __init__(self, query: Query, slack: int):
+    def __init__(self, query: Query, slack: int, incremental: bool = True):
         if query.sort is None:
             raise ValueError("sorting stage only accepts sorted queries")
         self.query = query
@@ -69,6 +85,15 @@ class _SortedQueryState:
         #: to; only meaningful when ``complete`` is False.
         self.horizon: Optional[Tuple[Any, ...]] = None
         self.active = True
+        self.incremental = incremental
+        #: Sort-key comparisons (and legacy scan steps) spent maintaining
+        #: this window — the per-event work metric behind sort.window_ops.
+        self.comparisons = 0
+        # Incremental-mode structures: a parallel, bisect-ordered list of
+        # sort keys (positions in O(log W)) and a key→entry map
+        # (membership in O(1)).  Unmaintained on the legacy path.
+        self._sort_keys: List[Tuple[Any, ...]] = []
+        self._by_key: Dict[Any, _Entry] = {}
 
     # -- window geometry -----------------------------------------------------
 
@@ -102,10 +127,18 @@ class _SortedQueryState:
             del self.entries[self.capacity :]
             self.complete = False
             self.horizon = self.entries[-1].sort_key
+        if self.incremental:
+            self._sort_keys = [entry.sort_key for entry in self.entries]
+            self._by_key = {entry.key: entry for entry in self.entries}
         self.active = True
+
+    # ------------------------------------------------------------------
+    # Legacy path: linear scans + full-window snapshot diffing.
+    # ------------------------------------------------------------------
 
     def _position_of(self, key: Any) -> Optional[int]:
         for index, entry in enumerate(self.entries):
+            self.comparisons += 1
             if entry.key == key:
                 return index
         return None
@@ -114,6 +147,7 @@ class _SortedQueryState:
         lo, hi = 0, len(self.entries)
         while lo < hi:
             mid = (lo + hi) // 2
+            self.comparisons += 1
             if self.entries[mid].sort_key < entry.sort_key:
                 lo = mid + 1
             else:
@@ -138,7 +172,7 @@ class _SortedQueryState:
         position = self._position_of(key)
         was_member = position is not None
         if position is not None:
-            if version and version < self.entries[position].version:
+            if version < self.entries[position].version:
                 return True
             del self.entries[position]
         entry = _Entry(sort.key(document), key, document, version)
@@ -165,7 +199,7 @@ class _SortedQueryState:
         position = self._position_of(key)
         if position is None:
             return True
-        if version and version < self.entries[position].version:
+        if version < self.entries[position].version:
             return True
         del self.entries[position]
         if self.complete:
@@ -174,19 +208,318 @@ class _SortedQueryState:
             return False
         return True
 
+    # ------------------------------------------------------------------
+    # Incremental path: O(log W) positioning + positional diffing.
+    # ------------------------------------------------------------------
+
+    def _bisect(self, sort_key: Tuple[Any, ...]) -> int:
+        """Leftmost insertion point of *sort_key*, counting comparisons."""
+        keys = self._sort_keys
+        lo, hi = 0, len(keys)
+        steps = 0
+        while lo < hi:
+            mid = (lo + hi) // 2
+            steps += 1
+            if keys[mid] < sort_key:
+                lo = mid + 1
+            else:
+                hi = mid
+        self.comparisons += steps
+        return lo
+
+    def _insert_at(self, position: int, entry: _Entry) -> None:
+        self.entries.insert(position, entry)
+        self._sort_keys.insert(position, entry.sort_key)
+        self._by_key[entry.key] = entry
+
+    def _delete_at(self, position: int) -> _Entry:
+        entry = self.entries.pop(position)
+        self._sort_keys.pop(position)
+        del self._by_key[entry.key]
+        return entry
+
+    def _truncate_fast(self) -> None:
+        capacity = self.capacity
+        if capacity is not None and len(self.entries) > capacity:
+            for entry in self.entries[capacity:]:
+                del self._by_key[entry.key]
+            del self.entries[capacity:]
+            del self._sort_keys[capacity:]
+            self.complete = False
+            self.horizon = self.entries[-1].sort_key
+
+    def _change(
+        self,
+        match_type: MatchType,
+        entry_key: Any,
+        document: Document,
+        timestamp: float,
+        index: Optional[int] = None,
+        old_index: Optional[int] = None,
+    ) -> QueryChange:
+        return QueryChange(
+            query_id=self.query.query_id,
+            match_type=match_type,
+            key=entry_key,
+            document=document,
+            index=index,
+            old_index=old_index,
+            timestamp=timestamp,
+        )
+
+    def _delete_changes(
+        self, position: int, entry: _Entry, timestamp: float
+    ) -> List[QueryChange]:
+        """Visible-window changes of deleting the entry at *position*.
+
+        Must be called BEFORE the deletion mutates the list.
+        """
+        n = len(self.entries)
+        offset, limit = self.offset, self.limit
+        end = offset + limit if limit is not None else n
+        changes: List[QueryChange] = []
+        if position < offset:
+            # The first visible item slides into the offset region …
+            if n > offset:
+                slid = self.entries[offset]
+                changes.append(self._change(
+                    MatchType.REMOVE, slid.key, slid.document, timestamp,
+                    old_index=0,
+                ))
+            # … and the first item beyond the limit becomes visible.
+            if limit is not None and n > end:
+                pulled = self.entries[end]
+                changes.append(self._change(
+                    MatchType.ADD, pulled.key, pulled.document, timestamp,
+                    index=limit - 1,
+                ))
+        elif position < end:
+            changes.append(self._change(
+                MatchType.REMOVE, entry.key, entry.document, timestamp,
+                old_index=position - offset,
+            ))
+            if limit is not None and n > end:
+                pulled = self.entries[end]
+                changes.append(self._change(
+                    MatchType.ADD, pulled.key, pulled.document, timestamp,
+                    index=limit - 1,
+                ))
+        return changes
+
+    def _insert_changes(
+        self, position: int, entry: _Entry, timestamp: float
+    ) -> List[QueryChange]:
+        """Visible-window changes of inserting *entry* at *position*.
+
+        Must be called BEFORE the insertion mutates the list.
+        """
+        n = len(self.entries)
+        offset, limit = self.offset, self.limit
+        end = offset + limit if limit is not None else n + 2
+        changes: List[QueryChange] = []
+        if position < offset:
+            # The last visible item is pushed beyond the limit …
+            if limit is not None and n >= end:
+                pushed = self.entries[end - 1]
+                changes.append(self._change(
+                    MatchType.REMOVE, pushed.key, pushed.document, timestamp,
+                    old_index=limit - 1,
+                ))
+            # … and the last offset item is pushed into the window.
+            if n >= offset:
+                pushed_in = self.entries[offset - 1]
+                changes.append(self._change(
+                    MatchType.ADD, pushed_in.key, pushed_in.document,
+                    timestamp, index=0,
+                ))
+        elif position < end:
+            if limit is not None and n >= end:
+                pushed = self.entries[end - 1]
+                changes.append(self._change(
+                    MatchType.REMOVE, pushed.key, pushed.document, timestamp,
+                    old_index=limit - 1,
+                ))
+            changes.append(self._change(
+                MatchType.ADD, entry.key, entry.document, timestamp,
+                index=position - offset,
+            ))
+        return changes
+
+    def _move_changes(
+        self,
+        old_position: int,
+        new_position: int,
+        old_document: Document,
+        document: Document,
+        key: Any,
+        timestamp: float,
+    ) -> List[QueryChange]:
+        """Changes of relocating the written entry old→new position.
+
+        The list length is unchanged by a move, so at most one entry
+        crosses each window boundary; everything else keeps its window
+        membership (and, per the diff contract, silently shifts).
+        Must be called BEFORE the move mutates the list.
+        """
+        n = len(self.entries)
+        offset, limit = self.offset, self.limit
+        end = offset + limit if limit is not None else n + 1
+        removes: List[QueryChange] = []
+        others: List[QueryChange] = []
+        if old_position < new_position:
+            # Entries in (old, new] shift one position down.
+            if old_position < offset <= new_position:
+                slid = self.entries[offset]
+                removes.append(self._change(
+                    MatchType.REMOVE, slid.key, slid.document, timestamp,
+                    old_index=0,
+                ))
+            if limit is not None and old_position < end <= new_position:
+                pulled = self.entries[end]
+                others.append(self._change(
+                    MatchType.ADD, pulled.key, pulled.document, timestamp,
+                    index=limit - 1,
+                ))
+        elif new_position < old_position:
+            # Entries in [new, old) shift one position up.
+            if new_position <= offset - 1 < old_position:
+                pushed_in = self.entries[offset - 1]
+                others.append(self._change(
+                    MatchType.ADD, pushed_in.key, pushed_in.document,
+                    timestamp, index=0,
+                ))
+            if limit is not None and new_position <= end - 1 < old_position:
+                pushed = self.entries[end - 1]
+                removes.append(self._change(
+                    MatchType.REMOVE, pushed.key, pushed.document, timestamp,
+                    old_index=limit - 1,
+                ))
+        was_visible = offset <= old_position < end
+        is_visible = offset <= new_position < end
+        if was_visible and is_visible:
+            if old_position != new_position:
+                others.append(self._change(
+                    MatchType.CHANGE_INDEX, key, document, timestamp,
+                    index=new_position - offset,
+                    old_index=old_position - offset,
+                ))
+            elif old_document != document:
+                others.append(self._change(
+                    MatchType.CHANGE, key, document, timestamp,
+                    index=new_position - offset,
+                    old_index=old_position - offset,
+                ))
+        elif was_visible:
+            removes.append(self._change(
+                MatchType.REMOVE, key, old_document, timestamp,
+                old_index=old_position - offset,
+            ))
+        elif is_visible:
+            others.append(self._change(
+                MatchType.ADD, key, document, timestamp,
+                index=new_position - offset,
+            ))
+        removes.sort(key=lambda change: change.old_index)  # type: ignore[arg-type, return-value]
+        others.sort(key=lambda change: change.index)  # type: ignore[arg-type, return-value]
+        return removes + others
+
+    def apply_upsert(
+        self, key: Any, document: Document, version: int, timestamp: float
+    ) -> Optional[List[QueryChange]]:
+        """Incremental add/change: mutate + diff in one positional pass.
+
+        Returns the visible-window changes, or None when the window
+        became unmaintainable (checked before mutating, so the state
+        still holds the last valid window).
+        """
+        sort = self.query.sort
+        assert sort is not None
+        existing = self._by_key.get(key)
+        if existing is not None and version < existing.version:
+            return []
+        new_sort_key = sort.key(document)
+        below_horizon = False
+        if not self.complete and self.horizon is not None:
+            self.comparisons += 1
+            below_horizon = new_sort_key > self.horizon
+        if existing is None:
+            if below_horizon:
+                return []
+            position = self._bisect(new_sort_key)
+            entry = _Entry(new_sort_key, key, document, version)
+            changes = self._insert_changes(position, entry, timestamp)
+            self._insert_at(position, entry)
+            self._truncate_fast()
+            return changes
+        old_position = self._bisect(existing.sort_key)
+        if below_horizon:
+            # Demotion below the horizon acts like a removal.
+            if (
+                self.limit is not None
+                and len(self.entries) - 1 < self.offset + self.limit
+            ):
+                return None
+            changes = self._delete_changes(old_position, existing, timestamp)
+            self._delete_at(old_position)
+            return changes
+        insertion_point = self._bisect(new_sort_key)
+        new_position = (
+            insertion_point - 1 if insertion_point > old_position
+            else insertion_point
+        )
+        changes = self._move_changes(
+            old_position, new_position, existing.document, document, key,
+            timestamp,
+        )
+        self.entries.pop(old_position)
+        self._sort_keys.pop(old_position)
+        updated = _Entry(new_sort_key, key, document, version)
+        self.entries.insert(new_position, updated)
+        self._sort_keys.insert(new_position, new_sort_key)
+        self._by_key[key] = updated
+        return changes
+
+    def apply_remove(
+        self, key: Any, version: int, timestamp: float
+    ) -> Optional[List[QueryChange]]:
+        """Incremental remove; None signals a maintenance error."""
+        entry = self._by_key.get(key)
+        if entry is None:
+            return []
+        if version < entry.version:
+            return []
+        if (
+            not self.complete
+            and self.limit is not None
+            and len(self.entries) - 1 < self.offset + self.limit
+        ):
+            return None
+        position = self._bisect(entry.sort_key)
+        changes = self._delete_changes(position, entry, timestamp)
+        self._delete_at(position)
+        return changes
+
 
 class SortingNode:
     """One node of the sorting stage; owns a partition of sorted queries."""
 
     def __init__(self, node_index: int = 0,
                  engine: Optional[PluggableQueryEngine] = None,
-                 telemetry=None):
+                 telemetry=None,
+                 incremental: bool = True):
         self.node_index = node_index
         self.engine = engine if engine is not None else MongoQueryEngine()
+        #: Incremental window maintenance (O(log W) per event) vs the
+        #: legacy snapshot-diff reference path (O(W) per event).
+        self.incremental = incremental
         self._states: Dict[str, _SortedQueryState] = {}
         #: Last valid visible window per query — survives deactivation so
         #: a renewal can emit the delta "from the last valid to the
-        #: current result representation" (Section 5.2).
+        #: current result representation" (Section 5.2).  The legacy
+        #: path re-materializes it after every event; the incremental
+        #: path materializes lazily, only when a state is deactivated or
+        #: hits a maintenance error (a live state's window IS the last
+        #: valid one).
         self._last_visible: Dict[str, List[Tuple[Any, Document]]] = {}
         # -- runtime counters ------------------------------------------
         #: Filtering-stage events consumed (including events for
@@ -194,10 +527,15 @@ class SortingNode:
         self.events_processed = 0
         #: Maintenance errors emitted (each doubles as a renewal request).
         self.renewals_requested = 0
+        #: Sort-key comparisons spent on window maintenance (summed over
+        #: events; the per-event distribution is sort.window_ops).
+        self.window_comparisons = 0
         # Telemetry: distribution of the slack remaining after each
-        # event — how close limit queries run to a maintenance error.
+        # event — how close limit queries run to a maintenance error —
+        # and of the per-event window work (comparisons).
         tel = telemetry if telemetry is not None else NULL_TELEMETRY
         self._slack_hist = tel.histogram("sort.slack_remaining")
+        self._window_ops_hist = tel.histogram("sort.window_ops")
 
     # ------------------------------------------------------------------
     # Query lifecycle
@@ -220,12 +558,22 @@ class SortingNode:
         (renewal, or another app server subscribing) the delta between
         the last valid and the fresh visible window is emitted.
         """
-        state = _SortedQueryState(query, slack)
+        previous_state = self._states.get(query.query_id)
+        if previous_state is not None and previous_state.active:
+            previous: Optional[List[Tuple[Any, Document]]] = (
+                previous_state.visible()
+            )
+        else:
+            previous = self._last_visible.get(query.query_id)
+        state = _SortedQueryState(query, slack, incremental=self.incremental)
         state.bootstrap(bootstrap, versions)
         self._states[query.query_id] = state
-        previous = self._last_visible.get(query.query_id)
         current = state.visible()
-        self._last_visible[query.query_id] = current
+        if self.incremental:
+            # The live state owns the last-valid window from here on.
+            self._last_visible.pop(query.query_id, None)
+        else:
+            self._last_visible[query.query_id] = current
         if previous is None:
             return []
         return self._diff(query, previous, current, written_key=None,
@@ -233,6 +581,9 @@ class SortingNode:
 
     def deactivate_query(self, query_id: str) -> bool:
         state = self._states.pop(query_id, None)
+        if state is not None and self.incremental and state.active:
+            # Preserve the renewal baseline the legacy path keeps hot.
+            self._last_visible[query_id] = state.visible()
         return state is not None
 
     def active_queries(self) -> List[str]:
@@ -251,6 +602,41 @@ class SortingNode:
         state = self._states.get(event.query_id)
         if state is None or not state.active:
             return []
+        if not self.incremental:
+            return self._handle_event_legacy(state, event)
+        comparisons_before = state.comparisons
+        if event.match_type is MatchType.REMOVE:
+            changes = state.apply_remove(
+                event.key, event.version, event.timestamp
+            )
+        else:
+            if event.document is None:
+                return []
+            changes = state.apply_upsert(
+                event.key, event.document, event.version, event.timestamp
+            )
+        if changes is None:
+            # Unmaintainable — the state was NOT mutated, so its current
+            # window is the last valid one; store it for renewal deltas.
+            self._last_visible[event.query_id] = state.visible()
+            return [self._maintenance_error(state, event)]
+        self.window_comparisons += state.comparisons - comparisons_before
+        # Distribution shape only: sample 1-in-4 events, phase-locked
+        # to the exact events_processed counter for determinism.
+        if (self.events_processed & 3) == 1:
+            slack = state.current_slack()
+            if slack is not None:
+                self._slack_hist.record(slack)
+            self._window_ops_hist.record(
+                state.comparisons - comparisons_before
+            )
+        return changes
+
+    def _handle_event_legacy(
+        self, state: _SortedQueryState, event: MatchEvent
+    ) -> List[QueryChange]:
+        """Reference path: snapshot the window, mutate, snapshot, diff."""
+        comparisons_before = state.comparisons
         before = state.visible()
         if event.match_type is MatchType.REMOVE:
             ok = state.remove(event.key, event.version)
@@ -260,12 +646,14 @@ class SortingNode:
             ok = state.upsert(event.key, event.document, event.version)
         if not ok:
             return [self._maintenance_error(state, event)]
-        # Distribution shape only: sample 1-in-4 events, phase-locked
-        # to the exact events_processed counter for determinism.
+        self.window_comparisons += state.comparisons - comparisons_before
         if (self.events_processed & 3) == 1:
             slack = state.current_slack()
             if slack is not None:
                 self._slack_hist.record(slack)
+            self._window_ops_hist.record(
+                state.comparisons - comparisons_before
+            )
         after = state.visible()
         self._last_visible[event.query_id] = after
         return self._diff(
@@ -294,7 +682,7 @@ class SortingNode:
         )
 
     # ------------------------------------------------------------------
-    # Visible-window diffing
+    # Visible-window diffing (renewal deltas + the legacy path)
     # ------------------------------------------------------------------
 
     @staticmethod

@@ -100,11 +100,12 @@ def render(snapshot: Dict[str, Any]) -> str:
         rows = [
             [node.get("node", "?"), node.get("query_partition"),
              node.get("queries"), node.get("events_processed"),
-             node.get("renewals_requested")]
+             node.get("renewals_requested"),
+             node.get("window_comparisons")]
             for node in sorting
         ]
         sections.append("sorting stage\n" + _table(
-            ["node", "qp", "queries", "events", "renewals"], rows,
+            ["node", "qp", "queries", "events", "renewals", "cmps"], rows,
         ))
 
     mailboxes = snapshot.get("mailboxes", [])
@@ -152,6 +153,11 @@ def render(snapshot: Dict[str, Any]) -> str:
         ))
 
     counters = []
+    for key in ("notifications_sent", "notifications_coalesced",
+                "queries_renewed"):
+        value = snapshot.get(key)
+        if isinstance(value, (int, float)) and value:
+            counters.append([f"cluster.{key}", value])
     for source in ("faults", "supervisor", "client"):
         for key, value in sorted((snapshot.get(source) or {}).items()):
             if isinstance(value, (int, float)) and value:

@@ -164,6 +164,54 @@ SortInput = Union[
 ]
 
 
+# Precompiled sort-key extractors, shared across every SortSpec with the
+# same normalized field tuple.  The sorting stage calls ``key()`` once
+# per window event, so the extractor pre-splits each dotted path (and
+# pre-parses numeric steps) exactly once per distinct spec instead of
+# on every call, and binds the direction's wrapper class up front.
+_EXTRACTOR_CACHE: Dict[Tuple[Tuple[str, int], ...], Any] = {}
+
+
+def _compile_extractor(fields: Tuple[Tuple[str, int], ...]):
+    plan = []
+    for path, direction in fields:
+        steps = tuple(
+            (part, int(part) if part.isdigit() else None)
+            for part in path.split(".")
+        )
+        wrapper = _OrderedValue if direction == 1 else _ReversedValue
+        plan.append((steps, wrapper))
+
+    def extract(document: Document) -> Tuple[Any, ...]:
+        parts: List[Any] = []
+        for steps, wrapper in plan:
+            current: Any = document
+            for part, index in steps:
+                if isinstance(current, dict):
+                    if part in current:
+                        current = current[part]
+                        continue
+                elif index is not None and isinstance(current, (list, tuple)):
+                    if index < len(current):
+                        current = current[index]
+                        continue
+                current = _MISSING
+                break
+            parts.append(wrapper(current))
+        return tuple(parts)
+
+    return extract
+
+
+def compiled_sort_key_extractor(fields: Tuple[Tuple[str, int], ...]):
+    """Return the shared compiled extractor for a normalized field tuple."""
+    extractor = _EXTRACTOR_CACHE.get(fields)
+    if extractor is None:
+        extractor = _compile_extractor(fields)
+        _EXTRACTOR_CACHE[fields] = extractor
+    return extractor
+
+
 class SortSpec:
     """A multi-attribute sort specification.
 
@@ -175,7 +223,7 @@ class SortSpec:
     prototype applies (Section 5.2, footnote 4).
     """
 
-    __slots__ = ("fields",)
+    __slots__ = ("fields", "_extractor")
 
     def __init__(self, fields: Sequence[Tuple[str, int]]):
         if not fields:
@@ -196,6 +244,7 @@ class SortSpec:
         if PRIMARY_KEY not in seen:
             cleaned.append((PRIMARY_KEY, 1))
         self.fields = tuple(cleaned)
+        self._extractor = compiled_sort_key_extractor(self.fields)
 
     @classmethod
     def coerce(cls, spec: SortInput) -> "SortSpec":
@@ -209,15 +258,14 @@ class SortSpec:
         return cls(list(spec))
 
     def key(self, document: Document) -> Tuple[Any, ...]:
-        """Return the composite sort key of *document*."""
-        parts: List[Any] = []
-        for path, direction in self.fields:
-            value = resolve_simple_path(document, path)
-            if direction == 1:
-                parts.append(_OrderedValue(value))
-            else:
-                parts.append(_ReversedValue(value))
-        return tuple(parts)
+        """Return the composite sort key of *document*.
+
+        Delegates to the precompiled extractor shared across all specs
+        with the same normalized field tuple (paths pre-split, wrapper
+        classes pre-bound) — semantics identical to resolving each path
+        with :func:`resolve_simple_path` and wrapping per direction.
+        """
+        return self._extractor(document)
 
     def compare(self, a: Document, b: Document) -> int:
         """Three-way comparison of two documents under this spec."""

@@ -75,7 +75,10 @@ class Collection:
                 raise DuplicateKeyError(key)
             stored = deep_copy(document)
             self._documents[key] = stored
-            self._versions[key] = 1
+            # Versions must stay monotone per key across delete/re-insert:
+            # a reset to 1 would rank below the tombstone's version and the
+            # staleness protocol would drop the re-insert everywhere.
+            self._versions[key] = self._versions.get(key, 0) + 1
             self._index_add(key, stored)
             after = self._after_image(key, WriteKind.INSERT, stored)
         self._publish(after)

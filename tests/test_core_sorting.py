@@ -3,14 +3,34 @@
 Recreates the paper's Figure 3 scenario: articles sorted by year
 descending with OFFSET 2 LIMIT 3, maintained incrementally with
 auxiliary data (offset items + slack beyond limit).
+
+Every test in this module runs twice — once against the incremental
+O(log W) path and once against the legacy snapshot-diff path — via the
+autouse ``sorting_mode`` fixture, asserting both implementations honor
+the same window semantics.
 """
 
 import pytest
 
+from repro.core import sorting
 from repro.core.filtering import MatchEvent
 from repro.core.sorting import SortingNode
 from repro.query.engine import Query
 from repro.types import MatchType
+
+
+@pytest.fixture(autouse=True, params=["incremental", "legacy"])
+def sorting_mode(request, monkeypatch):
+    """Run the module's tests under both window-maintenance paths."""
+    if request.param == "legacy":
+        original = sorting.SortingNode.__init__
+
+        def legacy_init(self, *args, **kwargs):
+            kwargs.setdefault("incremental", False)
+            original(self, *args, **kwargs)
+
+        monkeypatch.setattr(sorting.SortingNode, "__init__", legacy_init)
+    return request.param
 
 
 ARTICLES = [
@@ -299,3 +319,52 @@ class TestVersionHandling:
         )
         assert changes == []
         assert 5 in visible_ids(node, query)
+
+    def test_version_zero_upsert_does_not_bypass_staleness(self):
+        """Regression: ``if version and version < …`` let version-0
+        writes skip the staleness check entirely, clobbering a newer
+        document.  Version comparison must be strict, like the
+        filtering stage's retention buffer and client materialization."""
+        node = SortingNode()
+        query = Query({}, sort=[("year", -1)], limit=3)
+        register(node, query, ARTICLES, slack=2)
+        newer = {"_id": 5, "title": "DB Fun v3", "year": 2018}
+        node.handle_event(event(query, MatchType.CHANGE, newer, version=3))
+        zero = {"_id": 5, "title": "DB Fun v0", "year": 2018}
+        changes = node.handle_event(
+            event(query, MatchType.CHANGE, zero, version=0)
+        )
+        assert changes == []
+        titles = {
+            doc["title"]
+            for _, doc in node.state_of(query.query_id).visible()
+        }
+        assert "DB Fun v3" in titles and "DB Fun v0" not in titles
+
+    def test_version_zero_remove_does_not_bypass_staleness(self):
+        node = SortingNode()
+        query = Query({}, sort=[("year", -1)], limit=3)
+        register(node, query, ARTICLES, slack=2)
+        newer = {"_id": 5, "title": "v5", "year": 2018}
+        node.handle_event(event(query, MatchType.CHANGE, newer, version=5))
+        changes = node.handle_event(
+            event(query, MatchType.REMOVE, key=5, version=0)
+        )
+        assert changes == []
+        assert 5 in visible_ids(node, query)
+
+    def test_version_zero_applies_against_version_zero_entry(self):
+        """A version-0 write against a version-0 entry is not stale —
+        equal versions apply (idempotent re-delivery)."""
+        node = SortingNode()
+        query = Query({}, sort=[("year", -1)], limit=3)
+        rewritten = query.rewritten_for_subscription(2)
+        bootstrap = sorted(ARTICLES, key=query.sort.key)[: rewritten.limit]
+        node.register_query(query, bootstrap, {}, slack=2)  # versions all 0
+        retitled = {"_id": 5, "title": "Retitled", "year": 2018}
+        node.handle_event(event(query, MatchType.CHANGE, retitled, version=0))
+        titles = {
+            doc["title"]
+            for _, doc in node.state_of(query.query_id).visible()
+        }
+        assert "Retitled" in titles

@@ -376,7 +376,10 @@ class TestInspector:
             "sorting": [{
                 "node": "sorting[0]", "query_partition": 0, "queries": 1,
                 "events_processed": 5, "renewals_requested": 0,
+                "window_comparisons": 42,
             }],
+            "notifications_sent": 7,
+            "notifications_coalesced": 3,
             "mailboxes": [{
                 "name": "matching[0]", "depth": 0, "enqueued": 10,
                 "processed": 10, "dropped": 0,
@@ -402,6 +405,8 @@ class TestInspector:
         assert "end-to-end" in text and "filter" in text
         assert "faults.injected" in text
         assert "supervisor.restarts" in text
+        assert "cmps" in text and "42" in text
+        assert "cluster.notifications_coalesced" in text
         # Pruned 16 of 24 candidate evaluations.
         assert "66.67" in text
 

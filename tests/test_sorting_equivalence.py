@@ -1,0 +1,323 @@
+"""Equivalence suite: incremental vs legacy sorted-window maintenance.
+
+The incremental O(log W) path (PR 5) must be indistinguishable from the
+legacy snapshot-diff path at every observable boundary:
+
+* node level — identical notification streams (including maintenance
+  errors and renewal deltas) for arbitrary add/change/remove/churn
+  workloads over arbitrary offset/limit/slack geometry;
+* cluster level — identical client-visible streams under the
+  deterministic inline execution model, and identical converged results
+  under the threaded model, for both values of the
+  ``incremental_sorting`` gate;
+* coalescing — the ``notification_coalescing`` batch optimization must
+  leave client materialization unchanged: replaying the coalesced
+  stream yields the same visible result as replaying the full stream.
+"""
+
+from __future__ import annotations
+
+import json
+from types import SimpleNamespace
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cluster import InvaliDBCluster, _MatchingBolt
+from repro.core.config import InvaliDBConfig
+from repro.core.filtering import MatchEvent
+from repro.core.server import AppServer
+from repro.core.sorting import SortingNode
+from repro.event.broker import Broker
+from repro.query.engine import Query
+from repro.runtime.execution import ExecutionConfig, InlineExecutionModel
+from repro.types import MatchType
+
+from tests.conftest import settle
+
+
+# ----------------------------------------------------------------------
+# Node level: raw event streams
+# ----------------------------------------------------------------------
+
+@st.composite
+def node_workloads(draw):
+    offset = draw(st.sampled_from([0, 0, 1, 3]))
+    limit = draw(st.sampled_from([None, 1, 2, 3, 5]))
+    slack = draw(st.sampled_from([1, 2, 5]))
+    bootstrap_scores = draw(
+        st.lists(st.integers(0, 20), min_size=0, max_size=12)
+    )
+    steps = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, 15),                    # key index
+                st.sampled_from(["up", "up", "rm"]),   # upserts dominate
+                st.integers(0, 20),                    # new score
+                st.integers(0, 3),                     # version choice
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    return offset, limit, slack, bootstrap_scores, steps
+
+
+def _run_node(incremental, workload):
+    """Drive one SortingNode, renewing after each maintenance error."""
+    offset, limit, slack, bootstrap_scores, steps = workload
+    query = Query({}, collection="c", sort=[("score", 1)],
+                  limit=limit, offset=offset)
+    bootstrap = [
+        {"_id": f"k{i}", "score": score}
+        for i, score in enumerate(bootstrap_scores)
+    ]
+    versions = {doc["_id"]: 1 for doc in bootstrap}
+    node = SortingNode(incremental=incremental)
+    stream = [("register", node.register_query(
+        query, [dict(d) for d in bootstrap], dict(versions), slack))]
+    seen_versions = {f"k{i}": 1 for i in range(16)}
+    for step, (key_index, kind, score, version_choice) in enumerate(steps):
+        if node.state_of(query.query_id) is None:
+            # Renewal after a maintenance error: same paper flow, fixed
+            # bootstrap so both paths renew from identical state.
+            stream.append(("renew", node.register_query(
+                query, [dict(d) for d in bootstrap], dict(versions),
+                slack, timestamp=float(step))))
+        key = f"k{key_index}"
+        top = seen_versions[key]
+        version = [0, max(0, top - 1), top, top + 1][version_choice]
+        seen_versions[key] = max(top, version)
+        if kind == "rm":
+            event = MatchEvent(query.query_id, MatchType.REMOVE, key, None,
+                               version, float(step), True)
+        else:
+            event = MatchEvent(query.query_id, MatchType.ADD, key,
+                               {"_id": key, "score": score}, version,
+                               float(step), True)
+        stream.append((kind, node.handle_event(event)))
+    stream.append(("deactivate", node.deactivate_query(query.query_id)))
+    stream.append(("reregister", node.register_query(
+        query, [dict(d) for d in bootstrap], dict(versions), slack,
+        timestamp=9999.0)))
+    stream.append(("renewals", node.renewals_requested))
+    return stream
+
+
+@settings(max_examples=120, deadline=None)
+@given(workload=node_workloads())
+def test_node_streams_identical_across_paths(workload):
+    """Both maintenance paths emit bit-for-bit identical streams —
+    including maintenance errors, renewal deltas after errors and after
+    deactivation, and stale-version suppression."""
+    assert _run_node(True, workload) == _run_node(False, workload)
+
+
+# ----------------------------------------------------------------------
+# Cluster level: client-visible streams under both execution models
+# ----------------------------------------------------------------------
+
+cluster_operations = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=7),
+        st.sampled_from(["insert", "update", "delete"]),
+        st.integers(min_value=0, max_value=50),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+def _apply_cluster_op(app, live, key, op, value):
+    if op == "insert":
+        if key in live:
+            app.update("items", key, {"$set": {"v": value}})
+        else:
+            app.insert("items", {"_id": key, "v": value})
+            live.add(key)
+    elif op == "update":
+        if key in live:
+            app.update("items", key, {"$set": {"v": value}})
+    elif op == "delete":
+        if key in live:
+            app.delete("items", key)
+            live.discard(key)
+
+
+def _notification_fingerprint(subscription):
+    return [
+        (n.match_type, n.key, json.dumps(n.document, sort_keys=True),
+         n.index, n.old_index, n.error)
+        for n in subscription.notifications
+    ]
+
+
+def _run_inline_cluster(ops, incremental):
+    model = InlineExecutionModel(ExecutionConfig(mode="inline", seed=13))
+    broker = Broker(execution=model)
+    config = InvaliDBConfig(
+        query_partitions=2, write_partitions=2,
+        retention_seconds=3600.0, default_slack=2,
+        incremental_sorting=incremental,
+    )
+    cluster = InvaliDBCluster(broker, config).start()
+    app = AppServer("equiv-app", broker, config=config)
+    try:
+        # Pre-populate, then subscribe: the bootstrap + retention-replay
+        # registration path runs under both gates.
+        live = set()
+        half = len(ops) // 2
+        for key, op, value in ops[:half]:
+            _apply_cluster_op(app, live, key, op, value)
+        assert broker.drain()
+        top = app.subscribe("items", {}, sort=[("v", -1)], limit=3)
+        flat = app.subscribe("items", {"v": {"$gte": 10}})
+        assert broker.drain()
+        for key, op, value in ops[half:]:
+            _apply_cluster_op(app, live, key, op, value)
+        assert broker.drain()
+        return (
+            [d["_id"] for d in (top.initial.documents or [])],
+            _notification_fingerprint(top),
+            _notification_fingerprint(flat),
+            json.dumps(top.result(), sort_keys=True),
+            json.dumps(flat.result(), sort_keys=True),
+            list(top.errors),
+            cluster.queries_renewed,
+        )
+    finally:
+        app.close()
+        cluster.stop()
+        broker.close()
+        model.shutdown()
+
+
+@settings(max_examples=20, deadline=None)
+@given(ops=cluster_operations)
+def test_inline_cluster_streams_identical_across_gates(ops):
+    """Under the deterministic inline model the full client-visible
+    notification streams (sorted and unsorted subscriptions, renewal
+    counts included) are identical with incremental sorting on or off."""
+    assert _run_inline_cluster(ops, True) == _run_inline_cluster(ops, False)
+
+
+def _run_threaded_cluster(ops, incremental, coalescing):
+    broker = Broker()
+    config = InvaliDBConfig(
+        query_partitions=2, write_partitions=2,
+        retention_seconds=3600.0, default_slack=3,
+        incremental_sorting=incremental,
+        notification_coalescing=coalescing,
+    )
+    cluster = InvaliDBCluster(broker, config).start()
+    app = AppServer("equiv-app", broker, config=config)
+    try:
+        top = app.subscribe("items", {}, sort=[("v", -1)], limit=3)
+        flat = app.subscribe("items", {"v": {"$gte": 10}})
+        live = set()
+        for key, op, value in ops:
+            _apply_cluster_op(app, live, key, op, value)
+        settle(cluster, broker, rounds=5)
+        truth_top = [
+            d["_id"]
+            for d in app.find("items", {}, sort=[("v", -1)], limit=3)
+        ]
+        truth_flat = {d["_id"] for d in app.find("items",
+                                                 {"v": {"$gte": 10}})}
+        return (
+            [d["_id"] for d in top.result()], truth_top,
+            {d["_id"] for d in flat.result()}, truth_flat,
+        )
+    finally:
+        app.close()
+        cluster.stop()
+        broker.close()
+
+
+@settings(max_examples=8, deadline=None)
+@given(ops=cluster_operations)
+def test_threaded_cluster_converges_identically_across_gates(ops):
+    """Under the threaded (batched) model all four gate combinations
+    converge to the database truth — the coalescer and the incremental
+    differ change no converged result."""
+    for incremental in (True, False):
+        for coalescing in (True, False):
+            top, truth_top, flat, truth_flat = _run_threaded_cluster(
+                ops, incremental, coalescing
+            )
+            assert top == truth_top, (incremental, coalescing)
+            assert flat == truth_flat, (incremental, coalescing)
+
+
+# ----------------------------------------------------------------------
+# Coalescer semantics: batch-collapsed streams materialize identically
+# ----------------------------------------------------------------------
+
+@st.composite
+def legal_batches(draw):
+    """A batch of per-key-consistent unsorted match events.
+
+    The filtering stage emits, per (query, key), an alternating
+    membership sequence: ``add`` only when the key was absent,
+    ``change``/``remove`` only while present.  Versions strictly
+    increase per key (retention drops stale writes before matching).
+    """
+    n_keys = draw(st.integers(1, 4))
+    known = {k: draw(st.booleans()) for k in range(n_keys)}
+    initial = {k for k, present in known.items() if present}
+    version = {k: 1 for k in range(n_keys)}
+    events = []
+    for _ in range(draw(st.integers(1, 12))):
+        key = draw(st.integers(0, n_keys - 1))
+        if known[key]:
+            match_type = draw(st.sampled_from(
+                [MatchType.CHANGE, MatchType.REMOVE]
+            ))
+        else:
+            match_type = MatchType.ADD
+        known[key] = match_type is not MatchType.REMOVE
+        version[key] += 1
+        document = (
+            None if match_type is MatchType.REMOVE
+            else {"_id": key, "v": version[key]}
+        )
+        events.append(MatchEvent("q", match_type, key, document,
+                                 version[key], 0.0, False))
+    return initial, events
+
+
+def _materialize(initial, events):
+    """Replicate RealTimeSubscription._apply for unsorted streams."""
+    documents = {key: {"_id": key, "v": 1} for key in initial}
+    order = list(initial)
+    for event in events:
+        if event.match_type is MatchType.REMOVE:
+            documents.pop(event.key, None)
+            if event.key in order:
+                order.remove(event.key)
+        elif event.match_type is MatchType.ADD:
+            documents[event.key] = event.document
+            if event.key not in order:
+                order.append(event.key)
+        else:  # CHANGE updates the document but never enters the order.
+            documents[event.key] = event.document
+    return {key: documents[key] for key in order}
+
+
+@settings(max_examples=150, deadline=None)
+@given(batch=legal_batches())
+def test_coalesced_batch_materializes_identically(batch):
+    initial, events = batch
+    stub = SimpleNamespace(
+        config=SimpleNamespace(notification_coalescing=True),
+        notifications_coalesced=0,
+        telemetry=SimpleNamespace(enabled=False),
+    )
+    bolt = _MatchingBolt(stub)
+    pairs = [(event, None) for event in events]
+    coalesced = [event for event, _ in bolt._coalesce(pairs)]
+    assert _materialize(initial, coalesced) == _materialize(initial, events)
+    # At most one surviving notification per key.
+    keys = [event.key for event in coalesced]
+    assert len(keys) == len(set(keys))
+    assert stub.notifications_coalesced == len(events) - len(coalesced)

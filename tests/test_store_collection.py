@@ -72,6 +72,15 @@ class TestVersioning:
     def test_unknown_key_has_version_zero(self, collection):
         assert collection.version_of("nope") == 0
 
+    def test_reinsert_after_delete_stays_monotone(self, collection):
+        """A re-insert must outrank the delete tombstone's version, or the
+        staleness protocol drops the re-insert on every downstream stage."""
+        collection.insert({"_id": 1, "v": 0})
+        collection.delete(1)
+        after = collection.insert({"_id": 1, "v": 1})
+        assert after.version == 3
+        assert collection.version_of(1) == 3
+
 
 class TestUpdateAndDelete:
     def test_update_applies_operators(self, collection):
