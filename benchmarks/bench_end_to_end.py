@@ -27,6 +27,9 @@ EXECUTORS = {
     "threaded-batched": lambda: ExecutionConfig(max_batch=128),
     "threaded-unbatched": lambda: ExecutionConfig(max_batch=1),
     "inline": lambda: ExecutionConfig(mode="inline"),
+    # Grid cells in forked workers behind the binary wire codec; the
+    # figure then carries the cross-process round-trip cost.
+    "process": lambda: ExecutionConfig(mode="process", worker_processes=2),
 }
 
 

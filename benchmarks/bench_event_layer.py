@@ -23,11 +23,14 @@ from repro.sim.workload import generate_document
 import random
 
 #: The executor axis: batched threaded vs the seed's one-message-at-a-
-#: time dispatcher vs deterministic inline.
+#: time dispatcher vs deterministic inline vs the process model (whose
+#: broker runs on the same threaded substrate — this axis shows the
+#: event layer costs nothing extra when the grid moves out of process).
 EXECUTORS = {
     "threaded-batched": lambda: ExecutionConfig(max_batch=128),
     "threaded-unbatched": lambda: ExecutionConfig(max_batch=1),
     "inline": lambda: ExecutionConfig(mode="inline"),
+    "process": lambda: ExecutionConfig(mode="process", worker_processes=2),
 }
 
 

@@ -83,3 +83,70 @@ def test_fig5_write_scalability(benchmark, emit):
     # per-write parse cost makes a match on the write-heavy path dearer.
     write_heavy_matches = results[16][1][loosest] * QUERIES
     assert write_heavy_matches < 16 * 2000 * 1000 * 1.05
+
+
+# ---------------------------------------------------------------------------
+# Functional executor axis: the real write path per execution substrate
+# ---------------------------------------------------------------------------
+
+#: The executor axis of the *functional* write path (the sweep above is
+#: simulated).  The process model round-trips every batch through a
+#: forked worker over the binary wire codec — on a single core that is
+#: pure overhead; with real cores it is the write-scalability story.
+FUNCTIONAL_EXECUTORS = {
+    "threaded": {"execution_model": "threaded"},
+    "process": {"execution_model": "process", "process_workers": 2},
+}
+
+
+@pytest.mark.parametrize("executor", sorted(FUNCTIONAL_EXECUTORS))
+def test_write_path_throughput_by_executor(executor, emit):
+    """Insert -> notification throughput of the running stack, per
+    executor (reported, not gated: relative standings depend on the
+    host's core count — see ``bench_process_scaling.py`` for the
+    multi-core gate)."""
+    import threading
+    import time as _time
+
+    from repro.core.cluster import InvaliDBCluster
+    from repro.core.config import InvaliDBConfig
+    from repro.core.server import AppServer
+    from repro.event.broker import Broker
+
+    broker = Broker()
+    config = InvaliDBConfig(
+        query_partitions=1, write_partitions=2,
+        **FUNCTIONAL_EXECUTORS[executor],
+    )
+    cluster = InvaliDBCluster(broker, config).start()
+    app = AppServer("fig5-functional", broker, config=config)
+    try:
+        received = []
+        lock = threading.Lock()
+
+        def on_change(notification):
+            with lock:
+                received.append(notification)
+
+        app.subscribe("stream", {"v": {"$gte": 0}}, on_change=on_change)
+        writes = 1000
+        start = _time.perf_counter()
+        for index in range(writes):
+            app.insert("stream", {"_id": index, "v": index % 50})
+        deadline = _time.monotonic() + 30.0
+        while _time.monotonic() < deadline:
+            with lock:
+                if len(received) >= writes:
+                    break
+            _time.sleep(0.005)
+        elapsed = _time.perf_counter() - start
+        with lock:
+            delivered = len(received)
+        assert delivered == writes, f"only {delivered}/{writes} delivered"
+        emit(f"functional write path [{executor}]: "
+             f"{writes / elapsed:,.0f} writes/s to notification "
+             f"({elapsed * 1e3 / writes:.2f} ms/write amortized)")
+    finally:
+        app.close()
+        cluster.stop()
+        broker.close()

@@ -27,11 +27,13 @@ from repro.core.partitioning import PartitioningScheme, stable_hash
 from repro.core.server import AppServer
 from repro.event.broker import Broker
 from repro.query.engine import MongoQueryEngine, Query
+from repro.event.wire import BinaryCodec, LazyDocument
 from repro.runtime.execution import (
     ExecutionConfig,
     InlineExecutionModel,
     ThreadedExecutionModel,
 )
+from repro.runtime.process import ProcessExecutionModel, WorkerPool
 from repro.runtime.queues import BackpressurePolicy
 from repro.store.collection import Collection
 from repro.store.database import Database
@@ -50,6 +52,7 @@ __all__ = [
     "AfterImage",
     "AppServer",
     "BackpressurePolicy",
+    "BinaryCodec",
     "Broker",
     "ChangeNotification",
     "Collection",
@@ -57,7 +60,10 @@ __all__ = [
     "ExecutionConfig",
     "InitialResult",
     "InlineExecutionModel",
+    "LazyDocument",
+    "ProcessExecutionModel",
     "ThreadedExecutionModel",
+    "WorkerPool",
     "InvaliDBClient",
     "InvaliDBCluster",
     "InvaliDBConfig",

@@ -35,6 +35,8 @@ from repro.core.filtering import FilteringNode, MatchEvent
 from repro.core.notifications import (
     QueryChange,
     change_from_match_event,
+    deserialize_change,
+    resolve_coalesced_type,
     serialize_change,
 )
 from repro.core.partitioning import PartitioningScheme
@@ -42,8 +44,10 @@ from repro.core.retention import RetentionBuffer
 from repro.core.sorting import SortingNode
 from repro.core.subscriptions import QueryRegistration
 from repro.core.supervisor import NodeSupervisor
+from repro.errors import WorkerDiedError
 from repro.event.broker import Broker
 from repro.event.channels import notification_channel, query_channel, write_channel
+from repro.event.wire import WireStats
 from repro.obs.telemetry import build_telemetry
 from repro.obs.tracing import (
     DELIVER,
@@ -57,6 +61,7 @@ from repro.obs.tracing import (
 )
 from repro.query.engine import MongoQueryEngine, Query
 from repro.runtime.execution import ExecutionModel, build_execution_model
+from repro.runtime.process import ProcessExecutionModel
 from repro.stream.topology import Bolt, CustomGrouping, FieldsGrouping, TopologyBuilder
 from repro.stream.runtime import LocalRuntime
 from repro.types import AfterImage, MatchType, WriteKind
@@ -264,13 +269,11 @@ class _MatchingBolt(Bolt):
 
         The surviving event's match type is rewritten against the
         client's pre-batch state, which the FIRST batched event for the
-        key encodes (``add`` ⇔ the key was absent): an ``add`` followed
-        by a ``change`` must stay an ``add`` (the client never saw the
-        key, and a bare ``change`` would not enter its order), an
-        ``add`` followed by a ``remove`` nets out to nothing, and any
-        other transition of a known key collapses to ``change`` or
-        ``remove``.  Client materialization therefore stays idempotent
-        and identical to replaying the full stream.
+        key encodes (``add`` ⇔ the key was absent); the rewrite rules
+        live in :func:`~repro.core.notifications.resolve_coalesced_type`
+        (shared with the process-model remote cells and the cross-batch
+        stager).  Client materialization therefore stays idempotent and
+        identical to replaying the full stream.
         """
         last_index: Dict[Tuple[str, Any], int] = {}
         first_type: Dict[Tuple[str, Any], MatchType] = {}
@@ -291,18 +294,15 @@ class _MatchingBolt(Bolt):
             if last_index[group] != index:
                 dropped += 1
                 continue
-            was_known = first_type[group] is not MatchType.ADD
-            final = event.match_type
-            if final is MatchType.REMOVE:
-                if not was_known:
-                    # add → … → remove: the client never saw the key.
-                    dropped += 1
-                    continue
-            elif was_known:
-                if final is not MatchType.CHANGE:
-                    event = replace(event, match_type=MatchType.CHANGE)
-            elif final is not MatchType.ADD:
-                event = replace(event, match_type=MatchType.ADD)
+            final = resolve_coalesced_type(
+                first_type[group], event.match_type
+            )
+            if final is None:
+                # add → … → remove: the client never saw the key.
+                dropped += 1
+                continue
+            if final is not event.match_type:
+                event = replace(event, match_type=final)
             coalesced.append((event, trace))
         if dropped:
             self.cluster.notifications_coalesced += dropped
@@ -367,6 +367,166 @@ class _SortingBolt(Bolt):
             self.cluster._publish_change(change, fork(trace))
 
 
+class _ProcessGridBolt(Bolt):
+    """Grid-task proxy under the process execution model.
+
+    Owns no matching/sorting state of its own: ``prepare`` leases a
+    worker-hosted cell from the pool (the lease ships a picklable spec
+    over the control channel), and each batch becomes one framed
+    round-trip.  The reply envelope's serialized emits are routed
+    exactly like the in-process bolts route theirs: match events flow
+    to the sorting grid, changes to the notification fan-out.
+
+    Crash semantics: a request failing with
+    :class:`~repro.errors.WorkerDiedError` (and, independently, the
+    pool's death listener) reports THIS task crashed, so the
+    :class:`NodeSupervisor` restarts it exactly like an in-process
+    crash — a fresh ``prepare`` re-leases the cell into a respawned
+    worker, and re-registration + retained-write replay rebuild it.
+
+    Tracing: per-tuple traces do not cross the process boundary; they
+    are stripped from outbound envelopes (span bookkeeping needs the
+    parent's tracer).  Write-path latency is covered by the wire-level
+    encode/decode counters instead.
+    """
+
+    def __init__(self, cluster: "InvaliDBCluster", role: str):
+        self.cluster = cluster
+        self.role = role
+        self.cell: Optional[Any] = None
+
+    def clone(self) -> "_ProcessGridBolt":
+        return _ProcessGridBolt(self.cluster, self.role)
+
+    def prepare(self, task_index: int, parallelism: int, emit: Any) -> None:
+        super().prepare(task_index, parallelism, emit)
+        cluster = self.cluster
+        pool = cluster._execution.worker_pool
+        spec, slot = cluster._cell_spec(self.role, task_index)
+        self.cell = pool.lease(f"{self.role}-{task_index}", spec, slot=slot)
+        cluster._remote_cells[(self.role, task_index)] = self.cell
+
+    def process(self, tuple_: Dict[str, Any]) -> None:
+        self.process_batch([tuple_])
+
+    def process_batch(self, tuples: List[Dict[str, Any]]) -> None:
+        cell = self.cell
+        if cell is None:
+            return
+        outbound = [
+            {
+                key: value for key, value in tuple_.items()
+                if key not in ("trace", "__task__")
+            }
+            if ("trace" in tuple_ or "__task__" in tuple_) else tuple_
+            for tuple_ in tuples
+        ]
+        try:
+            reply = cell.request_batch(outbound)
+        except WorkerDiedError as exc:
+            # The pool's death listener fires too; crash_task is
+            # idempotent, so double reporting is harmless.
+            self.cluster._runtime.crash_task(
+                self.role, self.task_index, str(exc)
+            )
+            return
+        coalesced = reply.get("coalesced", 0)
+        if coalesced:
+            self.cluster.notifications_coalesced += coalesced
+        for emit in reply["emits"]:
+            if emit["kind"] == "match-event":
+                self.emit(emit)
+            else:
+                self.cluster._publish_change(
+                    deserialize_change(emit["change"]), None
+                )
+
+
+class _NotificationStager:
+    """Cross-batch notification coalescing (time-window staging).
+
+    In-batch coalescing (:meth:`_MatchingBolt._coalesce`) cannot elide
+    redundancy that spans dispatch batches — a hot key rewritten every
+    few milliseconds still produces one notification per batch.  The
+    stager holds unsorted-query changes for a configurable window
+    (``coalescing_window_seconds``), collapsing per (query, key) with
+    the same rewrite rules, then fans out the survivors.  Sorted-query
+    changes bypass staging entirely: positional transitions must reach
+    the client unmerged and in order.
+
+    The flush timer runs on the cluster's execution model, so under the
+    deterministic inline model the window is *virtual* time — a test's
+    ``drain()`` fires the flush, keeping staged delivery reproducible.
+    """
+
+    def __init__(self, cluster: "InvaliDBCluster", window: float):
+        self.cluster = cluster
+        self.window = window
+        self._lock = threading.Lock()
+        #: (query_id, key) -> [first_type, latest change, latest trace]
+        self._staged: Dict[Tuple[str, Any], List[Any]] = {}
+        self._flush_scheduled = False
+        self.staged_total = 0
+        self.flushes = 0
+
+    def offer(
+        self,
+        change: QueryChange,
+        trace: Optional[Dict[str, Any]],
+    ) -> bool:
+        """Stage *change* if it is coalescible; False = deliver now."""
+        if (
+            change.index is not None
+            or change.old_index is not None
+            or change.is_error
+        ):
+            return False
+        schedule = False
+        with self._lock:
+            self.staged_total += 1
+            group = (change.query_id, change.key)
+            entry = self._staged.get(group)
+            if entry is None:
+                self._staged[group] = [change.match_type, change, trace]
+            else:
+                entry[1] = change
+                entry[2] = trace
+                self.cluster.notifications_coalesced += 1
+            if not self._flush_scheduled:
+                self._flush_scheduled = True
+                schedule = True
+        if schedule:
+            self.cluster._execution.call_later(self.window, self.flush)
+        return True
+
+    def flush(self) -> int:
+        """Deliver every staged survivor; returns how many went out."""
+        with self._lock:
+            staged, self._staged = self._staged, {}
+            self._flush_scheduled = False
+            self.flushes += 1
+        delivered = 0
+        for (_, _key), (first, change, trace) in staged.items():
+            final = resolve_coalesced_type(first, change.match_type)
+            if final is None:
+                self.cluster.notifications_coalesced += 1
+                continue
+            if final is not change.match_type:
+                change = replace(change, match_type=final)
+            self.cluster._deliver_change(change, trace)
+            delivered += 1
+        return delivered
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "window_seconds": self.window,
+                "staged_total": self.staged_total,
+                "pending": len(self._staged),
+                "flushes": self.flushes,
+            }
+
+
 class InvaliDBCluster:
     """The real-time component, isolated behind the event layer."""
 
@@ -413,6 +573,15 @@ class InvaliDBCluster:
         )
         self._filtering_nodes: Dict[int, FilteringNode] = {}
         self._sorting_nodes: Dict[int, SortingNode] = {}
+        #: Process model: (role, task_index) -> RemoteCell handle.
+        self._remote_cells: Dict[Tuple[str, int], Any] = {}
+        self._process_mode = isinstance(self._execution, ProcessExecutionModel)
+        #: Cross-batch notification staging (None = disabled).
+        self.stager: Optional[_NotificationStager] = None
+        if self.config.coalescing_window_seconds > 0:
+            self.stager = _NotificationStager(
+                self, self.config.coalescing_window_seconds
+            )
         self._registrations: Dict[str, QueryRegistration] = {}
         self._registration_lock = threading.Lock()
         self._query_cache: Dict[str, Query] = {}
@@ -435,6 +604,13 @@ class InvaliDBCluster:
             for wp in range(self.scheme.write_partitions)
         }
         self._runtime = self._build_runtime()
+        if self._process_mode:
+            # A dying worker orphans every cell it hosted; report each
+            # as a crashed grid task so supervised recovery rebuilds
+            # them in a respawned worker.
+            self._execution.worker_pool.add_death_listener(
+                self._on_worker_death
+            )
         self.supervisor: Optional[NodeSupervisor] = None
         if self.config.supervision:
             self.supervisor = NodeSupervisor(self).attach()
@@ -442,6 +618,52 @@ class InvaliDBCluster:
     # ------------------------------------------------------------------
     # Topology wiring
     # ------------------------------------------------------------------
+
+    def _cell_spec(self, role: str, task_index: int) -> Tuple[Any, Optional[int]]:
+        """Picklable cell description + worker-slot pin for one grid
+        task (process model)."""
+        from repro.core.remote import MatchingCellSpec, SortingCellSpec
+
+        config = self.config
+        telemetry = bool(self.telemetry.enabled)
+        if role == "matching":
+            spec = MatchingCellSpec(
+                task_index=task_index,
+                query_partitions=self.scheme.query_partitions,
+                write_partitions=self.scheme.write_partitions,
+                retention_seconds=config.retention_seconds,
+                query_index=config.query_index,
+                shared_predicate_memo=config.shared_predicate_memo,
+                notification_coalescing=config.notification_coalescing,
+                telemetry=telemetry,
+            )
+            workers = self._execution.worker_pool.worker_processes
+            slot = (
+                self.scheme.worker_slot(task_index, workers)
+                if workers else None
+            )
+            return spec, slot
+        spec = SortingCellSpec(
+            task_index=task_index,
+            incremental=config.incremental_sorting,
+            default_slack=config.default_slack,
+            telemetry=telemetry,
+        )
+        return spec, None
+
+    def _on_worker_death(self, cell_name: str, pid: int, reason: str) -> None:
+        """Pool death listener: a worker process died — report every
+        grid cell it hosted as crashed (``kill -9`` looks exactly like
+        an in-process node failure to the supervisor)."""
+        role, _, index = cell_name.rpartition("-")
+        try:
+            task_index = int(index)
+        except ValueError:  # pragma: no cover - foreign cell name
+            return
+        if role in ("matching", "sorting"):
+            self._runtime.crash_task(
+                role, task_index, f"worker pid {pid} died: {reason}"
+            )
 
     def _build_runtime(self) -> LocalRuntime:
         scheme = self.scheme
@@ -471,11 +693,17 @@ class InvaliDBCluster:
             _WriteIngestionBolt(self),
             parallelism=self.config.write_ingestion_nodes,
         )
+        if self._process_mode:
+            matching_bolt: Bolt = _ProcessGridBolt(self, "matching")
+            sorting_bolt: Bolt = _ProcessGridBolt(self, "sorting")
+        else:
+            matching_bolt = _MatchingBolt(self)
+            sorting_bolt = _SortingBolt(self)
         builder.add_bolt(
-            "matching", _MatchingBolt(self), parallelism=scheme.node_count
+            "matching", matching_bolt, parallelism=scheme.node_count
         )
         builder.add_bolt(
-            "sorting", _SortingBolt(self), parallelism=self.config.sorting_nodes
+            "sorting", sorting_bolt, parallelism=self.config.sorting_nodes
         )
         builder.connect("query-ingestion", "matching", CustomGrouping(route_query))
         builder.connect("query-ingestion", "sorting", FieldsGrouping("query_id"))
@@ -511,6 +739,9 @@ class InvaliDBCluster:
 
     def stop(self) -> None:
         self._stopping.set()
+        if self.stager is not None:
+            # Deliver anything still staged while the broker is open.
+            self.stager.flush()
         for subscription in self._subscriptions:
             subscription.close()
         self._subscriptions.clear()
@@ -532,9 +763,19 @@ class InvaliDBCluster:
         When the cluster shares the broker's execution model (the
         default) both calls drain the same substrate, so one round
         reaches quiescence across the whole pipeline — no alternating
-        sleep-polling."""
-        ok = self.broker.drain(timeout)
-        return self._runtime.drain(timeout) and ok
+        sleep-polling.  With SEPARATE substrates (e.g. an inline broker
+        feeding a process-model grid) quiescence on one side can enqueue
+        onto the other — notifications published by grid tasks land
+        back in broker mailboxes — so the two are drained alternately
+        until a full round stays quiet."""
+        if self.broker.execution is self._execution:
+            ok = self.broker.drain(timeout)
+            return self._runtime.drain(timeout) and ok
+        ok = True
+        for _ in range(4):
+            ok = self.broker.drain(timeout)
+            ok = self._runtime.drain(timeout) and ok
+        return ok
 
     # ------------------------------------------------------------------
     # Event-layer intake
@@ -662,6 +903,16 @@ class InvaliDBCluster:
         change: QueryChange,
         trace: Optional[Dict[str, Any]] = None,
     ) -> None:
+        stager = self.stager
+        if stager is not None and stager.offer(change, trace):
+            return
+        self._deliver_change(change, trace)
+
+    def _deliver_change(
+        self,
+        change: QueryChange,
+        trace: Optional[Dict[str, Any]] = None,
+    ) -> None:
         with self._registration_lock:
             registration = self._registrations.get(change.query_id)
             app_servers = [] if registration is None else registration.app_servers
@@ -731,6 +982,10 @@ class InvaliDBCluster:
         inside its own snapshot)."""
         with self._registration_lock:
             active = len(self._registrations)
+        # Under the process model the cells live in workers and these
+        # sums stay 0 here; per-cell counters come back through the
+        # control channel in :meth:`snapshot` instead (a registry
+        # collector must not block on worker round-trips).
         nodes = list(self._filtering_nodes.values())
         return {
             "cluster.active_queries": active,
@@ -769,20 +1024,31 @@ class InvaliDBCluster:
                 for server in registration.app_servers
             })
         matching_rows: List[Dict[str, Any]] = []
+        sorting_rows: List[Dict[str, Any]] = []
+        workers: Optional[Dict[str, Any]] = None
         considered = pruned = memo_hits = memo_misses = matched = 0
-        for index in sorted(self._filtering_nodes):
-            node = self._filtering_nodes[index]
-            row = node.stats()
-            row["node"] = f"matching[{index}]"
-            row["coordinates"] = str(node.coordinates)
-            row["query_partition"] = node.coordinates.query_partition
-            row["write_partition"] = node.coordinates.write_partition
-            matching_rows.append(row)
-            considered += row["candidates_considered"]
-            pruned += row["candidates_pruned"]
-            memo_hits += row["memo_hits"]
-            memo_misses += row["memo_misses"]
-            matched += row["matched_operations"]
+        if self._process_mode:
+            matching_rows, sorting_rows, workers = self._remote_rows()
+            for row in matching_rows:
+                considered += row.get("candidates_considered", 0)
+                pruned += row.get("candidates_pruned", 0)
+                memo_hits += row.get("memo_hits", 0)
+                memo_misses += row.get("memo_misses", 0)
+                matched += row.get("matched_operations", 0)
+        else:
+            for index in sorted(self._filtering_nodes):
+                node = self._filtering_nodes[index]
+                row = node.stats()
+                row["node"] = f"matching[{index}]"
+                row["coordinates"] = str(node.coordinates)
+                row["query_partition"] = node.coordinates.query_partition
+                row["write_partition"] = node.coordinates.write_partition
+                matching_rows.append(row)
+                considered += row["candidates_considered"]
+                pruned += row["candidates_pruned"]
+                memo_hits += row["memo_hits"]
+                memo_misses += row["memo_misses"]
+                matched += row["matched_operations"]
         matching_totals = {
             "matched_operations": matched,
             "candidates_considered": considered,
@@ -794,20 +1060,21 @@ class InvaliDBCluster:
                 memo_hits / (memo_hits + memo_misses), 4
             ) if memo_hits + memo_misses else 0.0,
         }
-        sorting_rows = [
-            {
-                "node": f"sorting[{index}]",
-                "query_partition": index,
-                "queries": self._sorting_nodes[index].query_count,
-                "events_processed":
-                    self._sorting_nodes[index].events_processed,
-                "renewals_requested":
-                    self._sorting_nodes[index].renewals_requested,
-                "window_comparisons":
-                    self._sorting_nodes[index].window_comparisons,
-            }
-            for index in sorted(self._sorting_nodes)
-        ]
+        if not self._process_mode:
+            sorting_rows = [
+                {
+                    "node": f"sorting[{index}]",
+                    "query_partition": index,
+                    "queries": self._sorting_nodes[index].query_count,
+                    "events_processed":
+                        self._sorting_nodes[index].events_processed,
+                    "renewals_requested":
+                        self._sorting_nodes[index].renewals_requested,
+                    "window_comparisons":
+                        self._sorting_nodes[index].window_comparisons,
+                }
+                for index in sorted(self._sorting_nodes)
+            ]
         execution_stats = self._execution.stats()
         mailboxes = [
             {
@@ -837,7 +1104,7 @@ class InvaliDBCluster:
                 "reregistered_queries": 0, "gave_up": 0, "pending": 0,
             }
         )
-        return {
+        snap: Dict[str, Any] = {
             "config": {
                 "query_partitions": self.scheme.query_partitions,
                 "write_partitions": self.scheme.write_partitions,
@@ -859,6 +1126,60 @@ class InvaliDBCluster:
             "supervisor": supervisor,
             "runtime": self._runtime.stats(),
         }
+        if workers is not None:
+            snap["workers"] = workers
+        if self.stager is not None:
+            snap["coalescing"] = self.stager.stats()
+        return snap
+
+    def _remote_rows(
+        self,
+    ) -> Tuple[List[Dict[str, Any]], List[Dict[str, Any]], Dict[str, Any]]:
+        """Process-mode grid rows: one control-channel snapshot per cell.
+
+        Each reply carries the worker's pid, the cell's stats row (the
+        same shape the in-process nodes report) and that worker's wire
+        counters; wire counters are deduplicated by pid (several cells
+        share one worker) and merged with the parent side's encode
+        counters into a single ``wire`` aggregate.  A cell whose worker
+        died between crash and supervised restart is reported as an
+        ``unreachable`` row instead of failing the whole snapshot.
+        """
+        pool = self._execution.worker_pool
+        matching_rows: List[Dict[str, Any]] = []
+        sorting_rows: List[Dict[str, Any]] = []
+        wire = WireStats()
+        wire.merge(pool.stats.snapshot())
+        seen_pids: set = set()
+        for role, index in sorted(self._remote_cells):
+            cell = self._remote_cells[(role, index)]
+            try:
+                reply = cell.snapshot()
+            except Exception as exc:  # noqa: BLE001 - worker may be dead
+                row = {
+                    "node": f"{role}[{index}]",
+                    "unreachable": str(exc),
+                }
+                (matching_rows if role == "matching"
+                 else sorting_rows).append(row)
+                continue
+            row = reply.get("cell") or {}
+            row["node"] = f"{role}[{index}]"
+            row["pid"] = reply.get("pid")
+            if role == "matching":
+                matching_rows.append(row)
+            else:
+                row.setdefault("query_partition", index)
+                sorting_rows.append(row)
+            pid = reply.get("pid")
+            if pid is not None and pid not in seen_pids:
+                seen_pids.add(pid)
+                wire.merge(reply.get("wire", {}))
+        workers = {
+            "pool": pool.snapshot(),
+            "wire": wire.snapshot(),
+        }
+        return matching_rows, sorting_rows, workers
 
     def stats(self) -> Dict[str, Any]:
         """Operational snapshot: grid shape, load, notification volume.
@@ -877,7 +1198,8 @@ class InvaliDBCluster:
             "queries_renewed": snap["queries_renewed"],
             "matching": snap["matching_totals"],
             "matching_nodes": {
-                row["coordinates"]: row for row in snap["matching"]
+                row.get("coordinates", row["node"]): row
+                for row in snap["matching"]
             },
             "faults": snap["faults"],
             "supervisor": snap["supervisor"],

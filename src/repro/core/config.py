@@ -67,12 +67,28 @@ class InvaliDBConfig:
     #: affects batched execution models; the inline model dispatches
     #: per-tuple and is unaffected.
     notification_coalescing: bool = True
+    #: Cross-batch notification coalescing: unsorted-query changes are
+    #: staged for up to this many seconds (virtual seconds under the
+    #: inline model) and collapsed per (query, key) before fan-out, so
+    #: redundancy *across* dispatch batches is also elided.  Adds up to
+    #: the window of delivery latency; 0 (default) disables staging.
+    coalescing_window_seconds: float = 0.0
     #: Execution substrate for the matching grid.  ``None`` (default)
     #: shares the broker's execution model, putting the event layer and
     #: the grid on one substrate; set an :class:`ExecutionConfig` to
     #: give the cluster its own (e.g. bounded queues with a different
     #: backpressure policy, or a dedicated inline model).
     execution: Optional[ExecutionConfig] = None
+    #: Shorthand execution gates: ``execution_model`` (``"threaded"``,
+    #: ``"inline"`` or ``"process"``) synthesizes an
+    #: :class:`ExecutionConfig` when ``execution`` is unset.  Under the
+    #: process model, grid cells live in ``process_workers`` forked
+    #: worker processes (``None`` = one per cell) and tuple batches
+    #: cross the process boundary through ``wire_codec`` (``"binary"``
+    #: — the compact interned/lazy format — ``"json"`` or ``"noop"``).
+    execution_model: Optional[str] = None
+    process_workers: Optional[int] = None
+    wire_codec: str = "binary"
     #: Supervised recovery: restart crashed matching/sorting tasks and
     #: rebuild their state from retained streams (Section 5's isolated
     #: failure domains).  Disable to reproduce the unsupervised seed.
@@ -125,6 +141,27 @@ class InvaliDBConfig:
         ):
             raise ClusterConfigError(
                 "execution must be an ExecutionConfig or None"
+            )
+        if self.execution_model is not None:
+            if self.execution is not None:
+                raise ClusterConfigError(
+                    "set either execution or execution_model, not both"
+                )
+            try:
+                self.execution = ExecutionConfig(
+                    mode=self.execution_model,
+                    worker_processes=self.process_workers,
+                    wire_codec=self.wire_codec,
+                )
+            except Exception as exc:
+                raise ClusterConfigError(str(exc)) from exc
+        elif self.process_workers is not None:
+            raise ClusterConfigError(
+                "process_workers requires execution_model='process'"
+            )
+        if self.coalescing_window_seconds < 0:
+            raise ClusterConfigError(
+                "coalescing_window_seconds must be >= 0"
             )
         if self.query_partitions < 1:
             raise ClusterConfigError("query_partitions must be >= 1")

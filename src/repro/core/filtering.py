@@ -40,7 +40,7 @@ writes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Dict, List, Optional, Set
 
 from repro.core.partitioning import NodeCoordinates
@@ -67,6 +67,26 @@ class MatchEvent:
     version: int
     timestamp: float
     needs_sorting: bool
+
+
+def _materialized(after: AfterImage) -> AfterImage:
+    """Resolve a lazily-decoded after-image document into a plain dict.
+
+    Under the process execution model documents arrive as
+    ``LazyDocument`` blobs (duck-typed here via ``to_dict`` so the core
+    stays independent of the wire layer).  Predicate evaluation and the
+    query index traverse documents as plain dicts, so the blob must be
+    materialized before the engine sees it — but only then: stale
+    writes, deletes and writes that cannot produce candidates keep the
+    blob unopened, which is the lazy-decode saving.
+    """
+    document = after.document
+    if document is None or type(document) is dict:
+        return after
+    to_dict = getattr(document, "to_dict", None)
+    if to_dict is None:
+        return after
+    return replace(after, document=to_dict())
 
 
 @dataclass
@@ -174,7 +194,7 @@ class FilteringNode:
             bootstrap_version = versions.get(after.key, known_version)
             if after.version <= max(known_version, bootstrap_version):
                 continue
-            events.extend(self._evaluate(state, after))
+            events.extend(self._evaluate(state, self._materialize(after)))
         return events
 
     def deactivate_query(self, query_id: str) -> bool:
@@ -223,6 +243,8 @@ class FilteringNode:
         if not self.retention.observe(after, now):
             return []
         self.writes_processed += 1
+        if not after.is_delete:
+            after = self._materialize(after)
         candidate_ids = self._candidate_ids(after)
         pruned = len(self._queries) - len(candidate_ids)
         self.candidates_considered += len(candidate_ids)
@@ -242,6 +264,25 @@ class FilteringNode:
             self.memo_hits += memo.hits
             self.memo_misses += memo.misses
         return events
+
+    def _materialize(self, after: AfterImage) -> AfterImage:
+        """Open a lazy after-image blob iff matching will need it.
+
+        With the index enabled and neither a registered query on the
+        write's collection nor a previous matcher for its key, the
+        candidate set is provably empty — the blob stays raw and the
+        decode is never paid (counted as a lazy-decode hit by the wire
+        stats)."""
+        document = after.document
+        if document is None or type(document) is dict:
+            return after
+        if (
+            self.index is not None
+            and not self.index.has_collection(after.collection)
+            and after.key not in self._matching_keys
+        ):
+            return after
+        return _materialized(after)
 
     def _candidate_ids(self, after: AfterImage) -> List[Any]:
         """Queries to evaluate for *after*, in registration order."""

@@ -48,6 +48,25 @@ def change_from_match_event(event: MatchEvent) -> QueryChange:
     )
 
 
+def resolve_coalesced_type(
+    first: MatchType, last: MatchType
+) -> Optional[MatchType]:
+    """Final match type of a coalesced (query, key) notification group.
+
+    *first* is the match type of the FIRST suppressed event for the key
+    (it encodes the client's pre-batch state: ``add`` ⇔ the key was
+    absent), *last* the type of the surviving event.  Returns ``None``
+    when the group nets out to nothing (``add … remove``: the client
+    never saw the key).  Shared by the in-process matching bolt, the
+    process-model remote cells and the cross-batch notification stager,
+    so every coalescing path rewrites types identically.
+    """
+    was_known = first is not MatchType.ADD
+    if last is MatchType.REMOVE:
+        return MatchType.REMOVE if was_known else None
+    return MatchType.CHANGE if was_known else MatchType.ADD
+
+
 def bind_to_subscription(
     change: QueryChange, subscription_id: str
 ) -> ChangeNotification:

@@ -135,6 +135,28 @@ class PartitioningScheme:
         """Flatten grid coordinates into a task index (row-major)."""
         return node.query_partition * self.write_partitions + node.write_partition
 
+    def worker_slot(self, task_index: int, worker_processes: int) -> int:
+        """Worker-process slot for a matching cell (process model).
+
+        Cells are placed by WRITE partition: every after-image fans out
+        to all query partitions of its write partition, so co-locating
+        a write partition's whole column in one worker turns that
+        fan-out into a single cross-process round-trip.  Query
+        broadcasts (rare next to writes) pay the spread instead.
+        """
+        if worker_processes < 1:
+            raise ClusterConfigError("worker_processes must be >= 1")
+        coords = self.coordinates(task_index)
+        if worker_processes >= self.write_partitions:
+            # Enough workers for one per write partition: spill the
+            # extra capacity by also spreading query partitions.
+            per_wp = worker_processes // self.write_partitions
+            return (
+                coords.write_partition * per_wp
+                + coords.query_partition % per_wp
+            )
+        return coords.write_partition % worker_processes
+
     def coordinates(self, task_index: int) -> NodeCoordinates:
         """Inverse of :meth:`task_index`."""
         if not 0 <= task_index < self.node_count:

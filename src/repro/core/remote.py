@@ -1,0 +1,322 @@
+"""Worker-hosted grid cells for the process execution model.
+
+Under :class:`~repro.runtime.process.ProcessExecutionModel` the grid's
+matching and sorting cells do not run inside the bolt threads — each
+bolt is a thin proxy that round-trips its tuple batches to a cell
+hosted in a forked worker process.  This module is both sides of that
+seam:
+
+* **Specs** (:class:`MatchingCellSpec`, :class:`SortingCellSpec`) are
+  small picklable descriptions of one cell.  The parent ships a spec
+  over the control channel; the worker calls ``build()`` exactly once
+  to construct the live cell.  A supervised restart ships a fresh spec
+  — cell state is reconstructed by re-registration and retained-write
+  replay, never carried across processes.
+* **Remote cells** (:class:`RemoteMatchingCell`,
+  :class:`RemoteSortingCell`) wrap the ordinary
+  :class:`~repro.core.filtering.FilteringNode` / processing stage and
+  speak the batch protocol: ``handle_batch(tuples)`` consumes decoded
+  wire envelopes and returns a reply envelope ``{"emits": [...],
+  "coalesced": n}``.  Emits are fully serialized (match events and
+  query changes as plain dicts, documents materialized) so the reply
+  survives any wire codec and can feed straight into the JSON event
+  layer on the parent side.
+
+Documents inside write envelopes may arrive as
+:class:`~repro.event.wire.LazyDocument` blobs; they flow untouched into
+the filtering node, which materializes them only when matching actually
+needs the fields (see ``FilteringNode._materialize``) — stale writes
+and index-pruned writes never pay the after-image decode.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Tuple
+
+from repro.core.filtering import FilteringNode, MatchEvent
+from repro.core.notifications import (
+    change_from_match_event,
+    resolve_coalesced_type,
+    serialize_change,
+)
+from repro.core.partitioning import PartitioningScheme
+from repro.core.stages import build_stage
+from repro.event.wire import materialize
+from repro.obs.telemetry import build_telemetry
+from repro.query.engine import Query
+from repro.types import MatchType
+
+
+# ---------------------------------------------------------------------------
+# Match-event wire form
+# ---------------------------------------------------------------------------
+
+
+def serialize_match_event(event: MatchEvent) -> Dict[str, Any]:
+    """Plain-dict wire form of a match event (codec-agnostic)."""
+    return {
+        "query_id": event.query_id,
+        "match_type": event.match_type.value,
+        "key": event.key,
+        "document": materialize(event.document),
+        "version": event.version,
+        "timestamp": event.timestamp,
+        "needs_sorting": event.needs_sorting,
+    }
+
+
+def deserialize_match_event(payload: Dict[str, Any]) -> MatchEvent:
+    return MatchEvent(
+        query_id=payload["query_id"],
+        match_type=MatchType(payload["match_type"]),
+        key=payload.get("key"),
+        document=payload.get("document"),
+        version=payload.get("version", 0),
+        timestamp=payload.get("timestamp", 0.0),
+        needs_sorting=payload.get("needs_sorting", False),
+    )
+
+
+def coalesce_events(
+    events: List[MatchEvent],
+) -> Tuple[List[MatchEvent], int]:
+    """Collapse redundant per-(query, key) events within one batch.
+
+    The worker-side twin of the matching bolt's in-process coalescing:
+    the last event per group survives, its match type rewritten against
+    the client's pre-batch state via
+    :func:`~repro.core.notifications.resolve_coalesced_type`.  Sorting
+    events pass through untouched — ordered windows need every
+    transition.  Returns ``(surviving events, dropped count)``.
+    """
+    last_index: Dict[Tuple[str, Any], int] = {}
+    first_type: Dict[Tuple[str, Any], MatchType] = {}
+    for index, event in enumerate(events):
+        if event.needs_sorting:
+            continue
+        group = (event.query_id, event.key)
+        if group not in first_type:
+            first_type[group] = event.match_type
+        last_index[group] = index
+    coalesced: List[MatchEvent] = []
+    dropped = 0
+    for index, event in enumerate(events):
+        if event.needs_sorting:
+            coalesced.append(event)
+            continue
+        group = (event.query_id, event.key)
+        if last_index[group] != index:
+            dropped += 1
+            continue
+        final = resolve_coalesced_type(first_type[group], event.match_type)
+        if final is None:
+            dropped += 1
+            continue
+        if final is not event.match_type:
+            event = replace(event, match_type=final)
+        coalesced.append(event)
+    return coalesced, dropped
+
+
+# ---------------------------------------------------------------------------
+# Matching cell
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MatchingCellSpec:
+    """Picklable description of one filtering-stage grid cell."""
+
+    task_index: int
+    query_partitions: int
+    write_partitions: int
+    retention_seconds: float = 5.0
+    query_index: bool = True
+    shared_predicate_memo: bool = True
+    notification_coalescing: bool = True
+    telemetry: bool = False
+
+    def build(self) -> "RemoteMatchingCell":
+        return RemoteMatchingCell(self)
+
+
+class RemoteMatchingCell:
+    """One worker-hosted :class:`FilteringNode` behind the batch seam."""
+
+    def __init__(self, spec: MatchingCellSpec):
+        self.spec = spec
+        self.scheme = PartitioningScheme(
+            spec.query_partitions, spec.write_partitions
+        )
+        self.telemetry = build_telemetry(spec.telemetry or None)
+        self.node = FilteringNode(
+            self.scheme.coordinates(spec.task_index),
+            retention_seconds=spec.retention_seconds,
+            use_index=spec.query_index,
+            memoize=spec.shared_predicate_memo,
+            telemetry=self.telemetry,
+        )
+        self._queries: Dict[str, Query] = {}
+
+    def _query(self, tuple_: Dict[str, Any]) -> Query:
+        query_id = tuple_["query_id"]
+        cached = self._queries.get(query_id)
+        if cached is not None:
+            return cached
+        # Deferred import: repro.core.cluster imports this module.
+        from repro.core.cluster import deserialize_query
+
+        query = deserialize_query(tuple_["query"])
+        self._queries[query_id] = query
+        return query
+
+    def handle_batch(self, tuples: List[Dict[str, Any]]) -> Dict[str, Any]:
+        from repro.core.cluster import deserialize_after_image
+
+        node = self.node
+        now = time.time()
+        events: List[MatchEvent] = []
+        for tuple_ in tuples:
+            kind = tuple_.get("kind")
+            if kind == "write":
+                after = deserialize_after_image(tuple_)
+                events.extend(node.process_write(after, now))
+            elif kind == "subscribe":
+                query = self._query(tuple_)
+                wp = node.coordinates.write_partition
+                partition_of = self.scheme.write_partition_of
+                bootstrap = [
+                    doc
+                    for doc in tuple_["bootstrap"]
+                    if partition_of(doc["_id"]) == wp
+                ]
+                versions = {
+                    key: version for key, version in tuple_["versions"]
+                }
+                events.extend(
+                    node.register_query(query, bootstrap, versions, now)
+                )
+            elif kind == "cancel":
+                node.deactivate_query(tuple_["query_id"])
+                self._queries.pop(tuple_["query_id"], None)
+        dropped = 0
+        if self.spec.notification_coalescing and len(events) > 1:
+            events, dropped = coalesce_events(events)
+        emits: List[Dict[str, Any]] = []
+        for event in events:
+            if event.needs_sorting:
+                emits.append({
+                    "kind": "match-event",
+                    "query_id": event.query_id,
+                    "event": serialize_match_event(event),
+                })
+            else:
+                emits.append({
+                    "kind": "change",
+                    "change": serialize_change(
+                        change_from_match_event(event)
+                    ),
+                })
+        return {"emits": emits, "coalesced": dropped}
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The same stats row an in-process filtering node reports."""
+        row = self.node.stats()
+        coordinates = self.node.coordinates
+        row["coordinates"] = str(coordinates)
+        row["query_partition"] = coordinates.query_partition
+        row["write_partition"] = coordinates.write_partition
+        if self.telemetry.enabled:
+            row["telemetry"] = self.telemetry.snapshot()
+        return row
+
+
+# ---------------------------------------------------------------------------
+# Sorting (processing-stage) cell
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SortingCellSpec:
+    """Picklable description of one sorting-stage task."""
+
+    task_index: int
+    incremental: bool = True
+    default_slack: int = 5
+    stage: str = "sorting"
+    telemetry: bool = False
+
+    def build(self) -> "RemoteSortingCell":
+        return RemoteSortingCell(self)
+
+
+class RemoteSortingCell:
+    """One worker-hosted processing stage behind the batch seam."""
+
+    def __init__(self, spec: SortingCellSpec):
+        self.spec = spec
+        self.telemetry = build_telemetry(spec.telemetry or None)
+        self.node = build_stage(
+            spec.stage,
+            spec.task_index,
+            telemetry=self.telemetry,
+            incremental=spec.incremental,
+        )
+        self._queries: Dict[str, Query] = {}
+
+    def _query(self, tuple_: Dict[str, Any]) -> Query:
+        query_id = tuple_["query_id"]
+        cached = self._queries.get(query_id)
+        if cached is not None:
+            return cached
+        from repro.core.cluster import deserialize_query
+
+        query = deserialize_query(tuple_["query"])
+        self._queries[query_id] = query
+        return query
+
+    def handle_batch(self, tuples: List[Dict[str, Any]]) -> Dict[str, Any]:
+        node = self.node
+        now = time.time()
+        changes: List[Any] = []
+        for tuple_ in tuples:
+            kind = tuple_.get("kind")
+            if kind == "match-event":
+                event = deserialize_match_event(tuple_["event"])
+                changes.extend(node.handle_event(event))
+            elif kind == "subscribe":
+                query = self._query(tuple_)
+                if not query.needs_sorting_stage:
+                    continue
+                versions = {
+                    key: version for key, version in tuple_["versions"]
+                }
+                changes.extend(node.register_query(
+                    query,
+                    tuple_["bootstrap"],
+                    versions,
+                    slack=tuple_.get("slack", self.spec.default_slack),
+                    timestamp=now,
+                ))
+            elif kind == "cancel":
+                node.deactivate_query(tuple_["query_id"])
+                self._queries.pop(tuple_["query_id"], None)
+        emits = [
+            {"kind": "change", "change": serialize_change(change)}
+            for change in changes
+        ]
+        return {"emits": emits, "coalesced": 0}
+
+    def snapshot(self) -> Dict[str, Any]:
+        node = self.node
+        row = {
+            "queries": node.query_count,
+            "events_processed": node.events_processed,
+            "renewals_requested": node.renewals_requested,
+            "window_comparisons": node.window_comparisons,
+        }
+        if self.telemetry.enabled:
+            row["telemetry"] = self.telemetry.snapshot()
+        return row

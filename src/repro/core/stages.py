@@ -53,3 +53,31 @@ def pipe(stage: ProcessingStage, events: List[MatchEvent]) -> List[QueryChange]:
     for event in events:
         changes.extend(stage.handle_event(event))
     return changes
+
+
+def build_stage(
+    kind: str,
+    task_index: int,
+    engine: Any = None,
+    telemetry: Any = None,
+    **options: Any,
+):
+    """Construct a post-filtering processing stage by name.
+
+    The single construction seam the process execution model's cell
+    specs go through (:mod:`repro.core.remote`): any stage registered
+    here can be hosted in a worker process without the worker knowing
+    its concrete class.  ``sorting`` is the only stage the paper's
+    production system runs; the aggregation stage (Section 8.1) can be
+    added to the table when it grows a node wrapper.
+    """
+    if kind == "sorting":
+        from repro.core.sorting import SortingNode
+
+        return SortingNode(
+            task_index,
+            engine=engine,
+            telemetry=telemetry,
+            incremental=options.get("incremental", True),
+        )
+    raise ValueError(f"unknown processing stage: {kind!r}")

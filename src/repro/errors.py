@@ -134,6 +134,20 @@ class InjectedFaultError(ExecutionError):
         self.name = name
 
 
+class WorkerDiedError(ExecutionError):
+    """A worker process died (or its channel broke) mid-conversation.
+
+    Under the process execution model this is the moral equivalent of
+    :class:`TaskCrashedError`: the owning bolt reports the grid cell
+    crashed, and supervised recovery rebuilds it in a fresh worker.
+    """
+
+    def __init__(self, worker: str, reason: str):
+        super().__init__(f"worker {worker} died: {reason}")
+        self.worker = worker
+        self.reason = reason
+
+
 class TaskCrashedError(ExecutionError):
     """A topology task died (injected crash or poisoning threshold)."""
 

@@ -30,10 +30,67 @@ class Codec(abc.ABC):
         ...
 
 
+def _reject_non_string_keys(value: Any) -> None:
+    """Walk a payload and reject any dict whose keys are not strings.
+
+    ``json.dumps`` silently *stringifies* non-string keys (``{1: "a"}``
+    comes back as ``{"1": "a"}``), which would corrupt versioned-write
+    envelopes crossing a real wire — the version map's integer keys
+    would change type under the consumer.  Failing the encode makes the
+    infidelity a producer bug instead of silent data corruption.
+
+    Iterative (explicit stack) with a C-speed ``"".join(keys)`` probe
+    per dict, so the strict check stays cheap on the write hot path.
+    """
+    if type(value) not in _CONTAINERS:
+        return
+    stack = [value]
+    push = stack.append
+    pop = stack.pop
+    while stack:
+        node = pop()
+        kind = type(node)
+        if kind is dict:
+            try:
+                "".join(node)  # TypeError iff any key is not a string
+            except TypeError:
+                offender = next(
+                    key for key in node if type(key) is not str
+                )
+                raise CodecError(
+                    f"non-string dict key {offender!r} would be "
+                    f"stringified by JSON; use string keys (or the "
+                    f"binary codec) for key-typed maps"
+                ) from None
+            for item in node.values():
+                if type(item) in _CONTAINERS:
+                    push(item)
+        else:  # list or tuple (callers pre-filter scalars)
+            for item in node:
+                if type(item) in _CONTAINERS:
+                    push(item)
+
+
+_CONTAINERS = frozenset((dict, list, tuple))
+
+
 class JsonCodec(Codec):
-    """UTF-8 JSON encoding (the wire format of the prototype)."""
+    """UTF-8 JSON encoding (the wire format of the prototype).
+
+    Round-trip contract: dict keys MUST be strings — non-string keys
+    raise :class:`~repro.errors.CodecError` at encode time instead of
+    being silently stringified (set ``strict=False`` to restore the
+    permissive seed behavior).  Tuples are *normalized* to lists on the
+    wire (JSON has no tuple type); producers that need tuples back must
+    re-tuple on decode or use the binary codec.
+    """
+
+    def __init__(self, strict: bool = True):
+        self.strict = strict
 
     def encode(self, payload: Any) -> bytes:
+        if self.strict:
+            _reject_non_string_keys(payload)
         try:
             return json.dumps(payload, separators=(",", ":")).encode("utf-8")
         except (TypeError, ValueError) as exc:

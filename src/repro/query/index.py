@@ -661,6 +661,13 @@ class QueryIndex:
                 collection_index.remove(entry, query_id)
         return True
 
+    def has_collection(self, collection: str) -> bool:
+        """True when any registered query targets *collection* — a
+        document-free pre-check, so callers holding a lazily-decoded
+        after-image can skip materialization when no candidate set can
+        possibly come out of it."""
+        return collection in self._collections
+
     def candidates(self, document: Document, collection: str) -> Set[str]:
         """Query ids that might match *document* (a superset, see module
         docstring).  Queries over other collections never appear."""

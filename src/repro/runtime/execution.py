@@ -54,14 +54,22 @@ SourcePump = Callable[[], Optional[bool]]
 
 THREADED = "threaded"
 INLINE = "inline"
+PROCESS = "process"
+
+#: Codec names accepted for ``ExecutionConfig.wire_codec`` (mirrors
+#: :data:`repro.event.wire.WIRE_CODECS`; kept literal to avoid pulling
+#: the wire module into every import of this one).
+_WIRE_CODEC_NAMES = ("binary", "json", "noop")
 
 
 @dataclass
 class ExecutionConfig:
-    """Tunables of the execution substrate (threaded or inline)."""
+    """Tunables of the execution substrate (threaded, inline or process)."""
 
-    #: ``"threaded"`` (production-like, parallel) or ``"inline"``
-    #: (deterministic, synchronous, virtual-time delays).
+    #: ``"threaded"`` (production-like, parallel), ``"inline"``
+    #: (deterministic, synchronous, virtual-time delays) or
+    #: ``"process"`` (threaded substrate + grid cells in worker
+    #: processes behind the binary wire).
     mode: str = THREADED
     #: Per-mailbox queue capacity; ``None`` means unbounded.
     queue_capacity: Optional[int] = None
@@ -77,11 +85,26 @@ class ExecutionConfig:
     #: Optional fault schedule; the built model starts with its
     #: :class:`~repro.runtime.faults.FaultInjector` attached.
     fault_plan: Optional[FaultPlan] = None
+    #: Process mode only: number of worker processes grid cells are
+    #: multiplexed onto.  ``None`` = one process per grid cell.
+    worker_processes: Optional[int] = None
+    #: Process mode only: codec for the parent<->worker channels
+    #: (``binary`` | ``json`` | ``noop``).
+    wire_codec: str = "binary"
 
     def __post_init__(self) -> None:
-        if self.mode not in (THREADED, INLINE):
+        if self.mode not in (THREADED, INLINE, PROCESS):
             raise ExecutionConfigError(
                 f"unknown execution mode: {self.mode!r}"
+            )
+        if self.worker_processes is not None and self.worker_processes < 1:
+            raise ExecutionConfigError(
+                "worker_processes must be >= 1 or None"
+            )
+        if self.wire_codec not in _WIRE_CODEC_NAMES:
+            raise ExecutionConfigError(
+                f"unknown wire codec: {self.wire_codec!r} "
+                f"(expected one of {_WIRE_CODEC_NAMES})"
             )
         if self.queue_capacity is not None and self.queue_capacity < 1:
             raise ExecutionConfigError(
@@ -240,6 +263,11 @@ def build_execution_model(config: Optional[ExecutionConfig]) -> ExecutionModel:
     config = config if config is not None else ExecutionConfig()
     if config.mode == INLINE:
         return InlineExecutionModel(config)
+    if config.mode == PROCESS:
+        # Imported lazily: repro.runtime.process imports this module.
+        from repro.runtime.process import ProcessExecutionModel
+
+        return ProcessExecutionModel(config)
     return ThreadedExecutionModel(config)
 
 

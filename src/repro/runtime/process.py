@@ -1,0 +1,506 @@
+"""Process-per-partition execution: grid cells in worker processes.
+
+:class:`ProcessExecutionModel` extends the threaded substrate — the
+broker, ingestion bolts, timers and crash signaling all stay in the
+parent, exactly as before — but the grid's *compute* (matching and
+sorting cells) moves into forked worker processes reached through
+framed duplex sockets (:mod:`repro.event.wire`).  That is the paper's
+shared-nothing deployment in miniature: each cell owns its slice of
+state, nothing is shared but messages, and the GIL stops being the
+scale ceiling.
+
+The seam is the :class:`WorkerPool`:
+
+* ``lease(name, spec)`` assigns the cell to a worker process (round-
+  robin over ``worker_processes`` slots, or one process per cell when
+  unset), ships the pickled *spec* over the control channel and returns
+  a :class:`RemoteCell` handle.  The spec must be picklable and expose
+  ``build()`` — the worker calls it once to construct the actual cell.
+* ``RemoteCell.request_batch(items)`` encodes the batch with the
+  configured wire codec, round-trips one frame and returns the decoded
+  reply.  One lock per worker serializes its conversations.
+* A monitor thread watches process sentinels: a worker that dies — a
+  crash, or ``kill -9`` in the chaos suite — fires the pool's death
+  listeners with every cell it hosted, and the owning bolts report
+  those cells crashed so :class:`~repro.core.supervisor.NodeSupervisor`
+  restarts them exactly like an in-process crash.  The replacement
+  lease respawns a fresh worker for the slot.
+
+Workers are forked (POSIX only): cheap startup, copy-on-write imports,
+and the pickle segments of the wire format stay within a single trust
+domain (a parent and its own children).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import socket
+import threading
+import time
+import traceback
+from multiprocessing.connection import wait as _sentinel_wait
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import (
+    ExecutionConfigError,
+    ExecutionError,
+    WorkerDiedError,
+)
+from repro.event.wire import (
+    MSG_BATCH,
+    MSG_ERROR,
+    MSG_REGISTER,
+    MSG_REPLY,
+    MSG_SHUTDOWN,
+    MSG_SNAPSHOT,
+    FrameError,
+    WireStats,
+    build_codec,
+    decode_batch,
+    encode_batch,
+    recv_frame,
+    send_frame,
+)
+from repro.runtime.execution import (
+    PROCESS,
+    ExecutionConfig,
+    ThreadedExecutionModel,
+)
+
+#: Death listener signature: ``(cell_name, pid, reason)``.
+DeathListener = Callable[[str, int, str], None]
+
+
+class RemoteCellError(ExecutionError):
+    """A remote cell handler raised; the worker survived and replied
+    with the traceback."""
+
+
+class RemoteCell:
+    """Parent-side handle to one grid cell hosted in a worker process."""
+
+    def __init__(self, pool: "WorkerPool", name: str, worker: "_Worker",
+                 cell_id: int):
+        self._pool = pool
+        self.name = name
+        self._worker = worker
+        self.cell_id = cell_id
+
+    @property
+    def pid(self) -> int:
+        return self._worker.pid
+
+    @property
+    def alive(self) -> bool:
+        return self._worker.alive
+
+    def request_batch(self, items: List[Any]) -> Any:
+        """Ship one tuple batch to the cell; returns the decoded reply.
+
+        Raises :class:`WorkerDiedError` if the worker process is gone
+        and :class:`RemoteCellError` if the cell's handler raised.
+        """
+        pool = self._pool
+        stats = pool.stats
+        t0 = time.perf_counter_ns()
+        wire = encode_batch(pool.codec, items)
+        stats.encode_ns += time.perf_counter_ns() - t0
+        reply = pool._request(self._worker, MSG_BATCH, self.cell_id, wire)
+        t0 = time.perf_counter_ns()
+        result = pool.codec.decode(reply)
+        stats.decode_ns += time.perf_counter_ns() - t0
+        return result
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Fetch the worker-side view of this cell: its ``snapshot()``
+        row plus the worker's wire counters and pid."""
+        reply = self._pool._request(
+            self._worker, MSG_SNAPSHOT, self.cell_id, b""
+        )
+        return pickle.loads(reply)
+
+
+class _Worker:
+    """One worker process and its parent-side channel."""
+
+    def __init__(self, slot: int, process, sock: socket.socket):
+        self.slot = slot
+        self.process = process
+        self.sock = sock
+        self.lock = threading.Lock()
+        self.alive = True
+        #: cell_id -> cell name, for death attribution.
+        self.cells: Dict[int, str] = {}
+        self.requests = 0
+
+    @property
+    def pid(self) -> int:
+        return self.process.pid
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "slot": self.slot,
+            "pid": self.pid,
+            "alive": self.alive,
+            "cells": sorted(self.cells.values()),
+            "requests": self.requests,
+        }
+
+
+class WorkerPool:
+    """Forked worker processes hosting grid cells behind framed sockets."""
+
+    def __init__(
+        self,
+        worker_processes: Optional[int] = None,
+        wire_codec: str = "binary",
+        stats: Optional[WireStats] = None,
+    ):
+        if not hasattr(socket, "AF_UNIX"):
+            raise ExecutionConfigError(
+                "the process execution model requires POSIX socketpair/fork"
+            )
+        try:
+            self._ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            raise ExecutionConfigError(
+                "the process execution model requires the fork start method"
+            ) from None
+        self.worker_processes = worker_processes
+        self.codec_name = wire_codec
+        self.stats = stats if stats is not None else WireStats()
+        #: Parent-side codec: eager documents — replies feed straight
+        #: into the JSON event layer, which cannot carry lazy blobs.
+        self.codec = build_codec(wire_codec, lazy_documents=False,
+                                 stats=self.stats)
+        self._lock = threading.Lock()
+        self._workers: Dict[int, _Worker] = {}
+        self._cells: Dict[str, RemoteCell] = {}
+        self._cell_ids = iter(range(1, 2 ** 31))
+        self._request_ids = iter(range(1, 2 ** 31))
+        self._death_listeners: List[DeathListener] = []
+        self._closing = False
+        self._monitor: Optional[threading.Thread] = None
+        self._spawned = 0
+        self._deaths = 0
+
+    # -- leasing ----------------------------------------------------------
+
+    def lease(self, name: str, spec: Any,
+              slot: Optional[int] = None) -> RemoteCell:
+        """Host the cell built by ``spec.build()`` in a worker process.
+
+        *slot* pins the cell to a specific worker (the cluster places
+        grid cells by partition coordinates for fan-out locality);
+        without it cells round-robin over ``worker_processes`` slots,
+        or get one process each when that is unset too.
+
+        Re-leasing an existing name (supervised restart) builds a FRESH
+        cell — state is reconstructed by re-registration + replay, not
+        carried over — and respawns the slot's worker if it died.
+        """
+        with self._lock:
+            if self._closing:
+                raise ExecutionError("worker pool is shut down")
+            cell_id = next(self._cell_ids)
+            if slot is None:
+                if self.worker_processes is None:
+                    slot = cell_id  # one process per cell
+                else:
+                    slot = cell_id % self.worker_processes
+            elif self.worker_processes is not None:
+                slot %= self.worker_processes
+            old = self._cells.get(name)
+            if old is not None:
+                old._worker.cells.pop(old.cell_id, None)
+            worker = self._workers.get(slot)
+            if worker is None or not worker.alive:
+                worker = self._spawn(slot)
+            worker.cells[cell_id] = name
+            cell = RemoteCell(self, name, worker, cell_id)
+            self._cells[name] = cell
+        self._request(worker, MSG_REGISTER, cell_id,
+                      pickle.dumps(spec, protocol=5))
+        return cell
+
+    def add_death_listener(self, listener: DeathListener) -> None:
+        self._death_listeners.append(listener)
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _spawn(self, slot: int) -> _Worker:
+        parent_sock, child_sock = socket.socketpair()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(child_sock, parent_sock, self.codec_name),
+            name=f"invalidb-worker-{slot}",
+            daemon=True,
+        )
+        process.start()
+        child_sock.close()
+        worker = _Worker(slot, process, parent_sock)
+        self._workers[slot] = worker
+        self._spawned += 1
+        if self._monitor is None:
+            self._monitor = threading.Thread(
+                target=self._monitor_loop, name="worker-pool-monitor",
+                daemon=True,
+            )
+            self._monitor.start()
+        return worker
+
+    def _request(self, worker: _Worker, kind: int, cell_id: int,
+                 payload: bytes) -> bytes:
+        stats = self.stats
+        with worker.lock:
+            if not worker.alive:
+                raise WorkerDiedError(
+                    f"worker-{worker.slot}", "process already dead"
+                )
+            request_id = next(self._request_ids)
+            worker.requests += 1
+            try:
+                sent = send_frame(worker.sock, kind, cell_id, request_id,
+                                  payload)
+                stats.frames_sent += 1
+                stats.bytes_sent += sent
+                while True:
+                    rkind, _, rrequest, rpayload = recv_frame(worker.sock)
+                    stats.frames_received += 1
+                    stats.bytes_received += len(rpayload) + 13
+                    if rrequest == request_id:
+                        break
+            except (OSError, FrameError) as exc:
+                self._on_channel_error(worker, str(exc))
+                raise WorkerDiedError(
+                    f"worker-{worker.slot}", str(exc)
+                ) from exc
+        if rkind == MSG_ERROR:
+            raise RemoteCellError(
+                f"remote cell failed in worker-{worker.slot} "
+                f"(pid {worker.pid}):\n{rpayload.decode('utf-8', 'replace')}"
+            )
+        return rpayload
+
+    def _on_channel_error(self, worker: _Worker, reason: str) -> None:
+        # Called with worker.lock held; take the pool lock for the maps.
+        with self._lock:
+            orphans = self._mark_dead_locked(worker, reason)
+        self._fire_death(orphans, worker.pid, reason)
+
+    def _mark_dead_locked(self, worker: _Worker, reason: str) -> List[str]:
+        if not worker.alive:
+            return []
+        worker.alive = False
+        self._deaths += 1
+        try:
+            worker.sock.close()
+        except OSError:  # pragma: no cover
+            pass
+        orphans = list(worker.cells.values())
+        worker.cells.clear()
+        return orphans
+
+    def _fire_death(self, cell_names: List[str], pid: int,
+                    reason: str) -> None:
+        if self._closing:
+            return
+        for name in cell_names:
+            for listener in self._death_listeners:
+                try:
+                    listener(name, pid, reason)
+                except Exception:  # noqa: BLE001 - a listener must not
+                    # take the monitor down with it.
+                    pass
+
+    def _monitor_loop(self) -> None:
+        while True:
+            with self._lock:
+                if self._closing:
+                    return
+                watched = {
+                    worker.process.sentinel: worker
+                    for worker in self._workers.values() if worker.alive
+                }
+            if not watched:
+                time.sleep(0.05)
+                continue
+            ready = _sentinel_wait(list(watched), timeout=0.2)
+            for sentinel in ready:
+                worker = watched[sentinel]
+                worker.process.join(timeout=0.1)
+                code = worker.process.exitcode
+                reason = f"process exited with code {code}"
+                with self._lock:
+                    orphans = self._mark_dead_locked(worker, reason)
+                self._fire_death(orphans, worker.pid, reason)
+
+    # -- lifecycle --------------------------------------------------------
+
+    def shutdown(self, timeout: float = 2.0) -> None:
+        with self._lock:
+            if self._closing:
+                return
+            self._closing = True
+            workers = list(self._workers.values())
+        for worker in workers:
+            if not worker.alive:
+                continue
+            try:
+                with worker.lock:
+                    send_frame(worker.sock, MSG_SHUTDOWN, 0, 0, b"")
+            except (OSError, FrameError):
+                pass
+        deadline = time.monotonic() + timeout
+        for worker in workers:
+            worker.process.join(
+                timeout=max(0.0, deadline - time.monotonic())
+            )
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=0.5)
+            worker.alive = False
+            try:
+                worker.sock.close()
+            except OSError:  # pragma: no cover
+                pass
+        if self._monitor is not None:
+            self._monitor.join(timeout=1.0)
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "worker_processes": self.worker_processes,
+                "wire_codec": self.codec_name,
+                "spawned": self._spawned,
+                "deaths": self._deaths,
+                "workers": [
+                    worker.stats() for worker in self._workers.values()
+                ],
+                "wire": self.stats.snapshot(),
+            }
+
+
+class ProcessExecutionModel(ThreadedExecutionModel):
+    """Threaded substrate + a worker pool hosting the grid's cells.
+
+    Mailboxes, sources, timers, fault injection and drain accounting
+    are all inherited from :class:`ThreadedExecutionModel` — the bolts
+    still run on parent threads; what a process-mode bolt does in its
+    handler is one framed round-trip to its worker instead of local
+    compute.  The pool is created lazily on first use, so a process
+    model that only ever runs the broker costs nothing extra.
+    """
+
+    deterministic = False
+
+    def __init__(self, config: Optional[ExecutionConfig] = None):
+        if config is None:
+            config = ExecutionConfig(mode=PROCESS)
+        super().__init__(config)
+        self._pool: Optional[WorkerPool] = None
+        self._pool_lock = threading.Lock()
+
+    @property
+    def worker_pool(self) -> WorkerPool:
+        pool = self._pool
+        if pool is None:
+            with self._pool_lock:
+                pool = self._pool
+                if pool is None:
+                    pool = WorkerPool(
+                        worker_processes=self.config.worker_processes,
+                        wire_codec=self.config.wire_codec,
+                    )
+                    self._pool = pool
+        return pool
+
+    def shutdown(self, timeout: Optional[float] = None) -> None:
+        pool = self._pool
+        if pool is not None:
+            pool.shutdown()
+        super().shutdown(timeout=timeout)
+
+    def stats(self) -> Dict[str, Any]:
+        snapshot = super().stats()
+        snapshot["mode"] = PROCESS
+        if self._pool is not None:
+            snapshot["workers"] = self._pool.snapshot()
+        return snapshot
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+def _worker_main(sock: socket.socket, parent_sock: socket.socket,
+                 codec_name: str) -> None:
+    """Entry point of a forked worker: serve frames until shutdown.
+
+    Replies with ``MSG_REPLY`` on success and ``MSG_ERROR`` (payload =
+    traceback text) when a handler raises; the worker itself survives
+    handler errors.  EOF on the channel — the parent died — exits the
+    process immediately.
+    """
+    # The fork duplicated the parent's end of our socketpair; close it
+    # so EOF propagates when the parent really goes away.
+    try:
+        parent_sock.close()
+    except OSError:  # pragma: no cover
+        pass
+    stats = WireStats()
+    codec = build_codec(codec_name, lazy_documents=True, stats=stats)
+    cells: Dict[int, Any] = {}
+    while True:
+        try:
+            kind, cell_id, request_id, payload = recv_frame(sock)
+        except (OSError, FrameError):
+            os._exit(0)
+        stats.frames_received += 1
+        stats.bytes_received += len(payload) + 13
+        try:
+            if kind == MSG_BATCH:
+                t0 = time.perf_counter_ns()
+                batch = decode_batch(codec, payload)
+                stats.decode_ns += time.perf_counter_ns() - t0
+                result = cells[cell_id].handle_batch(batch)
+                t0 = time.perf_counter_ns()
+                reply = codec.encode(result)
+                stats.encode_ns += time.perf_counter_ns() - t0
+            elif kind == MSG_REGISTER:
+                spec = pickle.loads(payload)
+                cells[cell_id] = spec.build()
+                reply = b""
+            elif kind == MSG_SNAPSHOT:
+                cell = cells.get(cell_id)
+                reply = pickle.dumps({
+                    "pid": os.getpid(),
+                    "cell": None if cell is None else cell.snapshot(),
+                    "wire": stats.snapshot(),
+                }, protocol=5)
+            elif kind == MSG_SHUTDOWN:
+                try:
+                    send_frame(sock, MSG_REPLY, 0, request_id, b"")
+                except (OSError, FrameError):  # pragma: no cover
+                    pass
+                os._exit(0)
+            else:
+                raise ExecutionError(f"unknown message kind {kind}")
+        except Exception:  # noqa: BLE001 - report, don't die
+            text = traceback.format_exc().encode("utf-8")
+            try:
+                sent = send_frame(sock, MSG_ERROR, cell_id, request_id, text)
+                stats.frames_sent += 1
+                stats.bytes_sent += sent
+            except (OSError, FrameError):
+                os._exit(0)
+            continue
+        try:
+            sent = send_frame(sock, MSG_REPLY, cell_id, request_id, reply)
+            stats.frames_sent += 1
+            stats.bytes_sent += sent
+        except (OSError, FrameError):
+            os._exit(0)

@@ -1,0 +1,125 @@
+"""Cross-batch notification coalescing (the time-window stager).
+
+In-batch coalescing cannot elide redundancy that spans dispatch
+batches; ``coalescing_window_seconds`` stages unsorted-query changes
+and collapses them per (query, key) before fan-out.  Under the inline
+execution model the window is virtual time — ``drain()`` fires the
+flush — so every test here is deterministic.
+"""
+
+import pytest
+
+from repro.core.cluster import InvaliDBCluster
+from repro.core.config import InvaliDBConfig
+from repro.core.server import AppServer
+from repro.event.broker import Broker
+from repro.runtime.execution import ExecutionConfig, InlineExecutionModel
+from repro.types import MatchType
+
+
+@pytest.fixture
+def inline_stack():
+    """Shared inline substrate: broker + cluster + app, window enabled."""
+    built = {}
+
+    def build(window=0.5, **config_kwargs):
+        model = InlineExecutionModel(ExecutionConfig(mode="inline", seed=3))
+        broker = Broker(execution=model)
+        config = InvaliDBConfig(
+            query_partitions=1, write_partitions=1,
+            coalescing_window_seconds=window,
+            **config_kwargs,
+        )
+        cluster = InvaliDBCluster(broker, config).start()
+        app = AppServer("stager-app", broker, config=config)
+        built.update(model=model, broker=broker, cluster=cluster, app=app)
+        return broker, cluster, app
+
+    yield build
+    if built:
+        built["app"].close()
+        built["cluster"].stop()
+        built["broker"].close()
+        built["model"].shutdown()
+
+
+class TestStagingWindow:
+    def test_rapid_rewrites_collapse_to_one_add(self, inline_stack):
+        broker, cluster, app = inline_stack()
+        sub = app.subscribe("items", {"v": {"$gte": 0}})
+        app.insert("items", {"_id": 1, "v": 1})
+        app.update("items", 1, {"$set": {"v": 2}})
+        app.update("items", 1, {"$set": {"v": 3}})
+        # All three changes landed inside the window: nothing delivered
+        # until the (virtual-time) flush fires.
+        assert sub.notifications == []
+        assert broker.drain()
+        assert [n.match_type for n in sub.notifications] == [MatchType.ADD]
+        assert sub.notifications[0].document["v"] == 3
+        assert cluster.notifications_coalesced >= 2
+
+    def test_add_then_remove_nets_to_nothing(self, inline_stack):
+        broker, cluster, app = inline_stack()
+        sub = app.subscribe("items", {"v": {"$gte": 0}})
+        app.insert("items", {"_id": 1, "v": 1})
+        app.delete("items", 1)
+        assert broker.drain()
+        # The client never knew the key: the pair is elided entirely.
+        assert sub.notifications == []
+        assert sub.result() == []
+
+    def test_known_key_update_flushes_as_change(self, inline_stack):
+        broker, cluster, app = inline_stack()
+        sub = app.subscribe("items", {"v": {"$gte": 0}})
+        app.insert("items", {"_id": 1, "v": 1})
+        assert broker.drain()  # the ADD flushes; key now known
+        app.update("items", 1, {"$set": {"v": 5}})
+        app.update("items", 1, {"$set": {"v": 9}})
+        assert broker.drain()
+        types = [n.match_type for n in sub.notifications]
+        assert types == [MatchType.ADD, MatchType.CHANGE]
+        assert sub.notifications[-1].document["v"] == 9
+
+    def test_sorted_changes_bypass_staging(self, inline_stack):
+        broker, cluster, app = inline_stack()
+        sub = app.subscribe("items", {"v": {"$gte": 0}},
+                            sort=[("v", 1)], limit=5)
+        app.insert("items", {"_id": 1, "v": 1})
+        # Positional changes must reach the client unmerged: delivered
+        # synchronously, no flush needed.
+        assert len(sub.notifications) == 1
+        assert sub.notifications[0].index == 0
+
+    def test_stop_flushes_pending_changes(self, inline_stack):
+        broker, cluster, app = inline_stack()
+        sub = app.subscribe("items", {"v": {"$gte": 0}})
+        app.insert("items", {"_id": 7, "v": 7})
+        assert sub.notifications == []
+        cluster.stop()
+        assert [n.match_type for n in sub.notifications] == [MatchType.ADD]
+
+    def test_snapshot_reports_stager_stats(self, inline_stack):
+        broker, cluster, app = inline_stack()
+        app.subscribe("items", {"v": {"$gte": 0}})
+        app.insert("items", {"_id": 1, "v": 1})
+        snap = cluster.snapshot()
+        assert snap["coalescing"]["pending"] == 1
+        assert broker.drain()
+        snap = cluster.snapshot()
+        assert snap["coalescing"]["pending"] == 0
+        assert snap["coalescing"]["flushes"] >= 1
+        assert snap["coalescing"]["window_seconds"] == 0.5
+
+    def test_zero_window_disables_staging(self, inline_stack):
+        broker, cluster, app = inline_stack(window=0.0)
+        sub = app.subscribe("items", {"v": {"$gte": 0}})
+        app.insert("items", {"_id": 1, "v": 1})
+        assert cluster.stager is None
+        assert len(sub.notifications) == 1
+        assert "coalescing" not in cluster.snapshot()
+
+    def test_negative_window_rejected(self):
+        from repro.errors import ClusterConfigError
+
+        with pytest.raises(ClusterConfigError):
+            InvaliDBConfig(coalescing_window_seconds=-0.1)

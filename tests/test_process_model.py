@@ -1,0 +1,347 @@
+"""Process-per-partition execution: behavior, equivalence, recovery.
+
+The process model moves the grid's compute into forked worker
+processes behind the binary wire codec; everything observable — the
+notification stream, supervised recovery, the cluster snapshot — must
+stay equivalent to the in-process substrates.  The equivalence suite
+runs one seeded workload on the inline, threaded and process models
+and compares normalized transcripts; the chaos test hard-kills a
+worker (`SIGKILL`, no cleanup) and asserts supervised recovery
+converges to the database.
+"""
+
+import json
+import os
+import signal
+import socket
+import time
+
+import pytest
+
+from repro.core.cluster import InvaliDBCluster
+from repro.core.config import InvaliDBConfig
+from repro.core.server import AppServer
+from repro.errors import ClusterConfigError
+from repro.event.broker import Broker
+from repro.runtime.execution import ExecutionConfig, InlineExecutionModel
+from repro.types import MatchType
+
+pytestmark = pytest.mark.skipif(
+    not (hasattr(os, "fork") and hasattr(socket, "AF_UNIX")),
+    reason="process execution model requires POSIX fork + socketpair",
+)
+
+
+def settle(cluster, broker, rounds=4, timeout=10.0):
+    for _ in range(rounds):
+        broker.drain(timeout)
+        cluster.drain(timeout)
+
+
+def wait_for(predicate, timeout=8.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
+
+
+def apply_workload(app):
+    """The chaos suite's deterministic write mix."""
+    for i in range(40):
+        app.insert("items", {"_id": i, "v": i})
+    for i in range(0, 40, 2):
+        app.update("items", i, {"$set": {"v": i + 100}})
+    for i in range(0, 40, 5):
+        app.delete("items", i)
+
+
+def transcript(subscription):
+    """Timestamp-free transcript of everything a subscription saw."""
+    return [
+        (
+            n.match_type.value, n.key, n.version, n.index, n.old_index,
+            json.dumps(n.document, sort_keys=True, default=str),
+        )
+        for n in subscription.notifications
+    ]
+
+
+def run_scenario(**config_kwargs):
+    """One seeded workload under the given execution configuration.
+
+    Returns everything observable in serialized form so substrates can
+    be compared: final results, the database's view, and the flat
+    (unsorted) query's transcript.  Two normalizations make streams
+    comparable: in-batch coalescing is disabled so every substrate
+    emits one notification per matching write, and a single write-
+    ingestion bolt preserves end-to-end write order (with the default
+    four, concurrent substrates can reorder a key's update past its
+    delete — the versioned-write protocol drops the stale one, which
+    keeps results correct but elides a notification).  The transcripts
+    then differ only in cross-task interleaving, which the multiset
+    comparison normalizes away.
+    """
+    execution = config_kwargs.pop("broker_execution", None)
+    broker = Broker(execution=execution) if execution else Broker()
+    config = InvaliDBConfig(
+        query_partitions=2, write_partitions=2,
+        notification_coalescing=False,
+        write_ingestion_nodes=1,
+        **config_kwargs,
+    )
+    cluster = InvaliDBCluster(broker, config).start()
+    app = AppServer("equivalence-app", broker, config=config)
+    try:
+        flat = app.subscribe("items", {"v": {"$gte": 0}})
+        top = app.subscribe("items", {}, sort=[("v", -1)], limit=5)
+        settle(cluster, broker)
+        apply_workload(app)
+        settle(cluster, broker, rounds=6)
+        return {
+            "flat_result": json.dumps(
+                sorted(flat.result(), key=lambda d: d["_id"]),
+                sort_keys=True,
+            ),
+            "top_result": json.dumps(top.result(), sort_keys=True),
+            "db_flat": json.dumps(
+                sorted(app.find("items", {"v": {"$gte": 0}}),
+                       key=lambda d: d["_id"]),
+                sort_keys=True,
+            ),
+            "db_top": json.dumps(
+                app.find("items", {}, sort=[("v", -1)], limit=5),
+                sort_keys=True,
+            ),
+            "flat_transcript": transcript(flat),
+        }
+    finally:
+        app.close()
+        cluster.stop()
+        broker.close()
+
+
+class TestProcessModelBasics:
+    def test_unsorted_lifecycle(self):
+        broker = Broker()
+        config = InvaliDBConfig(
+            query_partitions=2, write_partitions=2,
+            execution_model="process", process_workers=2,
+        )
+        cluster = InvaliDBCluster(broker, config).start()
+        app = AppServer("app-1", broker)
+        try:
+            sub = app.subscribe("items", {"v": {"$gte": 10}})
+            assert sub.initial.documents == []
+
+            app.insert("items", {"_id": 1, "v": 15})
+            app.insert("items", {"_id": 2, "v": 5})
+            settle(cluster, broker)
+            assert wait_for(lambda: len(sub.notifications) == 1)
+            assert sub.notifications[0].match_type is MatchType.ADD
+
+            app.update("items", 1, {"$set": {"v": 20}})
+            settle(cluster, broker)
+            assert wait_for(
+                lambda: sub.notifications[-1].match_type is MatchType.CHANGE
+            )
+
+            app.update("items", 1, {"$set": {"v": 1}})
+            settle(cluster, broker)
+            assert wait_for(
+                lambda: sub.notifications[-1].match_type is MatchType.REMOVE
+            )
+            assert sub.result() == []
+        finally:
+            app.close()
+            cluster.stop()
+            broker.close()
+
+    def test_sorted_query_in_worker(self):
+        broker = Broker()
+        config = InvaliDBConfig(
+            query_partitions=2, write_partitions=2,
+            execution_model="process", process_workers=2,
+        )
+        cluster = InvaliDBCluster(broker, config).start()
+        app = AppServer("app-1", broker)
+        try:
+            sub = app.subscribe("items", {"v": {"$gte": 0}},
+                                sort=[("v", 1)], limit=3)
+            for i in range(10):
+                app.insert("items", {"_id": i, "v": (i * 7) % 13})
+            settle(cluster, broker, rounds=6)
+            expected = app.find("items", {"v": {"$gte": 0}},
+                                sort=[("v", 1)], limit=3)
+            assert wait_for(lambda: sub.result() == expected)
+        finally:
+            app.close()
+            cluster.stop()
+            broker.close()
+
+    def test_json_wire_codec_also_works(self):
+        broker = Broker()
+        config = InvaliDBConfig(
+            query_partitions=1, write_partitions=2,
+            execution_model="process", process_workers=2,
+            wire_codec="json",
+        )
+        cluster = InvaliDBCluster(broker, config).start()
+        app = AppServer("app-1", broker)
+        try:
+            sub = app.subscribe("items", {"v": {"$gte": 1}})
+            app.insert("items", {"_id": "a", "v": 2})
+            settle(cluster, broker)
+            assert wait_for(lambda: len(sub.notifications) == 1)
+        finally:
+            app.close()
+            cluster.stop()
+            broker.close()
+
+    def test_snapshot_merges_worker_state(self):
+        broker = Broker()
+        config = InvaliDBConfig(
+            query_partitions=2, write_partitions=2,
+            execution_model="process", process_workers=2,
+        )
+        cluster = InvaliDBCluster(broker, config).start()
+        app = AppServer("app-1", broker)
+        try:
+            app.subscribe("items", {"v": {"$gte": 0}})
+            for i in range(8):
+                app.insert("items", {"_id": i, "v": i})
+            settle(cluster, broker)
+            snap = cluster.snapshot()
+            # One row per grid cell, same shape as the in-process rows.
+            assert len(snap["matching"]) == 4
+            assert len(snap["sorting"]) == 1
+            for row in snap["matching"]:
+                assert "coordinates" in row and "pid" in row
+            assert sum(
+                r["writes_processed"] for r in snap["matching"]
+            ) > 0
+            # Wire counters aggregate the parent and worker sides.
+            wire = snap["workers"]["wire"]
+            assert wire["frames_sent"] > 0
+            assert wire["bytes_sent"] > 0
+            assert wire["messages_encoded"] > 0
+            pool = snap["workers"]["pool"]
+            assert pool["worker_processes"] == 2
+            assert pool["spawned"] == 2
+            # The compatibility shim keys rows by coordinates.
+            stats = cluster.stats()
+            assert len(stats["matching_nodes"]) == 4
+        finally:
+            app.close()
+            cluster.stop()
+            broker.close()
+
+    def test_config_gates(self):
+        with pytest.raises(ClusterConfigError):
+            InvaliDBConfig(process_workers=2)  # needs execution_model
+        with pytest.raises(ClusterConfigError):
+            InvaliDBConfig(
+                execution_model="process",
+                execution=ExecutionConfig(mode="threaded"),
+            )
+        with pytest.raises(ClusterConfigError):
+            InvaliDBConfig(execution_model="process", wire_codec="bogus")
+
+
+class TestTranscriptEquivalence:
+    """One seeded workload, three substrates, equivalent streams."""
+
+    def test_substrates_agree(self):
+        inline = run_scenario(
+            broker_execution=InlineExecutionModel(
+                ExecutionConfig(mode="inline", seed=11)
+            ),
+        )
+        threaded = run_scenario(execution_model="threaded")
+        process = run_scenario(
+            execution_model="process", process_workers=2,
+        )
+        # Final results are identical everywhere and match the DB.
+        for run in (inline, threaded, process):
+            assert run["flat_result"] == run["db_flat"]
+            assert run["top_result"] == run["db_top"]
+        assert inline["flat_result"] == threaded["flat_result"]
+        assert inline["flat_result"] == process["flat_result"]
+        assert inline["top_result"] == threaded["top_result"]
+        assert inline["top_result"] == process["top_result"]
+        # The unsorted stream is the same multiset of notifications:
+        # substrates may interleave tasks differently but every write
+        # produces the same (type, key, version, document) everywhere.
+        assert sorted(inline["flat_transcript"]) == \
+            sorted(threaded["flat_transcript"])
+        assert sorted(inline["flat_transcript"]) == \
+            sorted(process["flat_transcript"])
+
+    def test_per_key_order_is_versioned(self):
+        process = run_scenario(
+            execution_model="process", process_workers=2,
+        )
+        by_key = {}
+        for entry in process["flat_transcript"]:
+            by_key.setdefault(entry[1], []).append(entry[2])
+        for versions in by_key.values():
+            assert versions == sorted(versions)
+
+
+class TestProcessChaos:
+    """kill -9 a worker mid-stream; supervised recovery must converge."""
+
+    def test_hard_worker_kill_recovers(self):
+        broker = Broker()
+        config = InvaliDBConfig(
+            query_partitions=2, write_partitions=2,
+            execution_model="process", process_workers=2,
+            retention_seconds=0.75,
+            supervisor_backoff_base=0.01,
+        )
+        cluster = InvaliDBCluster(broker, config).start()
+        app = AppServer("kill-app", broker, config=config)
+        try:
+            flat = app.subscribe("items", {"v": {"$gte": 0}})
+            top = app.subscribe("items", {}, sort=[("v", -1)], limit=5)
+            assert broker.drain(timeout=10.0)
+            for i in range(20):
+                app.insert("items", {"_id": i, "v": i * 3 % 17})
+            settle(cluster, broker)
+
+            victim = cluster._remote_cells[("matching", 0)].pid
+            os.kill(victim, signal.SIGKILL)
+            # Keep writing through the outage.
+            for i in range(20, 35):
+                app.insert("items", {"_id": i, "v": i * 5 % 23})
+
+            assert wait_for(
+                lambda: cluster.supervisor.stats()["restarts"] >= 1
+            ), cluster.supervisor.stats()
+            settle(cluster, broker)
+            # Let retention lapse so renewal cannot replay stale state,
+            # then reconcile the client against the database.
+            time.sleep(config.retention_seconds + 0.3)
+            app.client.resubscribe_all()
+            settle(cluster, broker, rounds=6)
+
+            expected_flat = sorted(
+                app.find("items", {"v": {"$gte": 0}}),
+                key=lambda d: d["_id"],
+            )
+            expected_top = app.find("items", {}, sort=[("v", -1)],
+                                    limit=5)
+            assert wait_for(
+                lambda: sorted(flat.result(), key=lambda d: d["_id"])
+                == expected_flat
+            )
+            assert wait_for(lambda: top.result() == expected_top)
+
+            pool = cluster.snapshot()["workers"]["pool"]
+            assert pool["deaths"] >= 1
+            assert pool["spawned"] >= 3  # replacement worker respawned
+        finally:
+            app.close()
+            cluster.stop()
+            broker.close()

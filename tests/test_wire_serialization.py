@@ -99,3 +99,111 @@ class TestChangeSerialization:
         change = QueryChange("q1", MatchType.ERROR, error="x")
         restored = deserialize_change(json_roundtrip(serialize_change(change)))
         assert restored.is_error
+
+
+class TestJsonCodecStrictness:
+    """Round-trip fidelity regression: non-string keys must fail the
+    encode instead of coming back silently stringified."""
+
+    def test_non_string_key_raises(self):
+        from repro.errors import CodecError
+
+        with pytest.raises(CodecError):
+            JsonCodec().encode({"versions": {1: 3}})
+
+    def test_nested_non_string_key_raises(self):
+        from repro.errors import CodecError
+
+        with pytest.raises(CodecError):
+            JsonCodec().encode([{"ok": [{"deep": {(1, 2): "x"}}]}])
+
+    def test_permissive_mode_restores_seed_behavior(self):
+        wire = JsonCodec(strict=False).encode({1: "a"})
+        assert JsonCodec().decode(wire) == {"1": "a"}
+
+    def test_string_keys_pass(self):
+        payload = {"versions": {"1": 3}, "items": [1, 2, {"k": None}]}
+        assert json_roundtrip(payload) == payload
+
+
+class TestBinaryCodec:
+    """The process model's compact wire format."""
+
+    def test_envelope_roundtrip_preserves_key_types(self):
+        from repro.event.wire import BinaryCodec
+
+        codec = BinaryCodec()
+        payload = {"versions": {1: 3, "a": 4}, "pair": (1, 2)}
+        restored = codec.decode(codec.encode(payload))
+        assert restored == payload
+        assert restored["pair"] == (1, 2)
+
+    def test_lazy_document_defers_decode(self):
+        from repro.event.wire import BinaryCodec, LazyDocument, WireStats
+
+        stats = WireStats()
+        codec = BinaryCodec(lazy_documents=True, stats=stats)
+        envelope = {"kind": "write", "key": 1, "version": 2,
+                    "collection": "c", "document": {"_id": 1, "v": 9}}
+        restored = codec.decode(codec.encode(envelope))
+        document = restored["document"]
+        assert isinstance(document, LazyDocument)
+        assert not document.materialized
+        assert stats.lazy_materialized == 0
+        assert document["v"] == 9  # first access materializes
+        assert document.materialized
+        assert stats.lazy_materialized == 1
+        assert dict(document) == envelope["document"]
+
+    def test_lazy_document_reencodes_from_raw(self):
+        from repro.event.wire import BinaryCodec, WireStats
+
+        stats = WireStats()
+        codec = BinaryCodec(lazy_documents=True, stats=stats)
+        envelope = {"kind": "write", "key": 1, "version": 1,
+                    "collection": "c", "document": {"_id": 1, "v": 1}}
+        hop1 = codec.decode(codec.encode(envelope))
+        hop2 = codec.decode(codec.encode(hop1))
+        assert stats.lazy_materialized == 0
+        assert dict(hop2["document"]) == envelope["document"]
+
+    def test_corrupt_header_raises(self):
+        from repro.errors import CodecError
+        from repro.event.wire import BinaryCodec
+
+        codec = BinaryCodec()
+        with pytest.raises(CodecError):
+            codec.decode(b"")
+        with pytest.raises(CodecError):
+            codec.decode(b"\x00\x01garbage")
+        wire = bytearray(codec.encode({"a": 1}))
+        wire[0] ^= 0xFF
+        with pytest.raises(CodecError):
+            codec.decode(bytes(wire))
+
+    def test_batch_and_single_are_distinct(self):
+        from repro.errors import CodecError
+        from repro.event.wire import BinaryCodec
+
+        codec = BinaryCodec()
+        with pytest.raises(CodecError):
+            codec.decode_batch(codec.encode({"a": 1}))
+        with pytest.raises(CodecError):
+            codec.decode(codec.encode_batch([{"a": 1}]))
+
+    def test_batch_interns_repeated_keys(self):
+        """The batch pickle stream's memo table interns repeated
+        collection/field names: N similar envelopes cost far less than
+        N single-message encodings."""
+        from repro.event.wire import BinaryCodec
+
+        codec = BinaryCodec()
+        envelopes = [
+            {"kind": "write", "collection": "shared-collection-name",
+             "key": i, "version": 1,
+             "document": {"field_one": i, "field_two": "x" * 5}}
+            for i in range(32)
+        ]
+        batched = len(codec.encode_batch(envelopes))
+        singles = sum(len(codec.encode(e)) for e in envelopes)
+        assert batched < 0.8 * singles
