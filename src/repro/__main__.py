@@ -94,12 +94,20 @@ def inspect(args: argparse.Namespace) -> int:
         # Trace every write: the inspector exists to show the write
         # path, so it overrides the production sampling default.
         telemetry=TelemetryConfig(trace_sample_rate=1.0),
+        # Sharing layers on, so the DAG share-ratio and window-group
+        # columns carry live numbers.
+        shared_query_dag=True,
+        shared_sorted_windows=True,
     )
     cluster = InvaliDBCluster(broker, config).start()
     app = AppServer("inspect-app", broker, config=config)
     try:
         app.subscribe("items", {"v": {"$gte": 0}})
         app.subscribe("items", {}, sort=[("v", -1)], limit=5)
+        # Pagination variants of the sorted query: same capacity, so
+        # they share one maintained window core.
+        app.subscribe("items", {}, sort=[("v", -1)], limit=4, offset=1)
+        app.subscribe("items", {}, sort=[("v", -1)], limit=3, offset=2)
         broker.drain()
         for i in range(args.writes):
             app.insert("items", {"_id": i, "v": i % 17})

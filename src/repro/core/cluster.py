@@ -174,6 +174,7 @@ class _MatchingBolt(Bolt):
             engine=self.cluster.engine,
             use_index=self.cluster.config.query_index,
             memoize=self.cluster.config.shared_predicate_memo,
+            shared_dag=self.cluster.config.shared_query_dag,
             telemetry=self.cluster.telemetry,
         )
         self.cluster._filtering_nodes[task_index] = self.node
@@ -326,6 +327,8 @@ class _SortingBolt(Bolt):
             engine=self.cluster.engine,
             telemetry=self.cluster.telemetry,
             incremental=self.cluster.config.incremental_sorting,
+            shared_windows=self.cluster.config.shared_sorted_windows,
+            adaptive_slack=self.cluster.config.adaptive_slack,
         )
         self.cluster._sorting_nodes[task_index] = self.node
 
@@ -634,6 +637,7 @@ class InvaliDBCluster:
                 retention_seconds=config.retention_seconds,
                 query_index=config.query_index,
                 shared_predicate_memo=config.shared_predicate_memo,
+                shared_query_dag=config.shared_query_dag,
                 notification_coalescing=config.notification_coalescing,
                 telemetry=telemetry,
             )
@@ -646,6 +650,8 @@ class InvaliDBCluster:
         spec = SortingCellSpec(
             task_index=task_index,
             incremental=config.incremental_sorting,
+            shared_windows=config.shared_sorted_windows,
+            adaptive_slack=config.adaptive_slack,
             default_slack=config.default_slack,
             telemetry=telemetry,
         )
@@ -998,6 +1004,21 @@ class InvaliDBCluster:
             "cluster.matched_operations": sum(
                 node.matched_operations for node in nodes
             ),
+            # PredicateMemo work-sharing totals (ISSUE 7: the bench
+            # reports memo-vs-DAG sharing side by side from one
+            # registry snapshot).
+            "cluster.memo_hits": sum(node.memo_hits for node in nodes),
+            "cluster.memo_misses": sum(
+                node.memo_misses for node in nodes
+            ),
+            "cluster.dag_nodes_evaluated": sum(
+                node.dag.nodes_evaluated
+                for node in nodes if node.dag is not None
+            ),
+            "cluster.dag_queries_served": sum(
+                node.dag.queries_served
+                for node in nodes if node.dag is not None
+            ),
         }
 
     def snapshot(self) -> Dict[str, Any]:
@@ -1027,6 +1048,7 @@ class InvaliDBCluster:
         sorting_rows: List[Dict[str, Any]] = []
         workers: Optional[Dict[str, Any]] = None
         considered = pruned = memo_hits = memo_misses = matched = 0
+        dag_nodes_evaluated = dag_queries_served = 0
         if self._process_mode:
             matching_rows, sorting_rows, workers = self._remote_rows()
             for row in matching_rows:
@@ -1035,6 +1057,10 @@ class InvaliDBCluster:
                 memo_hits += row.get("memo_hits", 0)
                 memo_misses += row.get("memo_misses", 0)
                 matched += row.get("matched_operations", 0)
+                dag = row.get("dag")
+                if dag:
+                    dag_nodes_evaluated += dag.get("nodes_evaluated", 0)
+                    dag_queries_served += dag.get("queries_served", 0)
         else:
             for index in sorted(self._filtering_nodes):
                 node = self._filtering_nodes[index]
@@ -1049,6 +1075,10 @@ class InvaliDBCluster:
                 memo_hits += row["memo_hits"]
                 memo_misses += row["memo_misses"]
                 matched += row["matched_operations"]
+                dag = row.get("dag")
+                if dag:
+                    dag_nodes_evaluated += dag.get("nodes_evaluated", 0)
+                    dag_queries_served += dag.get("queries_served", 0)
         matching_totals = {
             "matched_operations": matched,
             "candidates_considered": considered,
@@ -1059,6 +1089,13 @@ class InvaliDBCluster:
             "memo_hit_rate": round(
                 memo_hits / (memo_hits + memo_misses), 4
             ) if memo_hits + memo_misses else 0.0,
+            "memo_hits": memo_hits,
+            "memo_misses": memo_misses,
+            "dag_nodes_evaluated": dag_nodes_evaluated,
+            "dag_queries_served": dag_queries_served,
+            "dag_share_ratio": round(
+                max(0.0, 1.0 - dag_nodes_evaluated / dag_queries_served), 4
+            ) if dag_queries_served else 0.0,
         }
         if not self._process_mode:
             sorting_rows = [
@@ -1072,6 +1109,12 @@ class InvaliDBCluster:
                         self._sorting_nodes[index].renewals_requested,
                     "window_comparisons":
                         self._sorting_nodes[index].window_comparisons,
+                    "shared_groups":
+                        self._sorting_nodes[index].shared_group_count,
+                    "shared_attach":
+                        self._sorting_nodes[index].shared_attach,
+                    "shared_miss":
+                        self._sorting_nodes[index].shared_miss,
                 }
                 for index in sorted(self._sorting_nodes)
             ]

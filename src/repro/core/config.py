@@ -56,6 +56,25 @@ class InvaliDBConfig:
     #: Share sub-predicate evaluations across queries per after-image
     #: (SharedDB-style memoization in the matching nodes).
     shared_predicate_memo: bool = True
+    #: Shared predicate DAG in the matching nodes: canonicalize every
+    #: registered query's AST into one hash-consed DAG so structurally
+    #: identical subtrees are evaluated once per after-image and fanned
+    #: out to all subscribed queries (SharedDB whole-plan sharing; the
+    #: memo above only shares leaves).  Notification streams are
+    #: identical either way.
+    shared_query_dag: bool = False
+    #: Shared sorted windows in the sorting stage: sorted queries with
+    #: the same canonical (collection, filter, sort, capacity) share
+    #: ONE maintained window, with cheap per-query offset/limit views
+    #: projecting their notifications out of it.  Requires
+    #: ``incremental_sorting``; streams are identical either way.
+    shared_sorted_windows: bool = False
+    #: Adaptive slack (footnote 5): derive per-query slack from the
+    #: observed churn — grow preemptively for delete-heavy queries when
+    #: a maintenance error forces a renewal (the error change carries a
+    #: ``suggested_slack``), shrink at resubscribe for stable ones —
+    #: instead of the blind ``renewal_slack_factor``.
+    adaptive_slack: bool = False
     #: Incremental sorted-window maintenance: O(log W) positioning plus
     #: positional diffing instead of the legacy snapshot-diff path.
     #: Disable only for A/B measurements and the equivalence suite —
@@ -158,6 +177,10 @@ class InvaliDBConfig:
         elif self.process_workers is not None:
             raise ClusterConfigError(
                 "process_workers requires execution_model='process'"
+            )
+        if self.shared_sorted_windows and not self.incremental_sorting:
+            raise ClusterConfigError(
+                "shared_sorted_windows requires incremental_sorting"
             )
         if self.coalescing_window_seconds < 0:
             raise ClusterConfigError(

@@ -30,7 +30,13 @@ invariants keep the pruning loss-free:
 
 Identical sub-predicates across candidate queries are evaluated once
 per after-image through a shared :class:`~repro.query.matcher.
-PredicateMemo` (SharedDB-style work sharing).
+PredicateMemo` (SharedDB-style work sharing).  With ``shared_dag``
+enabled the sharing goes whole-plan: all registered queries are
+canonicalized into one hash-consed predicate DAG
+(:class:`~repro.query.shared.SharedPredicateDAG`) and a single pass per
+after-image serves every candidate's match/unmatch decision — the event
+stream stays byte-identical because decisions are consumed in the same
+per-candidate registration order either way.
 
 The node also implements write stream retention: retained after-images
 are replayed against newly registered queries, closing the
@@ -49,6 +55,7 @@ from repro.obs.telemetry import NULL_TELEMETRY
 from repro.query.engine import MongoQueryEngine, PluggableQueryEngine, Query
 from repro.query.index import QueryIndex
 from repro.query.matcher import PredicateMemo
+from repro.query.shared import DagEvaluation, SharedPredicateDAG
 from repro.types import AfterImage, Document, MatchType
 
 
@@ -109,6 +116,7 @@ class FilteringNode:
         engine: Optional[PluggableQueryEngine] = None,
         use_index: bool = True,
         memoize: bool = True,
+        shared_dag: bool = False,
         telemetry=None,
     ):
         self.coordinates = coordinates
@@ -117,6 +125,12 @@ class FilteringNode:
         self._queries: Dict[str, _ActiveQuery] = {}
         self.index: Optional[QueryIndex] = QueryIndex() if use_index else None
         self._memoize = memoize
+        #: Shared multi-query execution: one hash-consed predicate DAG
+        #: over all registered queries, evaluated once per after-image
+        #: (SharedDB-style whole-plan sharing, beyond the per-leaf memo).
+        self.dag: Optional[SharedPredicateDAG] = (
+            SharedPredicateDAG() if shared_dag else None
+        )
         #: Reverse map: entity key -> ids of queries currently matching
         #: it.  The removal-correctness backbone of indexed matching.
         self._matching_keys: Dict[Any, Set[str]] = {}
@@ -180,6 +194,8 @@ class FilteringNode:
             self._next_order += 1
             if self.index is not None:
                 self.index.add(query)
+            if self.dag is not None:
+                self.dag.add(query)
         state = _ActiveQuery(
             query=query,
             matching={doc["_id"]: versions.get(doc["_id"], 0) for doc in bootstrap},
@@ -206,6 +222,8 @@ class FilteringNode:
         self._order.pop(query_id, None)
         if self.index is not None:
             self.index.remove(query_id)
+        if self.dag is not None:
+            self.dag.remove(query_id)
         return True
 
     def _forget_matches(self, query_id: str, state: _ActiveQuery) -> None:
@@ -255,11 +273,16 @@ class FilteringNode:
             self._examined_hist.record(len(candidate_ids))
             self._pruned_hist.record(pruned)
         memo = PredicateMemo() if self._memoize else None
+        # One shared DAG pass serves every candidate's decision; queries
+        # outside the DAG (interning fallback) use the engine + memo.
+        evaluation: Optional[DagEvaluation] = None
+        if self.dag is not None and candidate_ids and not after.is_delete:
+            evaluation = self.dag.begin(after.document)  # type: ignore[arg-type]
         events: List[MatchEvent] = []
         for query_id in candidate_ids:
             state = self._queries.get(query_id)
             if state is not None:
-                events.extend(self._evaluate(state, after, memo))
+                events.extend(self._evaluate(state, after, memo, evaluation))
         if memo is not None:
             self.memo_hits += memo.hits
             self.memo_misses += memo.misses
@@ -310,15 +333,20 @@ class FilteringNode:
         state: _ActiveQuery,
         after: AfterImage,
         memo: Optional[PredicateMemo] = None,
+        evaluation: Optional[DagEvaluation] = None,
     ) -> List[MatchEvent]:
         query = state.query
         if after.is_delete or after.collection != query.collection:
-            matches_now = False
+            matches_now: Optional[bool] = False
         else:
             self.matched_operations += 1
-            matches_now = self.engine.matches(
-                query, after.document, memo  # type: ignore[arg-type]
-            )
+            matches_now = None
+            if evaluation is not None:
+                matches_now = evaluation.matches(query.query_id)
+            if matches_now is None:
+                matches_now = self.engine.matches(
+                    query, after.document, memo  # type: ignore[arg-type]
+                )
         was_matching = after.key in state.matching
         if matches_now:
             state.matching[after.key] = after.version
@@ -393,6 +421,8 @@ class FilteringNode:
         }
         if self.index is not None:
             snapshot["index"] = self.index.stats()
+        if self.dag is not None:
+            snapshot["dag"] = self.dag.stats()
         return snapshot
 
     def __repr__(self) -> str:

@@ -30,6 +30,9 @@ class QueryChange:
     timestamp: float = 0.0
     #: Version of the underlying write (0 = unknown/sorted-window diff).
     version: int = 0
+    #: Adaptive-slack hint riding a maintenance error: the slack the
+    #: sorting stage recommends for the renewal (None = no advice).
+    suggested_slack: Optional[int] = None
 
     @property
     def is_error(self) -> bool:
@@ -82,6 +85,7 @@ def bind_to_subscription(
         error=change.error,
         timestamp=change.timestamp,
         version=change.version,
+        suggested_slack=change.suggested_slack,
     )
 
 
@@ -97,6 +101,7 @@ def serialize_change(change: QueryChange) -> Dict[str, Any]:
         "error": change.error,
         "timestamp": change.timestamp,
         "version": change.version,
+        "suggested_slack": change.suggested_slack,
     }
 
 
@@ -111,4 +116,5 @@ def deserialize_change(payload: Dict[str, Any]) -> QueryChange:
         error=payload.get("error"),
         timestamp=payload.get("timestamp", 0.0),
         version=payload.get("version", 0),
+        suggested_slack=payload.get("suggested_slack"),
     )

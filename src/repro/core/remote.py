@@ -135,6 +135,7 @@ class MatchingCellSpec:
     retention_seconds: float = 5.0
     query_index: bool = True
     shared_predicate_memo: bool = True
+    shared_query_dag: bool = False
     notification_coalescing: bool = True
     telemetry: bool = False
 
@@ -156,6 +157,7 @@ class RemoteMatchingCell:
             retention_seconds=spec.retention_seconds,
             use_index=spec.query_index,
             memoize=spec.shared_predicate_memo,
+            shared_dag=spec.shared_query_dag,
             telemetry=self.telemetry,
         )
         self._queries: Dict[str, Query] = {}
@@ -244,6 +246,8 @@ class SortingCellSpec:
 
     task_index: int
     incremental: bool = True
+    shared_windows: bool = False
+    adaptive_slack: bool = False
     default_slack: int = 5
     stage: str = "sorting"
     telemetry: bool = False
@@ -263,6 +267,8 @@ class RemoteSortingCell:
             spec.task_index,
             telemetry=self.telemetry,
             incremental=spec.incremental,
+            shared_windows=spec.shared_windows,
+            adaptive_slack=spec.adaptive_slack,
         )
         self._queries: Dict[str, Query] = {}
 
@@ -316,6 +322,9 @@ class RemoteSortingCell:
             "events_processed": node.events_processed,
             "renewals_requested": node.renewals_requested,
             "window_comparisons": node.window_comparisons,
+            "shared_groups": getattr(node, "shared_group_count", 0),
+            "shared_attach": getattr(node, "shared_attach", 0),
+            "shared_miss": getattr(node, "shared_miss", 0),
         }
         if self.telemetry.enabled:
             row["telemetry"] = self.telemetry.snapshot()

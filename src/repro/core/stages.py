@@ -79,5 +79,7 @@ def build_stage(
             engine=engine,
             telemetry=telemetry,
             incremental=options.get("incremental", True),
+            shared_windows=options.get("shared_windows", False),
+            adaptive_slack=options.get("adaptive_slack", False),
         )
     raise ValueError(f"unknown processing stage: {kind!r}")

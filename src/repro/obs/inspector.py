@@ -79,6 +79,7 @@ def render(snapshot: Dict[str, Any]) -> str:
             pruned = node.get("candidates_pruned", 0)
             memo_hits = node.get("memo_hits", 0)
             memo_total = memo_hits + node.get("memo_misses", 0)
+            dag = node.get("dag") or {}
             rows.append([
                 node.get("node", "?"),
                 node.get("query_partition"),
@@ -88,12 +89,21 @@ def render(snapshot: Dict[str, Any]) -> str:
                 node.get("matched_operations"),
                 _pct(pruned, considered + pruned),
                 _pct(memo_hits, memo_total),
+                _pct(dag["share_ratio"], 1.0) if dag else None,
             ])
         sections.append("matching grid\n" + _table(
             ["node", "qp", "wp", "queries", "writes", "matched",
-             "pruned%", "memo%"],
+             "pruned%", "memo%", "dag share%"],
             rows,
         ))
+        totals = snapshot.get("matching_totals") or {}
+        if totals.get("dag_queries_served"):
+            sections[-1] += (
+                f"\nshared DAG: {totals['dag_queries_served']:,} "
+                f"decisions from {totals['dag_nodes_evaluated']:,} node "
+                f"evaluations "
+                f"(share ratio {totals['dag_share_ratio']:.3f})"
+            )
 
     sorting = snapshot.get("sorting", [])
     if sorting:
@@ -101,11 +111,13 @@ def render(snapshot: Dict[str, Any]) -> str:
             [node.get("node", "?"), node.get("query_partition"),
              node.get("queries"), node.get("events_processed"),
              node.get("renewals_requested"),
-             node.get("window_comparisons")]
+             node.get("window_comparisons"),
+             node.get("shared_groups")]
             for node in sorting
         ]
         sections.append("sorting stage\n" + _table(
-            ["node", "qp", "queries", "events", "renewals", "cmps"], rows,
+            ["node", "qp", "queries", "events", "renewals", "cmps",
+             "groups"], rows,
         ))
 
     mailboxes = snapshot.get("mailboxes", [])

@@ -24,6 +24,40 @@ from repro.query.sortspec import SortInput, SortSpec
 from repro.query.text import TextSearch
 
 
+def _canonical_sort_key(value: Any) -> Tuple[Any, ...]:
+    """Total-order key over canonical forms (branch ordering).
+
+    Branches of ``$and``/``$or``/``$nor`` must sort deterministically so
+    reordered spellings of one query hash identically.  Ordering by
+    ``repr`` is fragile: default object reprs embed memory addresses
+    (varying across processes, which would break cross-server query
+    routing) and distinct values can share a repr.  This key orders by
+    a type rank first and a comparable payload second, recursing into
+    tuples; numeric payloads compare exactly (Python int/float
+    comparison is arbitrary-precision), with the type name as the
+    tiebreaker so canonical-unequal values never compare equal.
+    """
+    if isinstance(value, tuple):
+        return (7, tuple(_canonical_sort_key(item) for item in value))
+    if value is None:
+        return (0,)
+    if isinstance(value, bool):
+        return (1, int(value))
+    if isinstance(value, (int, float)):
+        if value != value:  # NaN: pin every NaN to one fixed slot
+            return (2,)
+        return (3, value, type(value).__name__)
+    if isinstance(value, str):
+        return (4, value)
+    if isinstance(value, bytes):
+        return (5, value)
+    if isinstance(value, frozenset):
+        return (6, tuple(sorted(_canonical_sort_key(item) for item in value)))
+    # Exotic leaf values: class name keeps unlike types apart; repr is
+    # only ever compared within one class.
+    return (8, type(value).__name__, repr(value))
+
+
 def normalize_node(node: Node) -> Tuple[Any, ...]:
     """Return an order-independent canonical form of an AST node."""
     if isinstance(node, Always):
@@ -41,7 +75,10 @@ def normalize_node(node: Node) -> Tuple[Any, ...]:
         )
     if isinstance(node, (AllOf, AnyOf, NoneOf)):
         label = {"AllOf": "and", "AnyOf": "or", "NoneOf": "nor"}[type(node).__name__]
-        branches = tuple(sorted((normalize_node(b) for b in node.branches), key=repr))
+        branches = tuple(sorted(
+            (normalize_node(b) for b in node.branches),
+            key=_canonical_sort_key,
+        ))
         return (label, branches)
     raise TypeError(f"unknown AST node: {node!r}")
 

@@ -1,0 +1,261 @@
+"""SharedDB-style shared multi-query execution: the predicate DAG.
+
+PR 2's :class:`~repro.query.matcher.PredicateMemo` shares *leaf*
+evaluations across the candidate queries of one after-image, but every
+query still walks its own AST per write.  Following "SharedDB: Killing
+One Thousand Queries With One Stone" (arXiv:1203.0056), this module
+shares the *whole plan*: every registered query's AST is canonicalized
+(via :func:`~repro.query.normalize.normalize_node`) into one global
+hash-consed DAG in which structurally identical subtrees — leaves AND
+interior ``$and``/``$or``/``$nor``/``$not`` combinations — are a single
+node.  One pass over an after-image evaluates each distinct subtree at
+most once and fans the boolean outcome out to every subscribed query,
+so ten thousand pagination variants of the same feed filter cost one
+root evaluation plus ten thousand dictionary lookups.
+
+Design notes:
+
+* **Hash-consing.**  Leaves are interned by their canonical form (path
+  + canonical operator for field predicates, sorted term sets for text
+  search); interior nodes by ``(label, sorted child ids)``.  Because
+  interning is bottom-up, canonical-equal subtrees always resolve to
+  the same node id, so the sorted-id key is a sound structural key.
+  Any representative AST node can evaluate a leaf: canonical equality
+  implies behavioural equality (the same assumption `PredicateMemo`
+  already makes when it shares leaf outcomes across queries).
+* **Refcounting, no rebuilds.**  Each node counts its parents plus the
+  query roots pointing at it.  ``add``/``remove`` are incremental:
+  deregistering a query releases its root, cascading frees through
+  subtrees no other query references.  The DAG never rebuilds.
+* **Lazy short-circuit evaluation.**  A :class:`DagEvaluation` caches
+  outcomes per node id and evaluates on demand — ``all``/``any``
+  generators short-circuit, and roots the caller never asks about
+  (e.g. queries pruned by the PR 2 predicate index) leave their
+  exclusive subtrees entirely untouched.
+* **Graceful fallback.**  A query whose canonical form is unhashable
+  (an exotic operator payload) simply stays outside the DAG; the
+  filtering node keeps evaluating it through the per-query engine
+  path.  Correctness never depends on DAG membership.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.query.ast import AllOf, AnyOf, Node, NoneOf, Not
+from repro.query.engine import Query
+from repro.query.matcher import matches_node
+from repro.query.normalize import normalize_node
+from repro.types import Document
+
+_LABELS = {"AllOf": "and", "AnyOf": "or", "NoneOf": "nor"}
+
+
+class _DagNode:
+    """One hash-consed predicate node (leaf or logical combinator)."""
+
+    __slots__ = ("node_id", "key", "label", "children", "leaf", "refs")
+
+    def __init__(
+        self,
+        node_id: int,
+        key: Any,
+        label: str,
+        children: Tuple["_DagNode", ...],
+        leaf: Optional[Node],
+    ):
+        self.node_id = node_id
+        self.key = key
+        self.label = label
+        self.children = children
+        self.leaf = leaf
+        #: Parents referencing this node + query roots pointing at it.
+        self.refs = 0
+
+
+class DagEvaluation:
+    """Lazy evaluation of the DAG against one after-image document.
+
+    Outcomes are cached per node id, so across all the candidate
+    queries of a write each distinct subtree is computed at most once.
+    """
+
+    __slots__ = ("_dag", "_document", "_cache")
+
+    def __init__(self, dag: "SharedPredicateDAG", document: Document):
+        self._dag = dag
+        self._document = document
+        self._cache: Dict[int, bool] = {}
+
+    def matches(self, query_id: str) -> Optional[bool]:
+        """Decision for one query; None when it is not in the DAG."""
+        root = self._dag._roots.get(query_id)
+        if root is None:
+            return None
+        self._dag.queries_served += 1
+        # Hot path: overlapping queries share a root, so nearly every
+        # decision is a cache hit — skip the recursive entry.
+        cached = self._cache.get(root.node_id)
+        if cached is not None:
+            return cached
+        return self._evaluate(root)
+
+    def _evaluate(self, node: _DagNode) -> bool:
+        cached = self._cache.get(node.node_id)
+        if cached is not None:
+            return cached
+        self._dag.nodes_evaluated += 1
+        label = node.label
+        if label == "leaf":
+            value = matches_node(self._document, node.leaf)  # type: ignore[arg-type]
+        elif label == "and":
+            value = all(self._evaluate(child) for child in node.children)
+        elif label == "or":
+            value = any(self._evaluate(child) for child in node.children)
+        elif label == "nor":
+            value = not any(self._evaluate(child) for child in node.children)
+        else:  # "not"
+            value = not self._evaluate(node.children[0])
+        self._cache[node.node_id] = value
+        return value
+
+    @property
+    def nodes_evaluated(self) -> int:
+        return len(self._cache)
+
+
+class SharedPredicateDAG:
+    """Global hash-consed predicate DAG over all registered queries."""
+
+    def __init__(self) -> None:
+        #: Structural key -> interned node.
+        self._interned: Dict[Any, _DagNode] = {}
+        #: query_id -> root node (one ref held per entry).
+        self._roots: Dict[str, _DagNode] = {}
+        self._next_id = 0
+        # -- counters ---------------------------------------------------
+        #: Per-image evaluation passes started.
+        self.evaluations = 0
+        #: Distinct DAG nodes computed across all passes.
+        self.nodes_evaluated = 0
+        #: Match/unmatch decisions served to queries.
+        self.queries_served = 0
+        #: Queries that could not be interned (per-query fallback).
+        self.fallbacks = 0
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+
+    def add(self, query: Query) -> bool:
+        """Intern *query*'s predicate tree; False = engine fallback."""
+        if query.query_id in self._roots:
+            return True
+        created: List[_DagNode] = []
+        try:
+            root = self._intern(query.node, created)
+        except TypeError:
+            # Unhashable canonical form: sweep the partially interned
+            # forest (created nodes no parent ended up referencing).
+            for node in reversed(created):
+                if node.refs == 0 and self._interned.get(node.key) is node:
+                    self._free(node)
+            self.fallbacks += 1
+            return False
+        root.refs += 1
+        self._roots[query.query_id] = root
+        return True
+
+    def remove(self, query_id: str) -> bool:
+        """Release a query's root, freeing now-unreferenced subtrees."""
+        root = self._roots.pop(query_id, None)
+        if root is None:
+            return False
+        self._release(root)
+        return True
+
+    def _intern(self, ast: Node, created: List[_DagNode]) -> _DagNode:
+        if isinstance(ast, (AllOf, AnyOf, NoneOf)):
+            label: str = _LABELS[type(ast).__name__]
+            children = tuple(
+                self._intern(branch, created) for branch in ast.branches
+            )
+            key: Any = (label, tuple(sorted(c.node_id for c in children)))
+            leaf: Optional[Node] = None
+        elif isinstance(ast, Not):
+            children = (self._intern(ast.branch, created),)
+            key = ("not", children[0].node_id)
+            leaf = None
+        else:
+            children = ()
+            key = ("leaf", normalize_node(ast))  # TypeError if unhashable
+            label = "leaf"
+            leaf = ast
+        node = self._interned.get(key)
+        if node is None:
+            node = _DagNode(self._next_id, key, label, children, leaf)
+            self._next_id += 1
+            self._interned[key] = node
+            for child in children:
+                child.refs += 1
+            created.append(node)
+        return node
+
+    def _release(self, node: _DagNode) -> None:
+        node.refs -= 1
+        if node.refs == 0:
+            self._free(node)
+
+    def _free(self, node: _DagNode) -> None:
+        if self._interned.get(node.key) is node:
+            del self._interned[node.key]
+        for child in node.children:
+            self._release(child)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def begin(self, document: Document) -> DagEvaluation:
+        """Start one shared evaluation pass over *document*."""
+        self.evaluations += 1
+        return DagEvaluation(self, document)
+
+    def __contains__(self, query_id: str) -> bool:
+        return query_id in self._roots
+
+    def __len__(self) -> int:
+        return len(self._interned)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def share_ratio(self) -> float:
+        """Fraction of per-query evaluation work the DAG elided.
+
+        1 - nodes evaluated / decisions served: 0 when every decision
+        required its own node computation, approaching 1 when thousands
+        of overlapping queries ride one evaluated subtree.
+        """
+        if not self.queries_served:
+            return 0.0
+        return max(0.0, 1.0 - self.nodes_evaluated / self.queries_served)
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "nodes": len(self._interned),
+            "roots": len(self._roots),
+            "evaluations": self.evaluations,
+            "nodes_evaluated": self.nodes_evaluated,
+            "queries_served": self.queries_served,
+            "share_ratio": round(self.share_ratio, 4),
+            "fallbacks": self.fallbacks,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedPredicateDAG({len(self._roots)} roots, "
+            f"{len(self._interned)} nodes)"
+        )

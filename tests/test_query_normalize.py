@@ -49,6 +49,37 @@ class TestNormalizationInvariance:
             {"a": {"$nin": [1]}}
         )
 
+    def test_or_reorderings_hash_identically(self):
+        """Regression: branch ordering used to fall back to repr-sort,
+        which is not a total order over canonical forms.  Every
+        permutation of the same $or must produce one canonical form and
+        one hash — the shared predicate DAG interns branches by this
+        canonical identity."""
+        branches = [
+            {"a": {"$gte": 10}},
+            {"b": {"$in": [3, 1, 2]}},
+            {"$and": [{"c": 1}, {"d": {"$lt": 5}}]},
+            {"e": {"$exists": True}},
+        ]
+        orders = [
+            branches,
+            branches[::-1],
+            [branches[2], branches[0], branches[3], branches[1]],
+        ]
+        forms = {normalize_filter({"$or": order}) for order in orders}
+        hashes = {query_hash({"$or": order}) for order in orders}
+        assert len(forms) == 1
+        assert len(hashes) == 1
+
+    def test_mixed_type_branch_ordering_is_total(self):
+        """Values whose reprs collide or interleave across types (bool
+        vs int, int vs float, None, strings) still sort into a single
+        canonical order."""
+        values = [True, 1, 1.0, 0, None, "1", 2.5, False]
+        left = normalize_filter({"$or": [{"x": v} for v in values]})
+        right = normalize_filter({"$or": [{"x": v} for v in reversed(values)]})
+        assert left == right
+
 
 class TestQueryHash:
     def test_stable_across_calls(self):
