@@ -80,7 +80,7 @@ def demo() -> int:
 def inspect(args: argparse.Namespace) -> int:
     """Boot an inline telemetry-on cluster, run a workload, render it."""
     from repro.obs.export import format_slow_events, to_json, to_prometheus
-    from repro.obs.inspector import render
+    from repro.obs.inspector import render, render_health
     from repro.obs.telemetry import TelemetryConfig
     from repro.runtime.execution import ExecutionConfig, InlineExecutionModel
 
@@ -89,6 +89,18 @@ def inspect(args: argparse.Namespace) -> int:
         ExecutionConfig(mode="inline", seed=args.seed)
     )
     broker = Broker(execution=model)
+    overload_knobs = {}
+    if args.health:
+        # Demo the overload view with live numbers: pin the cluster
+        # overloaded and shrink the admission budget so the synthetic
+        # workload actually gets rejected, shed and refreshed.
+        overload_knobs = dict(
+            overload_control=True,
+            shedding=True,
+            force_health="overloaded",
+            admission_burst=8,
+            admission_initial_rate=50.0,
+        )
     config = InvaliDBConfig(
         query_partitions=int(qp), write_partitions=int(wp or qp),
         # Trace every write: the inspector exists to show the write
@@ -98,6 +110,7 @@ def inspect(args: argparse.Namespace) -> int:
         # columns carry live numbers.
         shared_query_dag=True,
         shared_sorted_windows=True,
+        **overload_knobs,
     )
     cluster = InvaliDBCluster(broker, config).start()
     app = AppServer("inspect-app", broker, config=config)
@@ -122,6 +135,8 @@ def inspect(args: argparse.Namespace) -> int:
             print(to_prometheus(cluster.telemetry), end="")
         elif args.slow:
             print(format_slow_events(cluster.telemetry), end="")
+        elif args.health:
+            print(render_health(cluster.snapshot()["health"]), end="")
         else:
             print(render(cluster.snapshot()), end="")
         return 0
@@ -158,6 +173,9 @@ def main(argv=None) -> int:
                         help="dump the registry in Prometheus text format")
     output.add_argument("--slow", action="store_true",
                         help="print the slow-event log")
+    output.add_argument("--health", action="store_true",
+                        help="render the overload-control health table "
+                             "(forces an overloaded demo workload)")
     args = parser.parse_args(argv)
     if args.command == "inspect":
         return inspect(args)

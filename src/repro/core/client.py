@@ -184,6 +184,20 @@ class RealTimeSubscription:
                 self._order.insert(index, key)
         # CHANGE keeps the position.
 
+    def _sync_window(self, documents: List[Document]) -> None:
+        """Replace the materialized window wholesale (snapshot refresh).
+
+        The catch-up diff delivered just before this call covers
+        membership and content changes, but a diff cannot express two
+        equal documents merely swapping positions — adopting the
+        authoritative order directly can.  Versions are deliberately
+        kept: a stale straggler arriving after the refresh must still
+        be skipped.
+        """
+        with self._lock:
+            self._order = [doc["_id"] for doc in documents]
+            self._documents = {doc["_id"]: doc for doc in documents}
+
     # -- consumption ----------------------------------------------------------
 
     def result(self) -> List[Document]:
@@ -329,10 +343,36 @@ class InvaliDBClient:
         #: Backoff seconds accumulated (virtual under the inline model,
         #: where sleeping would add nothing but wall-clock noise).
         self.backoff_waited = 0.0
+        # -- overload control (all zero / None on clean runs) -----------
+        #: Last cluster health state seen on a heartbeat or rejection
+        #: (None until the cluster reports one).
+        self.cluster_health: Optional[str] = None
+        self.writes_rejected = 0
+        self.writes_resubmitted = 0
+        self.writes_abandoned = 0
+        self.refreshes_received = 0
+        #: call_later handles for retry-after resubmits in flight.
+        self._pending_resubmits: List[Any] = []
         self._notification_subscription = broker.subscribe(
             notification_channel(app_server_id), self._on_notification
         )
         self._closed = False
+
+    @property
+    def degraded(self) -> bool:
+        """True while the cluster last reported degraded/overloaded —
+        the client-visible signal that delivery may be coalesced or
+        replaced by snapshot refreshes until health recovers."""
+        return self.cluster_health in ("degraded", "overloaded")
+
+    def _deadline_now(self) -> float:
+        """The clock write deadlines are stamped from: virtual time
+        under the inline model, the config clock otherwise — matching
+        what the cluster compares them against."""
+        execution = self.broker.execution
+        if execution.deterministic:
+            return execution.virtual_now
+        return self.config.clock()
 
     @property
     def telemetry(self):
@@ -584,8 +624,18 @@ class InvaliDBClient:
     # ------------------------------------------------------------------
 
     def _on_notification(self, channel: str, payload: Dict[str, Any]) -> None:
-        if payload.get("kind") == "heartbeat":
+        kind = payload.get("kind")
+        if kind == "heartbeat":
             self.last_heartbeat = payload.get("timestamp", self.config.clock())
+            health = payload.get("health")
+            if health is not None:
+                self.cluster_health = health
+            return
+        if kind == "overload-rejected":
+            self._on_overload_rejected(payload)
+            return
+        if kind == "refresh":
+            self._on_refresh(payload)
             return
         change = deserialize_change(payload)
         tel = self.telemetry
@@ -625,6 +675,77 @@ class InvaliDBClient:
             tnow = tel.now()
             end_span(trace, MATERIALIZE, tnow)
             tel.tracer.complete(trace, tnow)
+
+    # ------------------------------------------------------------------
+    # Overload responses (admission rejections & snapshot refreshes)
+    # ------------------------------------------------------------------
+
+    def _on_overload_rejected(self, payload: Dict[str, Any]) -> None:
+        """The cluster pushed a write back: honor its retry-after hint.
+
+        The write is rescheduled through the execution model's timer
+        (virtual time under the inline model), with the usual seeded
+        jitter so synchronized clients don't retry in lockstep.  A
+        write bouncing more than ``admission_max_resubmits`` times is
+        abandoned and counted.
+        """
+        self.writes_rejected += 1
+        health = payload.get("health")
+        if health is not None:
+            self.cluster_health = health
+        envelope = payload.get("write")
+        if envelope is None or self._closed:
+            return
+        resubmits = envelope.get("resubmits", 0)
+        if resubmits >= self.config.admission_max_resubmits:
+            self.writes_abandoned += 1
+            return
+        envelope = dict(envelope)
+        envelope.pop("trace", None)
+        envelope["resubmits"] = resubmits + 1
+        delay = max(float(payload.get("retry_after", 0.0)), 0.001)
+        delay += (self._retry_rng.random()
+                  * self.config.publish_backoff_jitter * delay)
+        self.backoff_waited += delay
+        handle = self.broker.execution.call_later(
+            delay, lambda: self._resubmit_write(envelope)
+        )
+        with self._lock:
+            self._pending_resubmits.append(handle)
+
+    def _resubmit_write(self, envelope: Dict[str, Any]) -> None:
+        if self._closed:
+            return
+        if self.config.deadline_budget_seconds:
+            # The original budget was spent waiting out the rejection;
+            # a resubmitted write earns a fresh one.
+            envelope["deadline"] = (
+                self._deadline_now() + self.config.deadline_budget_seconds
+            )
+        self.writes_resubmitted += 1
+        try:
+            self._publish(write_channel(self.tenant), envelope, "write")
+        except Exception:  # noqa: BLE001 - _publish already counted it
+            pass
+
+    def _on_refresh(self, payload: Dict[str, Any]) -> None:
+        """A sorted query's diff stream was shed: adopt the wholesale
+        window snapshot.  Catch-up notifications (the same diff shape
+        ``resubscribe_all`` synthesizes) keep change callbacks and the
+        notification log coherent; the window is then synced outright
+        so ordering matches the authoritative snapshot exactly."""
+        query_id = payload.get("query_id")
+        documents = payload.get("documents") or []
+        with self._lock:
+            query = self._queries.get(query_id)
+            handles = list(self._handles.get(query_id, ()))
+        if query is None:
+            return
+        self.refreshes_received += 1
+        for handle in handles:
+            for notification in self._catchup(handle, query, documents):
+                handle._deliver(notification)
+            handle._sync_window(documents)
 
     # ------------------------------------------------------------------
     # Query renewal (maintenance errors)
@@ -828,6 +949,17 @@ class InvaliDBClient:
     def forward_write(self, after: AfterImage) -> None:
         """Publish one after-image to the cluster's write channel."""
         payload = serialize_after_image(after)
+        if self.config.overload_control:
+            # Origin lets the admission governor push a rejection back
+            # to this client; the deadline stamps the latency budget
+            # the grid stages shed against.  Both keys only exist with
+            # the gate on, keeping ungated wire payloads byte-identical.
+            payload["origin"] = self.app_server_id
+            if self.config.deadline_budget_seconds:
+                payload["deadline"] = (
+                    self._deadline_now()
+                    + self.config.deadline_budget_seconds
+                )
         trace = self._start_trace("write", after.key)
         if trace is not None:
             payload["trace"] = trace
@@ -848,6 +980,8 @@ class InvaliDBClient:
         with self._lock:
             handles = list(self._pending_renewals.values())
             self._pending_renewals.clear()
+            handles += self._pending_resubmits
+            self._pending_resubmits = []
         for handle in handles:
             handle.cancel()
         self._notification_subscription.close()
@@ -880,4 +1014,9 @@ class InvaliDBClient:
             "resubscribes": self.resubscribes,
             "stale_notifications_skipped": stale,
             "circuit": self._breaker.stats(),
+            "writes_rejected": self.writes_rejected,
+            "writes_resubmitted": self.writes_resubmitted,
+            "writes_abandoned": self.writes_abandoned,
+            "refreshes_received": self.refreshes_received,
+            "cluster_health": self.cluster_health,
         }

@@ -39,6 +39,11 @@ from repro.core.notifications import (
     resolve_coalesced_type,
     serialize_change,
 )
+from repro.core.overload import (
+    SEVERITY as HEALTH_SEVERITY,
+    OverloadController,
+    serialize_refresh,
+)
 from repro.core.partitioning import PartitioningScheme
 from repro.core.retention import RetentionBuffer
 from repro.core.sorting import SortingNode
@@ -148,6 +153,15 @@ class _WriteIngestionBolt(Bolt):
         return _WriteIngestionBolt(self.cluster)
 
     def process(self, tuple_: Dict[str, Any]) -> None:
+        overload = self.cluster.overload
+        if (
+            overload is not None
+            and tuple_.get("kind") == "write"
+            and not overload.admit(tuple_)
+        ):
+            # Rejected at the edge: NOT retained (retention replay must
+            # never resurrect a write the governor pushed back).
+            return
         wp = self.cluster.scheme.write_partition_of(tuple_["key"])
         self.cluster._retain_write(wp, tuple_)
         forwarded = dict(tuple_)
@@ -208,7 +222,9 @@ class _MatchingBolt(Bolt):
         """
         assert self.node is not None
         tel = self.cluster.telemetry
-        pairs: List[Tuple[MatchEvent, Optional[Dict[str, Any]]]] = []
+        pairs: List[
+            Tuple[MatchEvent, Optional[Dict[str, Any]], Optional[float]]
+        ] = []
         now = self.cluster.config.clock()
         for tuple_ in tuples:
             kind = tuple_["kind"]
@@ -217,7 +233,18 @@ class _MatchingBolt(Bolt):
                 tnow = tel.now()
                 end_span(trace, PUBLISH, tnow)
                 begin_span(trace, FILTER, tnow)
+            deadline = tuple_.get("deadline") if kind == "write" else None
             if kind == "write":
+                if (
+                    deadline is not None
+                    and self.cluster._deadline_now() > deadline
+                ):
+                    # Budget already spent: computing matches no client
+                    # can receive in time is pure wasted work.
+                    self.node.deadline_shed += 1
+                    if trace is not None:
+                        end_span(trace, FILTER, tel.now())
+                    continue
                 after = deserialize_after_image(tuple_)
                 events = self.node.process_write(after, now)
             elif kind == "subscribe":
@@ -229,23 +256,27 @@ class _MatchingBolt(Bolt):
                 events = []
             if trace is not None:
                 end_span(trace, FILTER, tel.now())
-            pairs.extend((event, trace) for event in events)
+            pairs.extend((event, trace, deadline) for event in events)
         self._dispatch(pairs)
 
     def _dispatch(
         self,
-        pairs: List[Tuple[MatchEvent, Optional[Dict[str, Any]]]],
+        pairs: List[
+            Tuple[MatchEvent, Optional[Dict[str, Any]], Optional[float]]
+        ],
     ) -> None:
         tel = self.cluster.telemetry
         if self.cluster.config.notification_coalescing and len(pairs) > 1:
             pairs = self._coalesce(pairs)
-        for event, trace in pairs:
+        for event, trace, deadline in pairs:
             if event.needs_sorting:
                 message: Dict[str, Any] = {
                     "kind": "match-event",
                     "query_id": event.query_id,
                     "event": event,
                 }
+                if deadline is not None:
+                    message["deadline"] = deadline
                 branch = fork(trace)
                 if branch is not None:
                     begin_span(branch, SORT, tel.now())
@@ -258,8 +289,12 @@ class _MatchingBolt(Bolt):
 
     def _coalesce(
         self,
-        pairs: List[Tuple[MatchEvent, Optional[Dict[str, Any]]]],
-    ) -> List[Tuple[MatchEvent, Optional[Dict[str, Any]]]]:
+        pairs: List[
+            Tuple[MatchEvent, Optional[Dict[str, Any]], Optional[float]]
+        ],
+    ) -> List[
+        Tuple[MatchEvent, Optional[Dict[str, Any]], Optional[float]]
+    ]:
         """Collapse redundant per-(query, key) notifications in a batch.
 
         Within one dispatch batch, events for the same (query, key) are
@@ -278,18 +313,20 @@ class _MatchingBolt(Bolt):
         """
         last_index: Dict[Tuple[str, Any], int] = {}
         first_type: Dict[Tuple[str, Any], MatchType] = {}
-        for index, (event, _) in enumerate(pairs):
+        for index, (event, _, _) in enumerate(pairs):
             if event.needs_sorting:
                 continue
             group = (event.query_id, event.key)
             if group not in first_type:
                 first_type[group] = event.match_type
             last_index[group] = index
-        coalesced: List[Tuple[MatchEvent, Optional[Dict[str, Any]]]] = []
+        coalesced: List[
+            Tuple[MatchEvent, Optional[Dict[str, Any]], Optional[float]]
+        ] = []
         dropped = 0
-        for index, (event, trace) in enumerate(pairs):
+        for index, (event, trace, deadline) in enumerate(pairs):
             if event.needs_sorting:
-                coalesced.append((event, trace))
+                coalesced.append((event, trace, deadline))
                 continue
             group = (event.query_id, event.key)
             if last_index[group] != index:
@@ -304,7 +341,7 @@ class _MatchingBolt(Bolt):
                 continue
             if final is not event.match_type:
                 event = replace(event, match_type=final)
-            coalesced.append((event, trace))
+            coalesced.append((event, trace, deadline))
         if dropped:
             self.cluster.notifications_coalesced += dropped
         return coalesced
@@ -338,11 +375,32 @@ class _SortingBolt(Bolt):
         tel = self.cluster.telemetry
         trace = fork(trace_of(tuple_)) if tel.enabled else None
         if kind == "match-event":
+            deadline = tuple_.get("deadline")
+            if (
+                deadline is not None
+                and self.cluster._deadline_now() > deadline
+            ):
+                # The write's latency budget expired in flight: skipping
+                # window maintenance here is safe because the sorting
+                # stage resolves any resulting staleness through its
+                # renewal path (exactly as it does for dropped events).
+                self.node.deadline_shed += 1
+                return
             # The ``sort`` span was opened by the matching bolt when it
             # routed the event here; close it around the maintenance.
             changes = self.node.handle_event(tuple_["event"])
             if trace is not None:
                 end_span(trace, SORT, tel.now())
+            overload = self.cluster.overload
+            if (
+                changes
+                and overload is not None
+                and overload.shedding_active()
+                and overload.defer_sorted(self.node, changes)
+            ):
+                # Diffs swallowed; a periodic snapshot refresh of the
+                # dirty window replaces them (convergence-safe).
+                return
         elif kind == "subscribe":
             query = self.cluster._query_from_wire(tuple_)
             if not query.needs_sorting_stage:
@@ -462,15 +520,31 @@ class _NotificationStager:
     ``drain()`` fires the flush, keeping staged delivery reproducible.
     """
 
-    def __init__(self, cluster: "InvaliDBCluster", window: float):
+    def __init__(
+        self,
+        cluster: "InvaliDBCluster",
+        window: float,
+        on_coalesce: Optional[Any] = None,
+    ):
         self.cluster = cluster
         self.window = window
+        #: Where elisions are counted: the cluster-wide coalescing
+        #: counter by default, or a caller-supplied callback (the
+        #: overload controller's shed stager keeps its own books so
+        #: clean-run coalescing and pressure shedding stay separable).
+        self._on_coalesce = on_coalesce
         self._lock = threading.Lock()
         #: (query_id, key) -> [first_type, latest change, latest trace]
         self._staged: Dict[Tuple[str, Any], List[Any]] = {}
         self._flush_scheduled = False
         self.staged_total = 0
         self.flushes = 0
+
+    def _note(self) -> None:
+        if self._on_coalesce is not None:
+            self._on_coalesce()
+        else:
+            self.cluster.notifications_coalesced += 1
 
     def offer(
         self,
@@ -494,7 +568,7 @@ class _NotificationStager:
             else:
                 entry[1] = change
                 entry[2] = trace
-                self.cluster.notifications_coalesced += 1
+                self._note()
             if not self._flush_scheduled:
                 self._flush_scheduled = True
                 schedule = True
@@ -512,7 +586,7 @@ class _NotificationStager:
         for (_, _key), (first, change, trace) in staged.items():
             final = resolve_coalesced_type(first, change.match_type)
             if final is None:
-                self.cluster.notifications_coalesced += 1
+                self._note()
                 continue
             if final is not change.match_type:
                 change = replace(change, match_type=final)
@@ -585,6 +659,11 @@ class InvaliDBCluster:
             self.stager = _NotificationStager(
                 self, self.config.coalescing_window_seconds
             )
+        #: Overload control seam (None = gate off: zero-cost, the hot
+        #: paths skip every check on one attribute load).
+        self.overload: Optional[OverloadController] = None
+        if self.config.overload_control:
+            self.overload = OverloadController(self)
         self._registrations: Dict[str, QueryRegistration] = {}
         self._registration_lock = threading.Lock()
         self._query_cache: Dict[str, Query] = {}
@@ -745,6 +824,13 @@ class InvaliDBCluster:
 
     def stop(self) -> None:
         self._stopping.set()
+        if self.overload is not None:
+            # Deferred sorted refreshes and shed-staged notifications
+            # go out while the broker is still open — shutdown must
+            # never strand degraded-mode deliveries.
+            self.overload.flush_refresh()
+            if self.overload.shed_stager is not None:
+                self.overload.shed_stager.flush()
         if self.stager is not None:
             # Deliver anything still staged while the broker is open.
             self.stager.flush()
@@ -909,6 +995,16 @@ class InvaliDBCluster:
         change: QueryChange,
         trace: Optional[Dict[str, Any]] = None,
     ) -> None:
+        overload = self.overload
+        if (
+            overload is not None
+            and overload.shed_stager is not None
+            and overload.shedding_active()
+            and overload.shed_stager.offer(change, trace)
+        ):
+            # Degraded mode: per-event delivery collapses to coalesced
+            # latest-value through the pressure-widened window.
+            return
         stager = self.stager
         if stager is not None and stager.offer(change, trace):
             return
@@ -943,6 +1039,43 @@ class InvaliDBCluster:
             self.broker.publish(notification_channel(app_server), message)
             self.notifications_sent += 1
 
+    def _deliver_refresh(self, query_id: str, documents: List[Any]) -> None:
+        """Fan one wholesale sorted-window snapshot out to the query's
+        subscribers (the shed replacement for a burst of diffs)."""
+        with self._registration_lock:
+            registration = self._registrations.get(query_id)
+            app_servers = (
+                [] if registration is None else registration.app_servers
+            )
+        if not app_servers:
+            return
+        payload = serialize_refresh(query_id, documents, self.config.clock())
+        for app_server in app_servers:
+            try:
+                self.broker.publish(
+                    notification_channel(app_server), payload
+                )
+            except Exception:  # noqa: BLE001 - broker may be closing
+                return
+
+    def _deadline_now(self) -> float:
+        """The clock deadlines are compared against: virtual time under
+        the inline model (deterministic shedding), config clock else."""
+        if self._execution.deterministic:
+            return self._execution.virtual_now
+        return self.config.clock()
+
+    def _deadline_shed_total(self) -> int:
+        """Writes/events shed across the grid because their latency
+        budget expired before the stage reached them."""
+        total = sum(
+            node.deadline_shed for node in self._filtering_nodes.values()
+        )
+        total += sum(
+            node.deadline_shed for node in self._sorting_nodes.values()
+        )
+        return total
+
     # ------------------------------------------------------------------
     # Heartbeats
     # ------------------------------------------------------------------
@@ -960,6 +1093,12 @@ class InvaliDBCluster:
                 for server in registration.app_servers
             }
         payload = {"kind": "heartbeat", "timestamp": self.config.clock()}
+        if self.overload is not None:
+            # Heartbeats double as the health-evaluation tick and carry
+            # the state so clients can signal degraded mode.  Gate off,
+            # the payload is byte-identical to previous releases.
+            self.overload.evaluate()
+            payload["health"] = self.overload.state
         sent = 0
         for app_server in app_servers:
             self.broker.publish(notification_channel(app_server), payload)
@@ -993,7 +1132,21 @@ class InvaliDBCluster:
         # control channel in :meth:`snapshot` instead (a registry
         # collector must not block on worker round-trips).
         nodes = list(self._filtering_nodes.values())
+        overload_keys: Dict[str, Any] = {}
+        if self.overload is not None:
+            ov = self.overload
+            overload_keys = {
+                "cluster.health_state": float(HEALTH_SEVERITY[ov.state]),
+                "cluster.writes_rejected": ov.writes_rejected,
+                "cluster.writes_dropped": ov.writes_dropped,
+                "cluster.notifications_shed": ov.notifications_shed,
+                "cluster.sorted_changes_shed": ov.sorted_changes_shed,
+                "cluster.refreshes_sent": ov.refreshes_sent,
+                "cluster.deadline_shed": self._deadline_shed_total(),
+                "cluster.admission_rate": ov.governor.rate,
+            }
         return {
+            **overload_keys,
             "cluster.active_queries": active,
             "cluster.notifications_sent": self.notifications_sent,
             "cluster.notifications_coalesced": self.notifications_coalesced,
@@ -1115,6 +1268,8 @@ class InvaliDBCluster:
                         self._sorting_nodes[index].shared_attach,
                     "shared_miss":
                         self._sorting_nodes[index].shared_miss,
+                    "deadline_shed":
+                        self._sorting_nodes[index].deadline_shed,
                 }
                 for index in sorted(self._sorting_nodes)
             ]
@@ -1173,6 +1328,8 @@ class InvaliDBCluster:
             snap["workers"] = workers
         if self.stager is not None:
             snap["coalescing"] = self.stager.stats()
+        if self.overload is not None:
+            snap["health"] = self.overload.snapshot()
         return snap
 
     def _remote_rows(

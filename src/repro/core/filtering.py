@@ -152,6 +152,9 @@ class FilteringNode:
         #: Shared sub-predicate memoization outcome counts.
         self.memo_hits = 0
         self.memo_misses = 0
+        #: Writes dropped because their latency budget expired before
+        #: matching (deadline shedding, overload control).
+        self.deadline_shed = 0
         # Telemetry: per-write distributions of how many candidates the
         # index produced vs. how many evaluations pruning skipped.  The
         # plain counters above stay the hot-path source of truth (the
@@ -417,6 +420,7 @@ class FilteringNode:
             "memo_hits": self.memo_hits,
             "memo_misses": self.memo_misses,
             "memo_hit_rate": round(self.memo_hit_rate, 4),
+            "deadline_shed": self.deadline_shed,
             "retained_after_images": len(self.retention),
         }
         if self.index is not None:

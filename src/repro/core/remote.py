@@ -180,11 +180,27 @@ class RemoteMatchingCell:
         node = self.node
         now = time.time()
         events: List[MatchEvent] = []
+        #: Deadline of the originating write per produced event, keyed
+        #: by identity: sorting-bound events pass coalescing untouched
+        #: (only unsorted events are ever rebuilt), so the id is stable
+        #: for exactly the events whose deadline must ride to sorting.
+        deadlines: Dict[int, float] = {}
         for tuple_ in tuples:
             kind = tuple_.get("kind")
             if kind == "write":
+                deadline = tuple_.get("deadline")
+                if deadline is not None and now > deadline:
+                    # Workers compare against wall clock: the process
+                    # model never runs deterministically, and custom
+                    # clocks do not cross the fork.
+                    node.deadline_shed += 1
+                    continue
                 after = deserialize_after_image(tuple_)
-                events.extend(node.process_write(after, now))
+                produced = node.process_write(after, now)
+                if deadline is not None:
+                    for event in produced:
+                        deadlines[id(event)] = deadline
+                events.extend(produced)
             elif kind == "subscribe":
                 query = self._query(tuple_)
                 wp = node.coordinates.write_partition
@@ -209,11 +225,15 @@ class RemoteMatchingCell:
         emits: List[Dict[str, Any]] = []
         for event in events:
             if event.needs_sorting:
-                emits.append({
+                emit = {
                     "kind": "match-event",
                     "query_id": event.query_id,
                     "event": serialize_match_event(event),
-                })
+                }
+                deadline = deadlines.get(id(event))
+                if deadline is not None:
+                    emit["deadline"] = deadline
+                emits.append(emit)
             else:
                 emits.append({
                     "kind": "change",
@@ -290,6 +310,14 @@ class RemoteSortingCell:
         for tuple_ in tuples:
             kind = tuple_.get("kind")
             if kind == "match-event":
+                deadline = tuple_.get("deadline")
+                if deadline is not None and now > deadline:
+                    # Defensive getattr: build_stage may host stages
+                    # without the counter (future aggregation stage).
+                    node.deadline_shed = getattr(
+                        node, "deadline_shed", 0
+                    ) + 1
+                    continue
                 event = deserialize_match_event(tuple_["event"])
                 changes.extend(node.handle_event(event))
             elif kind == "subscribe":
@@ -325,6 +353,7 @@ class RemoteSortingCell:
             "shared_groups": getattr(node, "shared_group_count", 0),
             "shared_attach": getattr(node, "shared_attach", 0),
             "shared_miss": getattr(node, "shared_miss", 0),
+            "deadline_shed": getattr(node, "deadline_shed", 0),
         }
         if self.telemetry.enabled:
             row["telemetry"] = self.telemetry.snapshot()

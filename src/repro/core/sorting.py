@@ -991,6 +991,9 @@ class SortingNode:
         #: Sort-key comparisons spent on window maintenance (summed over
         #: events; the per-event distribution is sort.window_ops).
         self.window_comparisons = 0
+        #: Match events dropped because the originating write's latency
+        #: budget expired in flight (deadline shedding).
+        self.deadline_shed = 0
         # Telemetry: distribution of the slack remaining after each
         # event — how close limit queries run to a maintenance error —
         # and of the per-event window work (comparisons).
@@ -1155,6 +1158,15 @@ class SortingNode:
     @property
     def shared_group_count(self) -> int:
         return len(self._groups)
+
+    def visible_window(self, query_id: str) -> Optional[List[Document]]:
+        """The query's current visible result documents, or None when
+        the query is inactive (deactivated or renewing).  Read by the
+        overload controller's snapshot-refresh shedding tier."""
+        state = self._states.get(query_id)
+        if state is None or not state.active:
+            return None
+        return [document for _, document in state.visible()]
 
     # ------------------------------------------------------------------
     # Event processing

@@ -59,6 +59,52 @@ def _labeled(telemetry_snap: Dict[str, Any], name: str,
     return out
 
 
+def render_health(health: Dict[str, Any]) -> str:
+    """The overload-control view: cluster state, admission budget,
+    per-partition health, shed/reject counters (``inspect --health``)."""
+    sections: List[str] = []
+    state = health.get("state", "?")
+    forced = health.get("forced")
+    admission = health.get("admission") or {}
+    headline = f"cluster health: {state.upper()}"
+    if forced:
+        headline += f" (forced: {forced})"
+    headline += (
+        f"\nadmission budget: {_fmt(admission.get('rate'))} writes/s, "
+        f"{_fmt(admission.get('tokens'))}/{_fmt(admission.get('burst'))} "
+        f"tokens, {_fmt(admission.get('admitted'))} admitted, "
+        f"{_fmt(admission.get('rejected'))} rejected"
+    )
+    sections.append(headline)
+    partitions = health.get("partitions") or {}
+    if partitions:
+        rows = [[name, partitions[name]] for name in sorted(partitions)]
+        sections.append("partition health\n"
+                        + _table(["partition", "state"], rows))
+    counters = []
+    for key in ("writes_rejected", "writes_dropped", "notifications_shed",
+                "sorted_changes_shed", "refreshes_sent", "pending_refresh",
+                "deadline_shed", "evaluations"):
+        value = health.get(key)
+        if isinstance(value, (int, float)):
+            counters.append([key, value])
+    pressure = admission.get("pressure_events")
+    if isinstance(pressure, (int, float)):
+        counters.append(["admission_pressure_events", pressure])
+    if counters:
+        sections.append("overload counters\n"
+                        + _table(["counter", "value"], counters))
+    shed = health.get("shed_coalescing")
+    if shed:
+        sections.append(
+            f"shed coalescing: window={_fmt(shed.get('window_seconds'))}s "
+            f"staged={_fmt(shed.get('staged_total'))} "
+            f"pending={_fmt(shed.get('pending'))} "
+            f"flushes={_fmt(shed.get('flushes'))}"
+        )
+    return "\n\n".join(sections) + "\n"
+
+
 def render(snapshot: Dict[str, Any]) -> str:
     """The full inspector report for one cluster snapshot."""
     sections: List[str] = []
@@ -177,5 +223,9 @@ def render(snapshot: Dict[str, Any]) -> str:
     if counters:
         sections.append("fault / recovery counters\n"
                         + _table(["counter", "value"], counters))
+
+    health = snapshot.get("health")
+    if health:
+        sections.append(render_health(health).rstrip("\n"))
 
     return "\n\n".join(sections) + "\n"

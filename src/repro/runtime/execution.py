@@ -292,6 +292,64 @@ def resolve_execution_model(
     )
 
 
+def _mailbox_labels(name: str) -> Tuple[str, str]:
+    """Split a mailbox name into ``(stage, partition)`` labels.
+
+    Grid mailboxes encode their owner as ``stage[partition]``
+    (``"matching[3]"``); anything else (broker dispatchers, spouts) is
+    its own stage with no partition.  Attributing queue drops this way
+    turns "something, somewhere, was shed" into "matching partition 3
+    is the one losing writes".
+    """
+    stage, bracket, rest = name.partition("[")
+    if bracket and rest.endswith("]"):
+        return stage, rest[:-1]
+    return name, "-"
+
+
+def _eviction_logger(telemetry, name: str):
+    """Build a slow-event logger for ``drop_oldest`` evictions, or None.
+
+    Each evicted item becomes one entry in the tracer's slow-event log
+    carrying the owning mailbox/stage/partition and whatever identity
+    the payload exposes — the attribution the satellite task asks for
+    instead of an opaque counter bump.  Returns None when the tracer
+    keeps no slow-event log (tracing disabled).
+    """
+    slow_events = getattr(telemetry.tracer, "slow_events", None)
+    if slow_events is None:
+        return None
+    stage, partition = _mailbox_labels(name)
+    clock = telemetry.now
+
+    def log(evicted: Any) -> None:
+        payload: Any = evicted
+        if (
+            isinstance(evicted, tuple)
+            and len(evicted) == 2
+            and isinstance(evicted[1], dict)
+        ):
+            # Broker mailbox items are (channel, payload) pairs.
+            payload = evicted[1]
+        if isinstance(payload, dict):
+            kind = payload.get("kind", "?")
+            key = payload.get("key")
+        else:
+            kind = type(evicted).__name__
+            key = None
+        slow_events.append({
+            "kind": "eviction",
+            "mailbox": name,
+            "stage": stage,
+            "partition": partition,
+            "evicted_kind": kind,
+            "key": key,
+            "timestamp": clock(),
+        })
+
+    return log
+
+
 # ---------------------------------------------------------------------------
 # Threaded model
 # ---------------------------------------------------------------------------
@@ -327,12 +385,15 @@ class _ThreadedMailbox(Mailbox):
     def bind_telemetry(self, telemetry) -> None:
         if not telemetry.enabled:
             return
+        stage, partition = _mailbox_labels(self.name)
         self._queue.instrument(
             telemetry.now,
             telemetry.histogram("mailbox.dwell_seconds", mailbox=self.name),
             telemetry.histogram("mailbox.batch_size", mailbox=self.name),
             telemetry.gauge("mailbox.depth", mailbox=self.name),
-            telemetry.counter("mailbox.dropped", mailbox=self.name),
+            telemetry.counter("mailbox.dropped", mailbox=self.name,
+                              stage=stage, partition=partition),
+            evict_log=_eviction_logger(telemetry, self.name),
         )
 
     # -- consumer ---------------------------------------------------------
@@ -621,6 +682,7 @@ class _InlineMailbox(Mailbox):
         self._batch_hist = None
         self._depth_gauge = None
         self._drop_counter = None
+        self._evict_log = None
 
     def put(self, item: Any) -> None:
         self._model._put(self, (item,))
@@ -645,9 +707,12 @@ class _InlineMailbox(Mailbox):
             self._depth_gauge = telemetry.gauge(
                 "mailbox.depth", mailbox=self.name
             )
+            stage, partition = _mailbox_labels(self.name)
             self._drop_counter = telemetry.counter(
-                "mailbox.dropped", mailbox=self.name
+                "mailbox.dropped", mailbox=self.name,
+                stage=stage, partition=partition,
             )
+            self._evict_log = _eviction_logger(telemetry, self.name)
             self._stamps = []  # items already queued ride unsampled
 
     def _enqueue(self, item: Any) -> None:
@@ -667,13 +732,15 @@ class _InlineMailbox(Mailbox):
 
                 raise QueueOverflowError(self.name, self._capacity)
             if self._policy is BackpressurePolicy.DROP_OLDEST:
-                self._items.pop(0)
+                evicted = self._items.pop(0)
                 self.dropped += 1
                 if self._stamps is not None:
                     removed = self.enqueued - len(self._items)
                     while self._stamps and self._stamps[0][0] <= removed:
                         self._stamps.pop(0)
                     self._drop_counter.inc()
+                if self._evict_log is not None:
+                    self._evict_log(evicted)
         self._items.append(item)
         self.enqueued += 1
         if self._stamps is not None and (self.enqueued & 7) == 1:

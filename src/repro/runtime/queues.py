@@ -93,13 +93,18 @@ class BoundedQueue:
         self._batch_hist = None
         self._depth_gauge = None
         self._drop_counter = None
+        self._evict_log = None
 
     def instrument(self, clock, dwell_hist, batch_hist, depth_gauge,
-                   drop_counter) -> None:
+                   drop_counter, evict_log=None) -> None:
         """Attach telemetry handles (idempotent; see module docstring).
 
         Items already queued ride unsampled — stamping starts with the
-        next enqueue.
+        next enqueue.  ``evict_log`` (optional) is called with each
+        item a ``drop_oldest`` overflow evicts, attributing the loss
+        instead of today's opaque counter bump; bulk discards at
+        ``close(drain=False)`` are shutdown, not pressure, and are not
+        logged.
         """
         with self._lock:
             self._tel_clock = clock
@@ -107,6 +112,7 @@ class BoundedQueue:
             self._batch_hist = batch_hist
             self._depth_gauge = depth_gauge
             self._drop_counter = drop_counter
+            self._evict_log = evict_log
             self._stamps = deque()
 
     # ------------------------------------------------------------------
@@ -139,12 +145,14 @@ class BoundedQueue:
                     elif len(self._items) >= self.capacity:
                         if self.policy is BackpressurePolicy.ERROR:
                             raise QueueOverflowError(self.name, self.capacity)
-                        self._items.popleft()  # DROP_OLDEST
+                        evicted = self._items.popleft()  # DROP_OLDEST
                         if stamps is not None:
                             removed = self.enqueued - len(self._items)
                             while stamps and stamps[0][0] <= removed:
                                 stamps.popleft()
                             self._drop_counter.inc()
+                        if self._evict_log is not None:
+                            self._evict_log(evicted)
                         self.dropped += 1
                         discarded += 1
                 self._items.append(item)

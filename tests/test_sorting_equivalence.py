@@ -314,8 +314,8 @@ def test_coalesced_batch_materializes_identically(batch):
         telemetry=SimpleNamespace(enabled=False),
     )
     bolt = _MatchingBolt(stub)
-    pairs = [(event, None) for event in events]
-    coalesced = [event for event, _ in bolt._coalesce(pairs)]
+    pairs = [(event, None, None) for event in events]
+    coalesced = [event for event, _, _ in bolt._coalesce(pairs)]
     assert _materialize(initial, coalesced) == _materialize(initial, events)
     # At most one surviving notification per key.
     keys = [event.key for event in coalesced]
