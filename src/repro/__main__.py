@@ -9,9 +9,13 @@ does.
 deterministic inline execution model, pushes a synthetic workload
 through it, and renders the live cluster inspector: matching-grid
 occupancy, mailbox queue health, write-path latency percentiles and
-fault/recovery counters.  ``--json`` and ``--prometheus`` dump the
-same snapshot in machine-readable form; ``--slow`` prints the slow
--event log.
+fault/recovery counters.  ``--execution process`` runs the same
+workload with the grid in forked worker processes — span latencies
+then show calibrated wall-clock time instead of inline virtual time.
+``--json`` and ``--prometheus`` dump the same snapshot in
+machine-readable form; ``--slow`` prints the slow-event log;
+``--postmortem <dump>`` renders a crash flight-recorder dump offline
+without booting a cluster.
 """
 
 from __future__ import annotations
@@ -80,15 +84,30 @@ def demo() -> int:
 def inspect(args: argparse.Namespace) -> int:
     """Boot an inline telemetry-on cluster, run a workload, render it."""
     from repro.obs.export import format_slow_events, to_json, to_prometheus
-    from repro.obs.inspector import render, render_health
+    from repro.obs.inspector import render, render_health, render_postmortem
     from repro.obs.telemetry import TelemetryConfig
     from repro.runtime.execution import ExecutionConfig, InlineExecutionModel
 
+    if args.postmortem:
+        # Offline analysis of a flight-recorder dump: no cluster boot.
+        from repro.obs.flight import load_dump
+
+        print(render_postmortem(load_dump(args.postmortem)), end="")
+        return 0
+
     qp, _, wp = args.grid.partition("x")
-    model = InlineExecutionModel(
-        ExecutionConfig(mode="inline", seed=args.seed)
-    )
-    broker = Broker(execution=model)
+    if args.execution == "process":
+        # The real deployment shape: matching/sorting cells in forked
+        # worker processes, traces riding the wire envelopes with
+        # calibrated clocks — so span latencies show wall-clock time.
+        broker = Broker()
+        model_knobs = dict(execution_model="process", process_workers=2)
+    else:
+        model = InlineExecutionModel(
+            ExecutionConfig(mode="inline", seed=args.seed)
+        )
+        broker = Broker(execution=model)
+        model_knobs = {}
     overload_knobs = {}
     if args.health:
         # Demo the overload view with live numbers: pin the cluster
@@ -110,10 +129,19 @@ def inspect(args: argparse.Namespace) -> int:
         # columns carry live numbers.
         shared_query_dag=True,
         shared_sorted_windows=True,
+        **model_knobs,
         **overload_knobs,
     )
     cluster = InvaliDBCluster(broker, config).start()
     app = AppServer("inspect-app", broker, config=config)
+
+    def settle(rounds: int = 4, timeout: float = 10.0) -> None:
+        # Under the process model a single drain is not enough: replies
+        # from workers re-enter the broker, so alternate until idle.
+        for _ in range(rounds):
+            broker.drain(timeout)
+            cluster.drain(timeout)
+
     try:
         app.subscribe("items", {"v": {"$gte": 0}})
         app.subscribe("items", {}, sort=[("v", -1)], limit=5)
@@ -121,14 +149,14 @@ def inspect(args: argparse.Namespace) -> int:
         # they share one maintained window core.
         app.subscribe("items", {}, sort=[("v", -1)], limit=4, offset=1)
         app.subscribe("items", {}, sort=[("v", -1)], limit=3, offset=2)
-        broker.drain()
+        settle()
         for i in range(args.writes):
             app.insert("items", {"_id": i, "v": i % 17})
         for i in range(0, args.writes, 3):
             app.update("items", i, {"$inc": {"v": 100}})
         for i in range(0, args.writes, 7):
             app.delete("items", i)
-        broker.drain()
+        settle()
         if args.json:
             print(to_json(cluster.telemetry, indent=2))
         elif args.prometheus:
@@ -166,6 +194,11 @@ def main(argv=None) -> int:
     inspect_parser.add_argument(
         "--seed", type=int, default=7, help="inline-model seed (default 7)"
     )
+    inspect_parser.add_argument(
+        "--execution", choices=("inline", "process"), default="inline",
+        help="run the grid on the deterministic inline model (default) "
+             "or in forked worker processes (wall-clock span latencies)",
+    )
     output = inspect_parser.add_mutually_exclusive_group()
     output.add_argument("--json", action="store_true",
                         help="dump the telemetry snapshot as JSON")
@@ -176,6 +209,9 @@ def main(argv=None) -> int:
     output.add_argument("--health", action="store_true",
                         help="render the overload-control health table "
                              "(forces an overloaded demo workload)")
+    output.add_argument("--postmortem", metavar="DUMP",
+                        help="render a flight-recorder dump file instead "
+                             "of booting a cluster")
     args = parser.parse_args(argv)
     if args.command == "inspect":
         return inspect(args)

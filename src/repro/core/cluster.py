@@ -53,6 +53,8 @@ from repro.errors import WorkerDiedError
 from repro.event.broker import Broker
 from repro.event.channels import notification_channel, query_channel, write_channel
 from repro.event.wire import WireStats
+from repro.obs.flight import FlightRecorder
+from repro.obs.slo import SLOAccountant
 from repro.obs.telemetry import build_telemetry
 from repro.obs.tracing import (
     DELIVER,
@@ -445,10 +447,13 @@ class _ProcessGridBolt(Bolt):
     crash — a fresh ``prepare`` re-leases the cell into a respawned
     worker, and re-registration + retained-write replay rebuild it.
 
-    Tracing: per-tuple traces do not cross the process boundary; they
-    are stripped from outbound envelopes (span bookkeeping needs the
-    parent's tracer).  Write-path latency is covered by the wire-level
-    encode/decode counters instead.
+    Tracing: sampled traces RIDE the wire envelopes (only the routing-
+    internal ``__task__`` key is stripped).  The worker stamps its
+    filter/sort spans with a clock calibrated into the parent's
+    ``perf_counter`` domain at fork, and the extended trace forks ride
+    back piggybacked on the same REPLY emits — no extra round-trip —
+    where this proxy routes them into the notification fan-out so the
+    parent tracer sees the complete chain.
     """
 
     def __init__(self, cluster: "InvaliDBCluster", role: str):
@@ -477,9 +482,9 @@ class _ProcessGridBolt(Bolt):
         outbound = [
             {
                 key: value for key, value in tuple_.items()
-                if key not in ("trace", "__task__")
+                if key != "__task__"
             }
-            if ("trace" in tuple_ or "__task__" in tuple_) else tuple_
+            if "__task__" in tuple_ else tuple_
             for tuple_ in tuples
         ]
         try:
@@ -496,10 +501,12 @@ class _ProcessGridBolt(Bolt):
             self.cluster.notifications_coalesced += coalesced
         for emit in reply["emits"]:
             if emit["kind"] == "match-event":
+                # The worker already opened the sort span; the emit
+                # (trace included) flows to the sorting grid as-is.
                 self.emit(emit)
             else:
                 self.cluster._publish_change(
-                    deserialize_change(emit["change"]), None
+                    deserialize_change(emit["change"]), trace_of(emit)
                 )
 
 
@@ -648,6 +655,30 @@ class InvaliDBCluster:
         self.scheme = PartitioningScheme(
             self.config.query_partitions, self.config.write_partitions
         )
+        #: Per-query SLO accounting rides on telemetry: None when
+        #: telemetry is off so the delivery hot path pays one attribute
+        #: load, exactly like the other observability gates.
+        self.slo: Optional[SLOAccountant] = None
+        if self.telemetry.enabled:
+            self.slo = SLOAccountant(
+                self.telemetry,
+                self.scheme,
+                latency_target=self.config.slo_latency_target,
+                objective=self.config.slo_objective,
+                clock=self.config.clock,
+            )
+        #: Flight recorder: always recording (ring appends are cheap);
+        #: dumps only when a directory is configured.  Context
+        #: providers are parent-local by contract — dump triggers can
+        #: fire from threads holding worker channel locks, so no
+        #: provider may round-trip to a worker.
+        self.flight = FlightRecorder(
+            node=tenant,
+            capacity=self.config.flight_recorder_capacity,
+            directory=self.config.flight_recorder_dir,
+            clock=self.config.clock,
+        )
+        self._dumped_worker_pids: set = set()
         self._filtering_nodes: Dict[int, FilteringNode] = {}
         self._sorting_nodes: Dict[int, SortingNode] = {}
         #: Process model: (role, task_index) -> RemoteCell handle.
@@ -696,6 +727,41 @@ class InvaliDBCluster:
         self.supervisor: Optional[NodeSupervisor] = None
         if self.config.supervision:
             self.supervisor = NodeSupervisor(self).attach()
+        self._install_flight_context()
+
+    def _install_flight_context(self) -> None:
+        """Dump-time context sections: cheap, parent-local reads only."""
+        flight = self.flight
+        flight.add_context("grid", lambda: {
+            "query_partitions": self.scheme.query_partitions,
+            "write_partitions": self.scheme.write_partitions,
+            "sorting_nodes": self.config.sorting_nodes,
+            "execution_model": (
+                "process" if self._process_mode
+                else ("inline" if self._execution.deterministic
+                      else "threaded")
+            ),
+        })
+        flight.add_context("supervisor", lambda: (
+            self.supervisor.stats() if self.supervisor is not None else {}
+        ))
+        flight.add_context("faults", lambda: (
+            self._execution.fault_injector.stats()
+            if self._execution.fault_injector is not None else {}
+        ))
+        if self.overload is not None:
+            flight.add_context("health", self.overload.snapshot)
+        if self.telemetry.enabled:
+            tracer = self.telemetry.tracer
+            flight.add_context(
+                "recent_traces", lambda: list(tracer.transcripts)[-32:]
+            )
+            flight.add_context(
+                "slow_events", lambda: list(tracer.slow_events)[-32:]
+            )
+            flight.add_context("trace_stats", tracer.stats)
+        if self.slo is not None:
+            flight.add_context("slo", self.slo.summary)
 
     # ------------------------------------------------------------------
     # Topology wiring
@@ -740,6 +806,9 @@ class InvaliDBCluster:
         """Pool death listener: a worker process died — report every
         grid cell it hosted as crashed (``kill -9`` looks exactly like
         an in-process node failure to the supervisor)."""
+        self.flight.record(
+            "worker-death", cell=cell_name, pid=pid, reason=reason
+        )
         role, _, index = cell_name.rpartition("-")
         try:
             task_index = int(index)
@@ -749,6 +818,11 @@ class InvaliDBCluster:
             self._runtime.crash_task(
                 role, task_index, f"worker pid {pid} died: {reason}"
             )
+        # One dump per dead worker, not per orphaned cell (a worker may
+        # host several cells; the listener fires once for each).
+        if pid not in self._dumped_worker_pids:
+            self._dumped_worker_pids.add(pid)
+            self.flight.dump("worker-death")
 
     def _build_runtime(self) -> LocalRuntime:
         scheme = self.scheme
@@ -1015,6 +1089,9 @@ class InvaliDBCluster:
         change: QueryChange,
         trace: Optional[Dict[str, Any]] = None,
     ) -> None:
+        slo = self.slo
+        if slo is not None:
+            slo.observe(change)
         with self._registration_lock:
             registration = self._registrations.get(change.query_id)
             app_servers = [] if registration is None else registration.app_servers
@@ -1324,6 +1401,9 @@ class InvaliDBCluster:
             "supervisor": supervisor,
             "runtime": self._runtime.stats(),
         }
+        snap["flight"] = self.flight.snapshot()
+        if self.slo is not None:
+            snap["slo"] = self.slo.summary()
         if workers is not None:
             snap["workers"] = workers
         if self.stager is not None:

@@ -9,6 +9,7 @@ on re-execution (Section 5.2, footnote 5).
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional
@@ -208,6 +209,31 @@ class InvaliDBConfig:
     #: Pin the cluster health state (``"healthy"``/``"degraded"``/
     #: ``"overloaded"``) for deterministic tests; None = measure it.
     force_health: Optional[str] = None
+    #: Per-query SLO accounting (active whenever telemetry is enabled):
+    #: a delivered notification whose lag — delivery time minus the
+    #: originating write's client-edge timestamp — exceeds
+    #: ``slo_latency_target`` seconds counts as a breach against the
+    #: ``slo_objective`` fraction of in-target notifications; burn rate
+    #: is the observed breach fraction divided by the error budget
+    #: (1 - objective), so > 1.0 means the budget is being consumed
+    #: faster than allowed.
+    slo_latency_target: float = 0.25
+    slo_objective: float = 0.99
+    #: Feed the SLO lag signal into the overload HealthMonitor: the
+    #: interval p99 of notification lag is observed as a synthetic
+    #: ``slo`` partition against ``overload_dwell_p99``.  Requires
+    #: ``overload_control`` (and telemetry to have any effect).
+    slo_health_feed: bool = False
+    #: Flight recorder: bounded ring of recent operational events
+    #: (health transitions, crashes, restarts, worker deaths), always
+    #: recorded; dumped as a JSON artifact on worker death, supervisor
+    #: restart or overload escalation when ``flight_recorder_dir`` is
+    #: set (defaults to the ``REPRO_FLIGHT_DIR`` environment variable,
+    #: so CI can collect dumps without config plumbing).
+    flight_recorder_capacity: int = 256
+    flight_recorder_dir: Optional[str] = field(
+        default_factory=lambda: os.environ.get("REPRO_FLIGHT_DIR")
+    )
     #: Time source (injectable for deterministic tests).
     clock: Clock = field(default=time.time, repr=False)
 
@@ -344,6 +370,24 @@ class InvaliDBConfig:
             raise ClusterConfigError("health_eval_interval must be >= 0")
         if self.health_recovery_ticks < 1:
             raise ClusterConfigError("health_recovery_ticks must be >= 1")
+        if self.slo_latency_target <= 0:
+            raise ClusterConfigError("slo_latency_target must be > 0")
+        if not 0.0 < self.slo_objective < 1.0:
+            raise ClusterConfigError("slo_objective must be in (0, 1)")
+        if self.slo_health_feed and not self.overload_control:
+            raise ClusterConfigError(
+                "slo_health_feed requires overload_control"
+            )
+        if self.flight_recorder_capacity < 1:
+            raise ClusterConfigError(
+                "flight_recorder_capacity must be >= 1"
+            )
+        if self.flight_recorder_dir is not None and not isinstance(
+            self.flight_recorder_dir, str
+        ):
+            raise ClusterConfigError(
+                "flight_recorder_dir must be a string path or None"
+            )
         if self.telemetry is not None and not isinstance(
             self.telemetry, (bool, TelemetryConfig, Telemetry, NullTelemetry)
         ):

@@ -270,9 +270,9 @@ class FilteringNode:
         pruned = len(self._queries) - len(candidate_ids)
         self.candidates_considered += len(candidate_ids)
         self.candidates_pruned += pruned
-        # Distribution shape only: sample 1-in-4 writes (phase-locked
+        # Distribution shape only: sample 1-in-16 writes (phase-locked
         # to the exact writes_processed counter for determinism).
-        if (self.writes_processed & 3) == 1:
+        if (self.writes_processed & 15) == 1:
             self._examined_hist.record(len(candidate_ids))
             self._pruned_hist.record(pruned)
         memo = PredicateMemo() if self._memoize else None

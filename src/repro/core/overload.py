@@ -279,6 +279,12 @@ class OverloadController:
         self._last_eval = float("-inf")
         self._last_decrease = float("-inf")
         self._last_drops: Dict[str, int] = {}
+        #: Last reported cluster state, for flight-recorder transition
+        #: events (and the dump-on-escalation trigger).
+        self._previous_state = HEALTHY
+        #: SLO lag-histogram baseline for the synthetic health feed
+        #: (interval p99, same windowing as the mailbox dwell signal).
+        self._slo_baseline: Optional[Any] = None
         #: Per-mailbox dwell-histogram baselines: each evaluation reads
         #: the dwell p99 of the *interval* since the previous one, not
         #: the all-time distribution (which never forgets a transient).
@@ -387,6 +393,7 @@ class OverloadController:
                         dwell = windowed
                 self._dwell_baselines[name] = histogram.counts()
             self.monitor.observe(name, box.get("depth", 0), dwell, delta)
+        self._observe_slo_feed()
         measured = self.monitor.measured_state
         if measured == OVERLOADED:
             cooldown = self.cluster.config.admission_decrease_cooldown
@@ -395,7 +402,50 @@ class OverloadController:
                 self.governor.on_pressure()
         elif measured == HEALTHY:
             self.governor.on_clear()
-        return self.state
+        state = self.state
+        previous = self._previous_state
+        if state != previous:
+            self._previous_state = state
+            flight = getattr(cluster, "flight", None)
+            if flight is not None:
+                flight.record(
+                    "health-transition", previous=previous, state=state,
+                    measured=measured,
+                )
+                if state == OVERLOADED:
+                    # Escalation into the top severity is an incident:
+                    # capture the ring before shedding/admission kick
+                    # in and overwrite the lead-up.
+                    flight.dump("overload-escalation")
+        return state
+
+    def _observe_slo_feed(self) -> None:
+        """Feed delivered-notification lag into the health monitor as a
+        synthetic ``slo`` partition (gated by ``slo_health_feed``).
+
+        The SLO accountant's aggregate lag histogram is windowed with
+        the same baseline/``percentile_since`` idiom as mailbox dwell,
+        then rescaled from the SLO latency target into the monitor's
+        dwell-threshold domain so one state machine (and its
+        hysteresis) serves both signals: interval lag p99 at the SLO
+        target classifies exactly like dwell p99 at the dwell
+        threshold.
+        """
+        cluster = self.cluster
+        slo = getattr(cluster, "slo", None)
+        if slo is None or not cluster.config.slo_health_feed:
+            return
+        baseline = self._slo_baseline
+        self._slo_baseline = slo.lag.counts()
+        lag = 0.0
+        if baseline is not None:
+            windowed = slo.lag.percentile_since(baseline, 0.99)
+            if windowed == windowed:  # not NaN: interval had traffic
+                lag = windowed
+        scaled = (
+            lag / max(slo.latency_target, 1e-9)
+        ) * self.monitor.dwell_threshold
+        self.monitor.observe("slo", 0, scaled, 0)
 
     # ------------------------------------------------------------------
     # Admission (write-ingestion hot path)

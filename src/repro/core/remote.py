@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, replace
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.filtering import FilteringNode, MatchEvent
 from repro.core.notifications import (
@@ -45,8 +45,34 @@ from repro.core.partitioning import PartitioningScheme
 from repro.core.stages import build_stage
 from repro.event.wire import materialize
 from repro.obs.telemetry import build_telemetry
+from repro.obs.tracing import (
+    FILTER,
+    PUBLISH,
+    SORT,
+    Trace,
+    begin_span,
+    end_span,
+    fork,
+    trace_of,
+)
 from repro.query.engine import Query
 from repro.types import MatchType
+
+
+def _bind_worker_clock(telemetry: Any) -> Any:
+    """Attach the fork-calibrated worker clock to a cell's telemetry.
+
+    Worker-side spans must land in the *parent's* ``perf_counter``
+    domain so merged chains compare; the pool handshakes the offset at
+    spawn (see :class:`repro.runtime.process._WorkerClock`) and the
+    clock instance picks up later recalibrations because the cells hold
+    the callable, not a reading.
+    """
+    if telemetry.enabled:
+        from repro.runtime.process import worker_clock
+
+        telemetry.bind_clock(worker_clock)
+    return telemetry
 
 
 # ---------------------------------------------------------------------------
@@ -79,32 +105,37 @@ def deserialize_match_event(payload: Dict[str, Any]) -> MatchEvent:
     )
 
 
+#: One produced match event plus the context riding with it: the trace
+#: fork it inherits from the originating tuple and the write's deadline.
+_EventEntry = Tuple[MatchEvent, Optional[Trace], Optional[float]]
+
+
 def coalesce_events(
-    events: List[MatchEvent],
-) -> Tuple[List[MatchEvent], int]:
+    entries: List[_EventEntry],
+) -> Tuple[List[_EventEntry], int]:
     """Collapse redundant per-(query, key) events within one batch.
 
     The worker-side twin of the matching bolt's in-process coalescing:
-    the last event per group survives, its match type rewritten against
-    the client's pre-batch state via
+    the last entry per group survives (keeping its trace/deadline), its
+    match type rewritten against the client's pre-batch state via
     :func:`~repro.core.notifications.resolve_coalesced_type`.  Sorting
     events pass through untouched — ordered windows need every
-    transition.  Returns ``(surviving events, dropped count)``.
+    transition.  Returns ``(surviving entries, dropped count)``.
     """
     last_index: Dict[Tuple[str, Any], int] = {}
     first_type: Dict[Tuple[str, Any], MatchType] = {}
-    for index, event in enumerate(events):
+    for index, (event, _, _) in enumerate(entries):
         if event.needs_sorting:
             continue
         group = (event.query_id, event.key)
         if group not in first_type:
             first_type[group] = event.match_type
         last_index[group] = index
-    coalesced: List[MatchEvent] = []
+    coalesced: List[_EventEntry] = []
     dropped = 0
-    for index, event in enumerate(events):
+    for index, (event, trace, deadline) in enumerate(entries):
         if event.needs_sorting:
-            coalesced.append(event)
+            coalesced.append((event, trace, deadline))
             continue
         group = (event.query_id, event.key)
         if last_index[group] != index:
@@ -116,7 +147,7 @@ def coalesce_events(
             continue
         if final is not event.match_type:
             event = replace(event, match_type=final)
-        coalesced.append(event)
+        coalesced.append((event, trace, deadline))
     return coalesced, dropped
 
 
@@ -151,7 +182,9 @@ class RemoteMatchingCell:
         self.scheme = PartitioningScheme(
             spec.query_partitions, spec.write_partitions
         )
-        self.telemetry = build_telemetry(spec.telemetry or None)
+        self.telemetry = _bind_worker_clock(
+            build_telemetry(spec.telemetry or None)
+        )
         self.node = FilteringNode(
             self.scheme.coordinates(spec.task_index),
             retention_seconds=spec.retention_seconds,
@@ -178,29 +211,32 @@ class RemoteMatchingCell:
         from repro.core.cluster import deserialize_after_image
 
         node = self.node
+        tel = self.telemetry
         now = time.time()
-        events: List[MatchEvent] = []
-        #: Deadline of the originating write per produced event, keyed
-        #: by identity: sorting-bound events pass coalescing untouched
-        #: (only unsorted events are ever rebuilt), so the id is stable
-        #: for exactly the events whose deadline must ride to sorting.
-        deadlines: Dict[int, float] = {}
+        entries: List[_EventEntry] = []
         for tuple_ in tuples:
             kind = tuple_.get("kind")
+            # Mirror of _MatchingBolt tracing: traces ride the wire
+            # envelopes in, spans are stamped here with the calibrated
+            # worker clock (parent perf_counter domain), and the forks
+            # ride the reply emits back out.
+            trace = fork(trace_of(tuple_)) if tel.enabled else None
+            if trace is not None:
+                tnow = tel.now()
+                end_span(trace, PUBLISH, tnow)
+                begin_span(trace, FILTER, tnow)
+            deadline = tuple_.get("deadline") if kind == "write" else None
             if kind == "write":
-                deadline = tuple_.get("deadline")
                 if deadline is not None and now > deadline:
                     # Workers compare against wall clock: the process
                     # model never runs deterministically, and custom
                     # clocks do not cross the fork.
                     node.deadline_shed += 1
+                    if trace is not None:
+                        end_span(trace, FILTER, tel.now())
                     continue
                 after = deserialize_after_image(tuple_)
                 produced = node.process_write(after, now)
-                if deadline is not None:
-                    for event in produced:
-                        deadlines[id(event)] = deadline
-                events.extend(produced)
             elif kind == "subscribe":
                 query = self._query(tuple_)
                 wp = node.coordinates.write_partition
@@ -213,34 +249,49 @@ class RemoteMatchingCell:
                 versions = {
                     key: version for key, version in tuple_["versions"]
                 }
-                events.extend(
-                    node.register_query(query, bootstrap, versions, now)
+                produced = node.register_query(
+                    query, bootstrap, versions, now
                 )
             elif kind == "cancel":
                 node.deactivate_query(tuple_["query_id"])
                 self._queries.pop(tuple_["query_id"], None)
+                produced = []
+            else:
+                produced = []
+            if trace is not None:
+                end_span(trace, FILTER, tel.now())
+            entries.extend(
+                (event, trace, deadline) for event in produced
+            )
         dropped = 0
-        if self.spec.notification_coalescing and len(events) > 1:
-            events, dropped = coalesce_events(events)
+        if self.spec.notification_coalescing and len(entries) > 1:
+            entries, dropped = coalesce_events(entries)
         emits: List[Dict[str, Any]] = []
-        for event in events:
+        for event, trace, deadline in entries:
             if event.needs_sorting:
                 emit = {
                     "kind": "match-event",
                     "query_id": event.query_id,
                     "event": serialize_match_event(event),
                 }
-                deadline = deadlines.get(id(event))
                 if deadline is not None:
                     emit["deadline"] = deadline
+                branch = fork(trace)
+                if branch is not None:
+                    begin_span(branch, SORT, tel.now())
+                    emit["trace"] = branch
                 emits.append(emit)
             else:
-                emits.append({
+                emit = {
                     "kind": "change",
                     "change": serialize_change(
                         change_from_match_event(event)
                     ),
-                })
+                }
+                branch = fork(trace)
+                if branch is not None:
+                    emit["trace"] = branch
+                emits.append(emit)
         return {"emits": emits, "coalesced": dropped}
 
     def snapshot(self) -> Dict[str, Any]:
@@ -281,7 +332,9 @@ class RemoteSortingCell:
 
     def __init__(self, spec: SortingCellSpec):
         self.spec = spec
-        self.telemetry = build_telemetry(spec.telemetry or None)
+        self.telemetry = _bind_worker_clock(
+            build_telemetry(spec.telemetry or None)
+        )
         self.node = build_stage(
             spec.stage,
             spec.task_index,
@@ -305,10 +358,13 @@ class RemoteSortingCell:
 
     def handle_batch(self, tuples: List[Dict[str, Any]]) -> Dict[str, Any]:
         node = self.node
+        tel = self.telemetry
         now = time.time()
-        changes: List[Any] = []
+        #: (change, trace fork) pairs, in production order.
+        produced: List[Tuple[Any, Optional[Trace]]] = []
         for tuple_ in tuples:
             kind = tuple_.get("kind")
+            trace = fork(trace_of(tuple_)) if tel.enabled else None
             if kind == "match-event":
                 deadline = tuple_.get("deadline")
                 if deadline is not None and now > deadline:
@@ -318,29 +374,49 @@ class RemoteSortingCell:
                         node, "deadline_shed", 0
                     ) + 1
                     continue
+                # The ``sort`` span was opened by the matching cell
+                # when it routed the event here; close it around the
+                # window maintenance.
                 event = deserialize_match_event(tuple_["event"])
-                changes.extend(node.handle_event(event))
+                changes = node.handle_event(event)
+                if trace is not None:
+                    end_span(trace, SORT, tel.now())
             elif kind == "subscribe":
                 query = self._query(tuple_)
                 if not query.needs_sorting_stage:
                     continue
+                if trace is not None:
+                    tnow = tel.now()
+                    end_span(trace, PUBLISH, tnow)
+                    begin_span(trace, SORT, tnow)
                 versions = {
                     key: version for key, version in tuple_["versions"]
                 }
-                changes.extend(node.register_query(
+                changes = node.register_query(
                     query,
                     tuple_["bootstrap"],
                     versions,
                     slack=tuple_.get("slack", self.spec.default_slack),
                     timestamp=now,
-                ))
+                )
+                if trace is not None:
+                    end_span(trace, SORT, tel.now())
             elif kind == "cancel":
                 node.deactivate_query(tuple_["query_id"])
                 self._queries.pop(tuple_["query_id"], None)
-        emits = [
-            {"kind": "change", "change": serialize_change(change)}
-            for change in changes
-        ]
+                continue
+            else:
+                continue
+            produced.extend((change, fork(trace)) for change in changes)
+        emits: List[Dict[str, Any]] = []
+        for change, branch in produced:
+            emit: Dict[str, Any] = {
+                "kind": "change",
+                "change": serialize_change(change),
+            }
+            if branch is not None:
+                emit["trace"] = branch
+            emits.append(emit)
         return {"emits": emits, "coalesced": 0}
 
     def snapshot(self) -> Dict[str, Any]:

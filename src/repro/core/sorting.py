@@ -1203,9 +1203,9 @@ class SortingNode:
             self.advisor.observe(
                 event.query_id, event.match_type, state.current_slack()
             )
-        # Distribution shape only: sample 1-in-4 events, phase-locked
+        # Distribution shape only: sample 1-in-16 events, phase-locked
         # to the exact events_processed counter for determinism.
-        if (self.events_processed & 3) == 1:
+        if (self.events_processed & 15) == 1:
             slack = state.current_slack()
             if slack is not None:
                 self._slack_hist.record(slack)
@@ -1247,7 +1247,7 @@ class SortingNode:
             self.advisor.observe(
                 event.query_id, event.match_type, handle.current_slack()
             )
-        if (self.events_processed & 3) == 1:
+        if (self.events_processed & 15) == 1:
             slack = handle.current_slack()
             if slack is not None:
                 self._slack_hist.record(slack)
@@ -1271,7 +1271,7 @@ class SortingNode:
         if not ok:
             return [self._maintenance_error(state, event)]
         self.window_comparisons += state.comparisons - comparisons_before
-        if (self.events_processed & 3) == 1:
+        if (self.events_processed & 15) == 1:
             slack = state.current_slack()
             if slack is not None:
                 self._slack_hist.record(slack)

@@ -72,6 +72,9 @@ class NodeSupervisor:
         """Crash listener: schedule a backed-off restart."""
         key = (component, task_index)
         config = self.cluster.config
+        self.cluster.flight.record(
+            "crash", component=component, task=task_index, reason=reason
+        )
         with self._lock:
             self.crashes_seen += 1
             if component not in _RECOVERABLE:
@@ -117,6 +120,12 @@ class NodeSupervisor:
             telemetry.histogram("supervisor.restart_seconds").record(
                 max(0.0, telemetry.now() - crashed_at)
             )
+        # The restart is the incident boundary: the ring now holds the
+        # crash, the recovery and everything that led up to both.
+        self.cluster.flight.record(
+            "restart", component=component, task=task_index
+        )
+        self.cluster.flight.dump("supervisor-restart")
 
     # ------------------------------------------------------------------
     # State reconstruction

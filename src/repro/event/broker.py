@@ -200,6 +200,7 @@ class Broker:
 
     def _dispatch_batch(self, batch: List[Tuple[str, bytes]]) -> None:
         _, delivered = self._tel_counters()
+        count = 0
         for channel, wire in batch:
             payload = self._codec.decode(wire)
             for subscription in self._subscribers_for(channel):
@@ -210,9 +211,14 @@ class Broker:
                     # domains are the point of the event layer).
                     pass
                 else:
-                    with self._lock:
-                        self._delivered += 1
-                    delivered.inc()
+                    count += 1
+        if count:
+            # One lock acquisition and one counter bump per batch, not
+            # per delivery — this sits under every message in the
+            # system.
+            with self._lock:
+                self._delivered += count
+            delivered.inc(count)
 
     def _subscribers_for(self, channel: str) -> List[Subscription]:
         with self._lock:

@@ -59,6 +59,10 @@ MSG_SNAPSHOT = 3   #: parent -> worker: report stats + metrics
 MSG_SHUTDOWN = 4   #: parent -> worker: exit cleanly
 MSG_REPLY = 5      #: worker -> parent: successful reply
 MSG_ERROR = 6      #: worker -> parent: handler raised (payload = text)
+MSG_CALIBRATE = 7  #: parent -> worker: clock-offset handshake (see
+                   #: runtime/process.py — empty payload = ping, the
+                   #: worker replies with its raw perf_counter; an
+                   #: 8-byte payload sets the computed offset)
 
 
 class FrameError(EventLayerError):

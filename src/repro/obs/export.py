@@ -23,10 +23,24 @@ def _prom_name(name: str) -> str:
     return _NAME_RE.sub("_", name)
 
 
+def _prom_escape(value: Any) -> str:
+    """Escape a label value per the text exposition format: backslash,
+    double quote and newline are the three characters that would break
+    a scraper (query ids and mailbox names are user-influenced)."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _prom_labels(labels) -> str:
     if not labels:
         return ""
-    body = ",".join(f'{_prom_name(k)}="{v}"' for k, v in labels)
+    body = ",".join(
+        f'{_prom_name(k)}="{_prom_escape(v)}"' for k, v in labels
+    )
     return "{" + body + "}"
 
 
@@ -61,6 +75,15 @@ def to_prometheus(telemetry) -> str:
         series = by_name[name]
         pname = _prom_name(name)
         first = series[0]
+        # HELP precedes TYPE, once per family, with spec escaping
+        # (backslash and newline; quotes are legal in HELP text).  The
+        # fallback is a pure function of the internal name so the
+        # exposition stays byte-stable run to run.
+        help_text = telemetry.registry.help_text(name) or (
+            f"Registry metric {name}."
+        )
+        help_text = help_text.replace("\\", "\\\\").replace("\n", "\\n")
+        lines.append(f"# HELP {pname} {help_text}")
         if isinstance(first, Counter):
             lines.append(f"# TYPE {pname} counter")
             for metric in series:

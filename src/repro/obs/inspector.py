@@ -105,6 +105,113 @@ def render_health(health: Dict[str, Any]) -> str:
     return "\n\n".join(sections) + "\n"
 
 
+def render_slo(slo: Dict[str, Any]) -> str:
+    """The SLO accounting view: target, aggregate burn rate, worst
+    queries first (part of the full ``inspect`` report)."""
+    target_ms = _ms(slo.get("latency_target_seconds"))
+    headline = (
+        f"SLO: target {_fmt(target_ms)}ms at objective "
+        f"{_fmt(slo.get('objective'))} — "
+        f"{_fmt(slo.get('notifications'))} notifications, "
+        f"{_fmt(slo.get('breaches'))} breaches, "
+        f"burn rate {_fmt(slo.get('burn_rate'))}"
+    )
+    headline += (
+        f"\nnotification lag: p50 {_fmt(_ms(slo.get('lag_p50_seconds')))}ms"
+        f"  p99 {_fmt(_ms(slo.get('lag_p99_seconds')))}ms"
+        f"  max {_fmt(_ms(slo.get('lag_max_seconds')))}ms"
+    )
+    sections = [headline]
+    queries = slo.get("queries") or []
+    if queries:
+        rows = [
+            [row.get("query_id"), row.get("notifications"),
+             row.get("breaches"), row.get("burn_rate"),
+             _ms(row.get("p99_seconds"))]
+            for row in queries
+        ]
+        sections.append("per-query burn rates (worst first)\n" + _table(
+            ["query", "notifs", "breaches", "burn", "p99 ms"], rows,
+        ))
+    return "\n\n".join(sections) + "\n"
+
+
+def render_postmortem(dump: Dict[str, Any]) -> str:
+    """Human-readable rendering of a flight-recorder dump artifact
+    (``inspect --postmortem <file>``)."""
+    sections: List[str] = []
+    sections.append(
+        f"flight recorder postmortem — node {dump.get('node', '?')} "
+        f"pid {dump.get('pid', '?')}\n"
+        f"reason: {dump.get('reason', '?')}   "
+        f"dumped at: {_fmt(dump.get('dumped_at'))}   "
+        f"format v{dump.get('version', '?')}"
+    )
+    events = dump.get("events") or []
+    if events:
+        first_t = events[0].get("t", 0.0)
+        rows = []
+        for event in events:
+            extras = ", ".join(
+                f"{key}={event[key]}" for key in sorted(event)
+                if key not in ("t", "kind")
+            )
+            rows.append([
+                f"+{_fmt(event.get('t', 0.0) - first_t)}s",
+                event.get("kind", "?"), extras,
+            ])
+        table = _table(["when", "event", "detail"], rows)
+        # Detail strings are free-form: left-align that column.
+        sections.append(f"event ring ({len(events)} events)\n" + table)
+    else:
+        sections.append("event ring: empty")
+    context = dump.get("context") or {}
+    supervisor = context.get("supervisor")
+    if isinstance(supervisor, dict):
+        rows = [[key, supervisor[key]] for key in sorted(supervisor)]
+        sections.append("supervisor\n" + _table(["counter", "value"],
+                                                rows))
+    faults = context.get("faults")
+    if isinstance(faults, dict) and any(
+        isinstance(v, (int, float)) and v for v in faults.values()
+    ):
+        rows = [[key, value] for key, value in sorted(faults.items())
+                if isinstance(value, (int, float)) and value]
+        sections.append("fault counters\n" + _table(["counter", "value"],
+                                                    rows))
+    health = context.get("health")
+    if isinstance(health, dict):
+        sections.append(render_health(health).rstrip("\n"))
+    slo = context.get("slo")
+    if isinstance(slo, dict):
+        sections.append(render_slo(slo).rstrip("\n"))
+    traces = context.get("recent_traces")
+    if isinstance(traces, list) and traces:
+        rows = []
+        for trace in traces[-16:]:
+            # Raw tracer transcripts: flat stride-3 [name, start, end].
+            spans = trace.get("spans") or []
+            names = spans[0::3]
+            ends = [end for end in spans[2::3] if end is not None]
+            total = (max(ends) - trace.get("start", 0.0)) if ends else None
+            rows.append([
+                trace.get("id", "?"),
+                trace.get("key"),
+                "yes" if trace.get("replay") else "",
+                _ms(total),
+                ">".join(str(name) for name in names),
+            ])
+        sections.append(
+            f"recent traces ({len(traces)} in dump, newest last)\n"
+            + _table(["trace", "key", "replay", "total ms", "spans"],
+                     rows)
+        )
+    slow = context.get("slow_events")
+    if isinstance(slow, list) and slow:
+        sections.append(f"slow events in dump: {len(slow)}")
+    return "\n\n".join(sections) + "\n"
+
+
 def render(snapshot: Dict[str, Any]) -> str:
     """The full inspector report for one cluster snapshot."""
     sections: List[str] = []
@@ -227,5 +334,21 @@ def render(snapshot: Dict[str, Any]) -> str:
     health = snapshot.get("health")
     if health:
         sections.append(render_health(health).rstrip("\n"))
+
+    slo = snapshot.get("slo")
+    if slo and slo.get("notifications"):
+        sections.append(render_slo(slo).rstrip("\n"))
+
+    flight = snapshot.get("flight")
+    if flight:
+        line = (
+            f"flight recorder: {_fmt(flight.get('events_buffered'))}/"
+            f"{_fmt(flight.get('capacity'))} events buffered "
+            f"({_fmt(flight.get('events_recorded'))} recorded), "
+            f"{_fmt(flight.get('dumps_written'))} dumps written"
+        )
+        directory = flight.get("directory")
+        line += f" to {directory}" if directory else " (dumps disabled)"
+        sections.append(line)
 
     return "\n\n".join(sections) + "\n"

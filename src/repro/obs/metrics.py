@@ -327,6 +327,19 @@ class MetricsRegistry:
         self._lock = threading.Lock()
         self._metrics: Dict[Tuple[str, LabelItems], Any] = {}
         self._collectors: List[Callable[[], Dict[str, Any]]] = []
+        #: Metric family name -> help text (``# HELP`` in the
+        #: Prometheus exposition; free-form documentation elsewhere).
+        self._help: Dict[str, str] = {}
+
+    def describe(self, name: str, help_text: str) -> None:
+        """Attach help text to a metric family (idempotent; the first
+        description wins so exporters emit stable ``# HELP`` lines)."""
+        with self._lock:
+            self._help.setdefault(name, help_text)
+
+    def help_text(self, name: str) -> Optional[str]:
+        with self._lock:
+            return self._help.get(name)
 
     def counter(self, name: str, **labels: Any) -> Counter:
         return self._get(name, _label_items(labels), Counter)

@@ -1,0 +1,230 @@
+"""Per-query SLO accounting: notification-lag targets and burn rates.
+
+InvaliDB's product promise is *fresh* query results: every delivered
+notification implicitly answers "how stale was the client's view when
+this change arrived?".  The :class:`SLOAccountant` turns that into
+first-class accounting at the single choke point every notification
+passes through (``InvaliDBCluster._deliver_change``):
+
+* **lag** — delivery time minus the originating write's client-edge
+  timestamp (both read from ``config.clock``, so inline-model runs
+  measure deterministic virtual lag);
+* per-(query, partition) **lag histograms** plus a per-query last-lag
+  **gauge** in the shared metrics registry (so the series flow through
+  snapshot/Prometheus/inspector like every other metric);
+* **breach counters** against a configurable latency target, and a
+  **burn rate** — observed breach fraction divided by the error budget
+  ``1 - objective`` — per query and cluster-wide.  Burn rate > 1.0
+  means the query is consuming its error budget faster than the SLO
+  allows.
+
+The accountant also maintains one *unlabeled* aggregate lag histogram
+that the overload controller can window with ``percentile_since`` and
+feed into PR 8's :class:`~repro.core.overload.HealthMonitor` as a
+synthetic partition (``slo_health_feed``): sustained lag beyond the
+dwell threshold then drives the same degraded/overloaded state machine
+as mailbox pressure.
+
+Hot-path discipline: ``observe`` runs once per delivered change, so
+metric handles are resolved through a plain dict cache and the
+write-partition of repeating keys comes from a bounded cache instead
+of re-hashing.  Counters (and the aggregate histogram the health feed
+windows) are exact; the *labeled* per-(query, partition) histogram and
+last-lag gauge record every breach but sample in-target lags 1-in-4
+(phase-locked, mirroring the tracer's per-stage sampling) — tails stay
+exact while the healthy common case pays half the metric ops.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+#: Upper bound on distinct (query, partition) label pairs the
+#: accountant will create series for; beyond it, lag is still recorded
+#: in the aggregate histogram but new per-query series are not minted
+#: (protects the registry from unbounded-cardinality workloads).
+MAX_TRACKED_SERIES = 1024
+
+#: Bounded key -> write-partition cache.  ``stable_hash`` is a BLAKE2b
+#: digest (~1 microsecond) — too hot to recompute once per delivered
+#: notification for keys that repeat.  Bounded add-only: once full, new
+#: keys fall back to hashing (no eviction bookkeeping on the hot path).
+MAX_PARTITION_CACHE = 4096
+
+
+class SLOAccountant:
+    """Folds delivered-notification lag into SLO metrics."""
+
+    def __init__(
+        self,
+        telemetry: Any,
+        scheme: Any,
+        latency_target: float,
+        objective: float,
+        clock: Any,
+    ):
+        self.telemetry = telemetry
+        self.scheme = scheme
+        self.latency_target = latency_target
+        self.objective = objective
+        #: Error budget: the tolerated breach fraction.
+        self.budget = max(1e-9, 1.0 - objective)
+        self.clock = clock
+        registry = telemetry.registry
+        registry.describe(
+            "slo.lag_seconds",
+            "Aggregate delivered-notification lag: delivery time minus "
+            "the originating write's client-edge timestamp.",
+        )
+        registry.describe(
+            "slo.notification_lag_seconds",
+            "Delivered-notification lag per (query, partition).",
+        )
+        registry.describe(
+            "slo.notification_lag_last_seconds",
+            "Most recent notification lag observed per query.",
+        )
+        registry.describe(
+            "slo.notifications_total",
+            "Notifications with a measurable lag, per query.",
+        )
+        registry.describe(
+            "slo.breaches",
+            "Notifications whose lag exceeded the SLO latency target "
+            "(aggregate).",
+        )
+        registry.describe(
+            "slo.breaches_total",
+            "Notifications whose lag exceeded the SLO latency target, "
+            "per query.",
+        )
+        #: Aggregate lag histogram (unlabeled): the HealthMonitor feed
+        #: windows this with counts()/percentile_since.
+        #: The aggregate notification count IS ``self.lag.count`` — a
+        #: separate counter would be a redundant hot-path bump.
+        self.lag = registry.histogram("slo.lag_seconds")
+        self.total_breaches = registry.counter("slo.breaches")
+        #: (query_id, partition) -> (histogram, gauge, notif, breach).
+        self._series: Dict[Tuple[str, int], Tuple[Any, Any, Any, Any]] = {}
+        #: query_id -> (notifications counter, breaches counter), for
+        #: the per-query summary without walking the registry.
+        self._queries: Dict[str, Tuple[Any, Any]] = {}
+        self._partitions: Dict[Any, int] = {}
+        self.skipped = 0
+        self._observed = 0
+
+    def _handles(
+        self, query_id: str, partition: int
+    ) -> Optional[Tuple[Any, Any, Any, Any]]:
+        key = (query_id, partition)
+        handles = self._series.get(key)
+        if handles is None:
+            if len(self._series) >= MAX_TRACKED_SERIES:
+                return None
+            registry = self.telemetry.registry
+            handles = (
+                registry.histogram(
+                    "slo.notification_lag_seconds",
+                    query=query_id, partition=str(partition),
+                ),
+                registry.gauge(
+                    "slo.notification_lag_last_seconds", query=query_id
+                ),
+                registry.counter(
+                    "slo.notifications_total", query=query_id
+                ),
+                registry.counter("slo.breaches_total", query=query_id),
+            )
+            self._series[key] = handles
+            self._queries.setdefault(query_id, (handles[2], handles[3]))
+        return handles
+
+    def observe(self, change: Any) -> None:
+        """Account one delivered change (called once per change, before
+        the per-subscriber fan-out)."""
+        timestamp = change.timestamp
+        if change.is_error or change.key is None or not timestamp:
+            # Error/renewal changes carry no originating write; keys
+            # can be None on malformed writes.  Neither has a
+            # meaningful lag.
+            self.skipped += 1
+            return
+        lag = self.clock() - timestamp
+        if lag < 0.0:
+            lag = 0.0
+        breach = lag > self.latency_target
+        self.lag.record(lag)
+        if breach:
+            self.total_breaches.inc()
+        key = change.key
+        partition = self._partitions.get(key)
+        if partition is None:
+            partition = self.scheme.write_partition_of(key)
+            if len(self._partitions) < MAX_PARTITION_CACHE:
+                self._partitions[key] = partition
+        handles = self._handles(change.query_id, partition)
+        if handles is None:
+            return
+        histogram, gauge, notifications, breaches = handles
+        notifications.inc()
+        if breach:
+            breaches.inc()
+        # Labeled series: every breach is recorded (tail percentiles
+        # stay exact), in-target lags are sampled 1-in-4 phase-locked.
+        observed = self._observed
+        self._observed = observed + 1
+        if breach or (observed & 3) == 0:
+            histogram.record(lag)
+            gauge.set(lag)
+
+    def burn_rate(self, breaches: int, notifications: int) -> float:
+        """Observed breach fraction scaled by the error budget."""
+        if not notifications:
+            return 0.0
+        return (breaches / notifications) / self.budget
+
+    def summary(self, limit: int = 32) -> Dict[str, Any]:
+        """Snapshot-ready view: targets, totals, worst queries first."""
+        total = self.lag.count
+        breached = self.total_breaches.value
+        queries = []
+        for query_id, (notifications, breaches) in self._queries.items():
+            seen = notifications.value
+            bad = breaches.value
+            queries.append({
+                "query_id": query_id,
+                "notifications": seen,
+                "breaches": bad,
+                "burn_rate": round(self.burn_rate(bad, seen), 4),
+                "p99_seconds": None,
+            })
+        queries.sort(
+            key=lambda row: (-row["burn_rate"], -row["notifications"])
+        )
+        queries = queries[:limit]
+        aggregate = self.lag.snapshot()
+        for row in queries:
+            row["p99_seconds"] = self._query_p99(row["query_id"])
+        return {
+            "latency_target_seconds": self.latency_target,
+            "objective": self.objective,
+            "notifications": total,
+            "breaches": breached,
+            "burn_rate": round(self.burn_rate(breached, total), 4),
+            "lag_p50_seconds": aggregate.get("p50"),
+            "lag_p99_seconds": aggregate.get("p99"),
+            "lag_max_seconds": aggregate.get("max"),
+            "skipped": self.skipped,
+            "queries": queries,
+        }
+
+    def _query_p99(self, query_id: str) -> Optional[float]:
+        """p99 lag across the query's partition histograms."""
+        best: Optional[float] = None
+        for (qid, _), handles in self._series.items():
+            if qid != query_id:
+                continue
+            p99 = handles[0].percentile(0.99)
+            if best is None or p99 > best:
+                best = p99
+        return best

@@ -49,13 +49,19 @@ class TelemetryConfig:
     #: trace (``1.0`` = every write).  Metrics are always complete —
     #: sampling only gates span creation and the trace's ride inside
     #: serialized payloads, which dominate tracing cost.  The default
-    #: traces one write in four, the production setting the overhead
-    #: benchmark measures; tests that assert on every notification's
-    #: span chain (and the inspector CLI) pass ``1.0`` explicitly.
-    #: Sampling is deterministic: the decision is a pure function of
-    #: the tracer's sequence number, so same-seed inline runs sample
-    #: identical writes.
-    trace_sample_rate: float = 0.25
+    #: traces one write in sixteen, the production setting the
+    #: overhead benchmark measures — a full-per-write trace costs
+    #: roughly a quarter of the write path (measured; see
+    #: ``benchmarks/bench_telemetry_overhead.py``), so the default
+    #: rate keeps the amortized cost under 2% while a sustained
+    #: workload still fills the 256-entry transcript ring within
+    #: seconds and the per-stage histograms stay representative.
+    #: Tests that assert on every notification's span chain (and the
+    #: inspector CLI) pass ``1.0`` explicitly.  Sampling is
+    #: deterministic: the decision is a pure function of the tracer's
+    #: sequence number, so same-seed inline runs sample identical
+    #: writes.
+    trace_sample_rate: float = 0.0625
     #: Traces slower end-to-end than this (seconds) go to the slow log.
     slow_trace_threshold: float = 0.1
     #: Ring-buffer capacity for trace transcripts and slow events.

@@ -110,14 +110,22 @@ def begin_span(trace: Optional[Trace], name: str, now: float) -> None:
 
 
 def end_span(trace: Optional[Trace], name: str, now: float) -> None:
-    """Close the most recent open span named *name* (idempotent)."""
+    """Close the most recent open span named *name* (idempotent).
+
+    The end is clamped to the span's start: under the process model a
+    span may open in one clock domain (a calibrated worker) and close
+    in another, and the residual calibration error must never produce
+    a negative span.  In-process models use one monotone clock, so the
+    clamp is a no-op there.
+    """
     if trace is None:
         return
     spans = trace["spans"]
     for index in range(len(spans) - 3, -1, -3):
         if spans[index] == name:
             if spans[index + 2] is None:
-                spans[index + 2] = now
+                start = spans[index + 1]
+                spans[index + 2] = now if now >= start else start
             return
 
 
@@ -260,8 +268,19 @@ class Tracer:
                     ],
                 }
                 self.slow_events.append(event)
-                slow_log.warning("slow trace %s: %.6fs over %d spans",
-                                 trace["id"], total, len(trace["spans"]) // 3)
+                # The ring records every slow trace; the log line is
+                # rate-limited 1-in-64 (phase-locked to the exact slow
+                # counter) — sustained latency is exactly when a
+                # per-trace stderr write would hurt most, and a flood
+                # of identical lines carries no more signal than one.
+                slow_seen = self._slow_counter.value
+                if (slow_seen & 63) == 1:
+                    slow_log.warning(
+                        "slow trace %s: %.6fs over %d spans "
+                        "(%d slow so far)",
+                        trace["id"], total,
+                        len(trace["spans"]) // 3, slow_seen,
+                    )
 
     def stats(self) -> Dict[str, Any]:
         with self._lock:

@@ -672,7 +672,7 @@ class _InlineMailbox(Mailbox):
         self.largest_batch = 0
         self.handler_errors = 0
         # Telemetry (bound via bind_telemetry; None = uninstrumented).
-        # Sparse dwell stamps, same scheme as BoundedQueue's: every 8th
+        # Sparse dwell stamps, same scheme as BoundedQueue's: every 16th
         # appended item records ``(append_index, time)``; the dequeue
         # side pops stamps whose item has left the list and records
         # their dwell.
@@ -743,7 +743,7 @@ class _InlineMailbox(Mailbox):
                     self._evict_log(evicted)
         self._items.append(item)
         self.enqueued += 1
-        if self._stamps is not None and (self.enqueued & 7) == 1:
+        if self._stamps is not None and (self.enqueued & 15) == 1:
             self._stamps.append((self.enqueued, self._tel_clock()))
             self._depth_gauge.set(len(self._items))
         self.high_water = max(self.high_water, len(self._items))
@@ -930,8 +930,8 @@ class InlineExecutionModel(ExecutionModel):
                 stamps = box._stamps
                 if stamps is not None:
                     # Sparse sampling, same scheme as BoundedQueue:
-                    # dwell for the 1-in-8 stamped items that left in
-                    # this batch, batch size for 1-in-8 batches —
+                    # dwell for the 1-in-16 stamped items that left in
+                    # this batch, batch size for 1-in-16 batches —
                     # phase-locked to exact counters for determinism.
                     removed = box.enqueued - len(box._items)
                     if stamps and stamps[0][0] <= removed:
@@ -941,7 +941,7 @@ class InlineExecutionModel(ExecutionModel):
                                 max(0.0, tnow - stamps.pop(0)[1])
                             )
                         box._depth_gauge.set(len(box._items))
-                    if (box.batches & 7) == 1:
+                    if (box.batches & 15) == 1:
                         box._batch_hist.record(n)
                 try:
                     box._handler(batch)

@@ -37,6 +37,7 @@ import multiprocessing
 import os
 import pickle
 import socket
+import struct
 import threading
 import time
 import traceback
@@ -50,6 +51,7 @@ from repro.errors import (
 )
 from repro.event.wire import (
     MSG_BATCH,
+    MSG_CALIBRATE,
     MSG_ERROR,
     MSG_REGISTER,
     MSG_REPLY,
@@ -71,6 +73,45 @@ from repro.runtime.execution import (
 
 #: Death listener signature: ``(cell_name, pid, reason)``.
 DeathListener = Callable[[str, int, str], None]
+
+#: Calibration payload: one little-endian double (a raw perf_counter
+#: reading on ping replies, the computed offset on the set frame).
+_CALIBRATION_DOUBLE = struct.Struct("<d")
+
+#: Calibration pings per worker; the minimum-RTT sample wins, so the
+#: first ping (which absorbs fork/startup latency) never decides.
+_CALIBRATION_PINGS = 3
+
+
+class _WorkerClock:
+    """Worker-side clock shifted into the parent's ``perf_counter``
+    domain.
+
+    ``perf_counter`` epochs are per-process (on Linux the value is
+    CLOCK_MONOTONIC, but there is no cross-process guarantee), so span
+    timestamps taken inside a worker would not compare to the parent's.
+    At fork — and again whenever a slot's worker is respawned — the
+    pool runs a tiny NTP-style handshake over the already-open control
+    socket: ping for the worker's raw ``perf_counter``, take the
+    minimum-RTT sample, and set ``offset = midpoint(parent) - worker``
+    so that worker timestamps land in the parent domain with residual
+    error bounded by half that round-trip (a few microseconds for a
+    same-host socketpair).
+    """
+
+    __slots__ = ("offset",)
+
+    def __init__(self) -> None:
+        self.offset = 0.0
+
+    def __call__(self) -> float:
+        return time.perf_counter() + self.offset
+
+
+#: The forked worker's calibrated clock.  Module-global on purpose:
+#: remote cell specs are built *inside* the worker (after the offset
+#: has been set), and each fork gets its own copy-on-write instance.
+worker_clock = _WorkerClock()
 
 
 class RemoteCellError(ExecutionError):
@@ -134,6 +175,9 @@ class _Worker:
         #: cell_id -> cell name, for death attribution.
         self.cells: Dict[int, str] = {}
         self.requests = 0
+        #: Clock calibration results (see :class:`_WorkerClock`).
+        self.clock_offset = 0.0
+        self.clock_rtt = 0.0
 
     @property
     def pid(self) -> int:
@@ -146,6 +190,8 @@ class _Worker:
             "alive": self.alive,
             "cells": sorted(self.cells.values()),
             "requests": self.requests,
+            "clock_offset": self.clock_offset,
+            "clock_rtt": self.clock_rtt,
         }
 
 
@@ -241,6 +287,7 @@ class WorkerPool:
         process.start()
         child_sock.close()
         worker = _Worker(slot, process, parent_sock)
+        self._calibrate(worker)
         self._workers[slot] = worker
         self._spawned += 1
         if self._monitor is None:
@@ -250,6 +297,37 @@ class WorkerPool:
             )
             self._monitor.start()
         return worker
+
+    def _calibrate(self, worker: _Worker) -> None:
+        """Handshake the worker's clock offset (see :class:`_WorkerClock`).
+
+        Runs on the fresh, otherwise-idle channel right after the fork
+        — before the worker is published in ``self._workers`` — so raw
+        frames with request id 0 are unambiguous.  Deliberately avoids
+        ``_request``: this is called under the pool lock, and the error
+        path of ``_request`` re-takes it.  A worker that dies mid-
+        handshake keeps offset 0; the first real request will surface
+        the death through the normal channel-error machinery.
+        """
+        try:
+            best_offset, best_rtt = 0.0, float("inf")
+            for _ in range(_CALIBRATION_PINGS):
+                t0 = time.perf_counter()
+                send_frame(worker.sock, MSG_CALIBRATE, 0, 0, b"")
+                _, _, _, payload = recv_frame(worker.sock)
+                t1 = time.perf_counter()
+                rtt = t1 - t0
+                if rtt < best_rtt:
+                    (remote,) = _CALIBRATION_DOUBLE.unpack(payload)
+                    best_rtt = rtt
+                    best_offset = (t0 + t1) / 2.0 - remote
+            send_frame(worker.sock, MSG_CALIBRATE, 0, 0,
+                       _CALIBRATION_DOUBLE.pack(best_offset))
+            recv_frame(worker.sock)  # ack
+            worker.clock_offset = best_offset
+            worker.clock_rtt = best_rtt
+        except (OSError, FrameError, struct.error):
+            pass
 
     def _request(self, worker: _Worker, kind: int, cell_id: int,
                  payload: bytes) -> bytes:
@@ -474,6 +552,15 @@ def _worker_main(sock: socket.socket, parent_sock: socket.socket,
                 spec = pickle.loads(payload)
                 cells[cell_id] = spec.build()
                 reply = b""
+            elif kind == MSG_CALIBRATE:
+                if payload:
+                    # Set frame: adopt the parent-computed offset.
+                    (worker_clock.offset,) = \
+                        _CALIBRATION_DOUBLE.unpack(payload)
+                    reply = b""
+                else:
+                    # Ping: report our raw perf_counter reading.
+                    reply = _CALIBRATION_DOUBLE.pack(time.perf_counter())
             elif kind == MSG_SNAPSHOT:
                 cell = cells.get(cell_id)
                 reply = pickle.dumps({

@@ -18,7 +18,7 @@ now sit on:
 * optional telemetry (:meth:`BoundedQueue.instrument`): queue-depth
   gauge, drop counter, batch-size histogram, and a dwell-time
   histogram.  Telemetry is **sampled** so instrumentation stays off
-  the per-item hot path: every 8th enqueued item is stamped with
+  the per-item hot path: every 16th enqueued item is stamped with
   ``(append_index, time)`` under the queue's existing lock, and its
   dwell is recorded when the dequeue (or eviction) side observes the
   item has left the deque; batch sizes are recorded for 1 in 8
@@ -157,7 +157,7 @@ class BoundedQueue:
                         discarded += 1
                 self._items.append(item)
                 self.enqueued += 1
-                if stamps is not None and (self.enqueued & 7) == 1:
+                if stamps is not None and (self.enqueued & 15) == 1:
                     stamps.append((self.enqueued, self._tel_clock()))
                     self._depth_gauge.set(len(self._items))
             self.high_water = max(self.high_water, len(self._items))
@@ -211,7 +211,7 @@ class BoundedQueue:
             stamps = self._stamps
             if stamps is not None:
                 # Sparse sampling (module doc): dwell for stamped items
-                # that left in this batch, size for 1-in-8 batches.
+                # that left in this batch, size for 1-in-16 batches.
                 removed = self.enqueued - len(self._items)
                 if stamps and stamps[0][0] <= removed:
                     now = self._tel_clock()
@@ -220,7 +220,7 @@ class BoundedQueue:
                             max(0.0, now - stamps.popleft()[1])
                         )
                     self._depth_gauge.set(len(self._items))
-                if (self.batches & 7) == 1:
+                if (self.batches & 15) == 1:
                     self._batch_hist.record(n)
             self._not_full.notify_all()
             return batch

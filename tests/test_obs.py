@@ -10,6 +10,7 @@ inspector — plus the ``python -m repro inspect`` CLI entry point.
 
 import json
 import math
+import re
 
 import pytest
 
@@ -454,3 +455,199 @@ class TestInspectCli:
         from repro.__main__ import main
         assert main(["inspect", "--writes", "12", "--slow"]) == 0
         assert "slow" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# Strict Prometheus text-format validation (exporter hardening)
+# ---------------------------------------------------------------------------
+
+_PROM_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+#: A label value may contain only escaped backslash/quote/newline plus
+#: anything that is not a raw backslash, quote or newline.
+_PROM_LABEL = r'[a-zA-Z_][a-zA-Z0-9_]*="(?:\\\\|\\"|\\n|[^"\\\n])*"'
+_PROM_SAMPLE_RE = re.compile(
+    rf"^({_PROM_NAME})(?:\{{{_PROM_LABEL}(?:,{_PROM_LABEL})*\}})? "
+    rf"(?:NaN|[+-]Inf|[+-]?[0-9]+(?:\.[0-9]+)?(?:[eE][+-]?[0-9]+)?)$"
+)
+_PROM_HELP_RE = re.compile(rf"^# HELP ({_PROM_NAME}) [^\n]+$")
+_PROM_TYPE_RE = re.compile(
+    rf"^# TYPE ({_PROM_NAME}) (counter|gauge|histogram)$"
+)
+
+
+def check_prometheus_text(text):
+    """Strict structural checker for the 0.0.4 text exposition format.
+
+    Asserts every line is a well-formed HELP/TYPE comment or sample,
+    HELP directly precedes TYPE exactly once per family, label values
+    contain no raw backslash/quote/newline, and every sample belongs
+    to a declared family.  Returns {family: type}.
+    """
+    assert text.endswith("\n"), "exposition must end with a newline"
+    families = {}
+    pending_help = None
+    for line in text.rstrip("\n").split("\n"):
+        if line.startswith("# HELP "):
+            match = _PROM_HELP_RE.match(line)
+            assert match, f"malformed HELP line: {line!r}"
+            name = match.group(1)
+            assert name not in families, f"duplicate family {name}"
+            assert pending_help is None, f"HELP {name} without a TYPE"
+            pending_help = name
+            continue
+        if line.startswith("# TYPE "):
+            match = _PROM_TYPE_RE.match(line)
+            assert match, f"malformed TYPE line: {line!r}"
+            name = match.group(1)
+            assert pending_help == name, (
+                f"TYPE {name} must directly follow its HELP line"
+            )
+            families[name] = match.group(2)
+            pending_help = None
+            continue
+        assert not line.startswith("#"), f"unknown comment: {line!r}"
+        match = _PROM_SAMPLE_RE.match(line)
+        assert match, f"malformed sample line: {line!r}"
+        sample = match.group(1)
+        base = re.sub(r"_(bucket|sum|count)$", "", sample)
+        assert sample in families or (
+            base in families and families[base] == "histogram"
+        ), f"sample for undeclared family: {line!r}"
+    assert pending_help is None, "trailing HELP without a TYPE"
+    return families
+
+
+class TestPrometheusStrictFormat:
+    #: A label value with every character class the exposition format
+    #: requires escaping for, plus braces/commas that must pass through.
+    NASTY = 'he said "hi", used a \\ backslash,\nand a {brace}'
+
+    def build(self):
+        telemetry = Telemetry(TelemetryConfig())
+        telemetry.registry.describe(
+            "slo.breaches_total",
+            "Notifications whose lag exceeded the target.",
+        )
+        telemetry.counter("slo.breaches_total", query=self.NASTY).inc(2)
+        telemetry.gauge("mailbox.depth", mailbox="m").set(2.0)
+        telemetry.histogram("trace.e2e_seconds").record_many(
+            [0.001, 0.02, 3.0])
+        return telemetry
+
+    def test_every_line_parses_strictly(self):
+        families = check_prometheus_text(to_prometheus(self.build()))
+        assert families["slo_breaches_total"] == "counter"
+        assert families["mailbox_depth"] == "gauge"
+        assert families["trace_e2e_seconds"] == "histogram"
+
+    def test_label_values_are_escaped(self):
+        text = to_prometheus(self.build())
+        assert '\\"hi\\"' in text
+        assert "\\\\ backslash" in text
+        assert "\\nand" in text
+        # The raw newline must not survive into the payload: the line
+        # after any sample line must not be a bare continuation.
+        assert "\nand a {brace}" not in text
+        check_prometheus_text(text)
+
+    def test_help_precedes_type_and_is_stable(self):
+        one = to_prometheus(self.build())
+        two = to_prometheus(self.build())
+        assert one == two, "exposition must be byte-stable run to run"
+        assert one.count("# HELP slo_breaches_total") == 1
+        assert one.index("# HELP slo_breaches_total") < one.index(
+            "# TYPE slo_breaches_total")
+
+    def test_described_and_fallback_help_text(self):
+        text = to_prometheus(self.build())
+        assert ("# HELP slo_breaches_total Notifications whose lag "
+                "exceeded the target.") in text
+        # Families nobody described get a deterministic fallback.
+        assert "# HELP mailbox_depth Registry metric mailbox.depth." in text
+
+    def test_registry_first_description_wins(self):
+        registry = MetricsRegistry()
+        registry.describe("m", "first")
+        registry.describe("m", "second")
+        assert registry.help_text("m") == "first"
+        assert registry.help_text("unknown") is None
+
+
+# ---------------------------------------------------------------------------
+# Per-query SLO accounting
+# ---------------------------------------------------------------------------
+
+
+class _StaticScheme:
+    def write_partition_of(self, key):
+        return 0
+
+
+class TestSLOAccountant:
+    def build(self, now=10.0, objective=0.9):
+        from repro.obs.slo import SLOAccountant
+        telemetry = Telemetry(TelemetryConfig())
+        state = {"now": now}
+        accountant = SLOAccountant(
+            telemetry, _StaticScheme(), latency_target=0.25,
+            objective=objective, clock=lambda: state["now"],
+        )
+        return telemetry, accountant, state
+
+    def _change(self, query_id="q1", timestamp=9.9, **kw):
+        from repro.core.notifications import QueryChange
+        from repro.types import MatchType
+        return QueryChange(query_id=query_id, match_type=MatchType.ADD,
+                           key=1, timestamp=timestamp, **kw)
+
+    def test_lag_breach_and_burn_rate(self):
+        telemetry, accountant, _ = self.build()
+        accountant.observe(self._change(timestamp=9.9))  # 0.1s: within SLO
+        accountant.observe(self._change(timestamp=9.0))  # 1.0s: breach
+        summary = accountant.summary()
+        assert summary["notifications"] == 2
+        assert summary["breaches"] == 1
+        # Breach fraction 0.5 over an error budget of 1 - 0.9 = 0.1.
+        assert summary["burn_rate"] == pytest.approx(5.0)
+        row = summary["queries"][0]
+        assert row["query_id"] == "q1"
+        assert row["burn_rate"] == pytest.approx(5.0)
+        assert row["p99_seconds"] == pytest.approx(1.0, rel=0.2)
+
+    def test_error_and_untimestamped_changes_are_skipped(self):
+        from repro.core.notifications import QueryChange
+        from repro.types import MatchType
+        telemetry, accountant, _ = self.build()
+        accountant.observe(QueryChange(
+            query_id="q", match_type=MatchType.ERROR, key=1,
+            error="renew", timestamp=5.0,
+        ))
+        accountant.observe(self._change(timestamp=0.0))
+        assert accountant.summary()["notifications"] == 0
+        assert accountant.skipped == 2
+
+    def test_negative_lag_clamps_to_zero(self):
+        telemetry, accountant, _ = self.build(now=1.0)
+        accountant.observe(self._change(timestamp=2.0))
+        summary = accountant.summary()
+        assert summary["breaches"] == 0
+        assert summary["lag_max_seconds"] == 0.0
+
+    def test_cardinality_cap_keeps_aggregate_accounting(self, monkeypatch):
+        import repro.obs.slo as slo_module
+        monkeypatch.setattr(slo_module, "MAX_TRACKED_SERIES", 2)
+        telemetry, accountant, _ = self.build()
+        for i in range(5):
+            accountant.observe(self._change(query_id=f"q{i}"))
+        summary = accountant.summary()
+        assert summary["notifications"] == 5  # aggregate sees them all
+        assert len(summary["queries"]) == 2   # but only 2 series minted
+
+    def test_slo_series_flow_to_prometheus(self):
+        telemetry, accountant, _ = self.build()
+        accountant.observe(self._change(timestamp=9.0))
+        text = to_prometheus(telemetry)
+        assert 'slo_notifications_total{query="q1"} 1' in text
+        assert 'slo_breaches_total{query="q1"} 1' in text
+        assert "# HELP slo_lag_seconds " in text
+        check_prometheus_text(text)

@@ -15,6 +15,10 @@ trace transcripts.
 """
 
 import json
+import os
+import signal
+import socket
+import time
 
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -43,8 +47,15 @@ class SteppingClock:
         return self.now
 
 
-def assert_valid_trace(notification) -> None:
-    """One notification's trace is present, complete, ordered, monotone."""
+def assert_valid_trace(notification, slack: float = 0.0) -> None:
+    """One notification's trace is present, complete, ordered, monotone.
+
+    ``slack`` loosens the cross-span monotonicity check by that many
+    seconds: worker-side spans under ``execution_model="process"`` are
+    stamped with a calibrated clock whose residual offset error is
+    bounded by half the calibration round-trip, so adjacent spans from
+    different processes may overlap by a few microseconds.
+    """
     trace = notification.trace
     assert trace is not None, "notification arrived without a trace"
     assert is_complete(trace), f"open span in {trace}"
@@ -56,19 +67,20 @@ def assert_valid_trace(notification) -> None:
     assert names[0] == "publish" and names[-1] == "materialize"
     assert "deliver" in names
     # Monotonic timestamps: start <= end within a span, and nothing
-    # starts before the previous span ended.
+    # starts before the previous span ended (modulo calibration slack).
     previous_end = trace["start"]
     for name, start, end in spans_of(trace):
-        assert start >= previous_end, f"{name} starts before previous end"
+        assert start >= previous_end - slack, \
+            f"{name} starts before previous end"
         assert end >= start, f"{name} ends before it starts"
         previous_end = end
 
 
-def assert_all_traced(*subscriptions) -> int:
+def assert_all_traced(*subscriptions, slack: float = 0.0) -> int:
     checked = 0
     for subscription in subscriptions:
         for notification in subscription.notifications:
-            assert_valid_trace(notification)
+            assert_valid_trace(notification, slack=slack)
             checked += 1
     return checked
 
@@ -251,3 +263,132 @@ def transcript_bytes(seed: int) -> bytes:
 @pytest.mark.parametrize("seed", [3, 11])
 def test_same_seed_inline_runs_produce_identical_transcripts(seed):
     assert transcript_bytes(seed) == transcript_bytes(seed)
+
+
+# --------------------------------------------------------------------------
+# Process model: spans must survive the wire.  Worker-side stages run in
+# forked processes whose perf_counter domain differs from the parent's;
+# the pool calibrates a per-worker offset at fork, so merged chains stay
+# monotone within a small slack (residual error <= calibration RTT / 2).
+
+process_model = pytest.mark.skipif(
+    not (hasattr(os, "fork") and hasattr(socket, "AF_UNIX")),
+    reason="process model needs fork + AF_UNIX socketpairs",
+)
+
+#: Generous bound on calibration error for same-host socketpair pings.
+CLOCK_SLACK = 0.005
+
+
+def settle(cluster, broker, rounds: int = 4, timeout: float = 10.0):
+    """Alternate broker and cluster drains until both report idle."""
+    for _ in range(rounds):
+        broker.drain(timeout)
+        cluster.drain(timeout)
+
+
+def process_cluster(**overrides):
+    broker = Broker()
+    kwargs = dict(
+        query_partitions=2, write_partitions=2,
+        execution_model="process", process_workers=2,
+        notification_coalescing=False,
+        telemetry=TelemetryConfig(trace_sample_rate=1.0),
+    )
+    kwargs.update(overrides)
+    config = InvaliDBConfig(**kwargs)
+    cluster = InvaliDBCluster(broker, config).start()
+    app = AppServer("trace-process", broker, config=config)
+    return broker, cluster, app
+
+
+@process_model
+def test_process_notifications_carry_complete_span_chains():
+    """The tracing contract of DESIGN.md §9 holds when matching and
+    sorting cells live in forked worker processes: worker-side filter /
+    sort spans ride the wire envelopes out, completed spans ride the
+    REPLY frames back, and the merged chain is complete."""
+    broker, cluster, app = process_cluster()
+    try:
+        flat = app.subscribe("items", {"v": {"$gte": 0}})
+        top = app.subscribe("items", {}, sort=[("v", -1)], limit=5)
+        settle(cluster, broker)
+        for i in range(30):
+            app.insert("items", {"_id": i, "v": i})
+        for i in range(0, 30, 2):
+            app.update("items", i, {"$set": {"v": i + 100}})
+        for i in range(0, 30, 5):
+            app.delete("items", i)
+        settle(cluster, broker)
+        assert assert_all_traced(flat, top, slack=CLOCK_SLACK) >= 30
+        filtered = [n for n in flat.notifications
+                    if "filter" in span_names(n.trace)]
+        assert filtered, "no notification carried a worker-side filter span"
+        sorted_spans = [n for n in top.notifications
+                        if "sort" in span_names(n.trace)]
+        assert sorted_spans, "no notification carried a worker-side sort span"
+    finally:
+        app.close()
+        cluster.stop()
+        broker.close()
+
+
+@process_model
+@settings(max_examples=5, deadline=None)
+@given(ops=operations)
+def test_process_span_chain_property(ops):
+    """Hypothesis variant: arbitrary workloads through forked workers
+    still deliver only fully-traced notifications."""
+    broker, cluster, app = process_cluster()
+    try:
+        flat = app.subscribe("items", {"v": {"$gte": 0}})
+        top = app.subscribe("items", {}, sort=[("v", -1)], limit=3)
+        settle(cluster, broker)
+        run_workload(app, ops)
+        settle(cluster, broker)
+        assert_all_traced(flat, top, slack=CLOCK_SLACK)
+    finally:
+        app.close()
+        cluster.stop()
+        broker.close()
+
+
+@process_model
+def test_process_worker_kill9_replay_keeps_traces():
+    """kill -9 a matching worker: the supervisor restarts the cell in a
+    fresh (freshly calibrated) worker and replays retained writes with
+    replay-flagged traces — every notification stays fully traced."""
+    broker, cluster, app = process_cluster(
+        retention_seconds=300.0, supervisor_backoff_base=0.05,
+    )
+    try:
+        flat = app.subscribe("items", {"v": {"$gte": 0}})
+        settle(cluster, broker)
+        for i in range(20):
+            app.insert("items", {"_id": i, "v": i})
+        settle(cluster, broker)
+        victim = cluster._remote_cells[("matching", 0)].pid
+        os.kill(victim, signal.SIGKILL)
+        deadline = time.monotonic() + 8.0
+        while time.monotonic() < deadline:
+            if cluster.supervisor.stats()["restarts"] >= 1:
+                break
+            time.sleep(0.05)
+        settle(cluster, broker)
+        for i in range(20, 30):
+            app.insert("items", {"_id": i, "v": i})
+        settle(cluster, broker)
+        snap = cluster.snapshot()
+        assert snap["supervisor"]["restarts"] >= 1
+        assert snap["supervisor"]["replayed_writes"] >= 1
+        assert_all_traced(flat, slack=CLOCK_SLACK)
+        transcripts = list(cluster.telemetry.tracer.transcripts)
+        replayed = [t for t in transcripts if t.get("replay")]
+        assert replayed, "no replay-flagged trace reached the transcript"
+        for trace in replayed:
+            assert "filter" in span_names(trace), \
+                "replayed trace lost its worker-side filter span"
+    finally:
+        app.close()
+        cluster.stop()
+        broker.close()
