@@ -149,9 +149,27 @@ def inspect(args: argparse.Namespace) -> int:
         # they share one maintained window core.
         app.subscribe("items", {}, sort=[("v", -1)], limit=4, offset=1)
         app.subscribe("items", {}, sort=[("v", -1)], limit=3, offset=2)
+        # Spatio-textual access paths: a geo box, a radius and a token
+        # search, so the inspector's access-path table carries live
+        # spatial/text hit counters.
+        app.subscribe("items", {
+            "loc": {"$geoWithin": {"$box": [[-10, -10], [10, 10]]}},
+        })
+        app.subscribe("items", {
+            "loc": {"$nearSphere": {
+                "$geometry": {"type": "Point", "coordinates": [0, 0]},
+                "$maxDistance": 500_000,
+            }},
+        })
+        app.subscribe("items", {"$text": {"$search": "urgent shipment"}})
         settle()
+        notes = ("urgent delivery", "routine shipment", "idle")
         for i in range(args.writes):
-            app.insert("items", {"_id": i, "v": i % 17})
+            app.insert("items", {
+                "_id": i, "v": i % 17,
+                "loc": [(i * 7) % 360 - 180.0, (i * 3) % 170 - 85.0],
+                "note": notes[i % len(notes)],
+            })
         for i in range(0, args.writes, 3):
             app.update("items", i, {"$inc": {"v": 100}})
         for i in range(0, args.writes, 7):

@@ -47,6 +47,7 @@ from repro.core.overload import (
 from repro.core.partitioning import PartitioningScheme
 from repro.core.retention import RetentionBuffer
 from repro.core.sorting import SortingNode
+from repro.core.stages import build_filtering_node
 from repro.core.subscriptions import QueryRegistration
 from repro.core.supervisor import NodeSupervisor
 from repro.errors import WorkerDiedError
@@ -184,13 +185,16 @@ class _MatchingBolt(Bolt):
     def prepare(self, task_index: int, parallelism: int, emit: Any) -> None:
         super().prepare(task_index, parallelism, emit)
         coordinates = self.cluster.scheme.coordinates(task_index)
-        self.node = FilteringNode(
+        self.node = build_filtering_node(
             coordinates,
             retention_seconds=self.cluster.config.retention_seconds,
             engine=self.cluster.engine,
             use_index=self.cluster.config.query_index,
             memoize=self.cluster.config.shared_predicate_memo,
             shared_dag=self.cluster.config.shared_query_dag,
+            spatial_index=self.cluster.config.spatial_index,
+            text_index=self.cluster.config.text_index,
+            spatial_grid_cells=self.cluster.config.spatial_grid_cells,
             telemetry=self.cluster.telemetry,
         )
         self.cluster._filtering_nodes[task_index] = self.node
@@ -783,6 +787,9 @@ class InvaliDBCluster:
                 query_index=config.query_index,
                 shared_predicate_memo=config.shared_predicate_memo,
                 shared_query_dag=config.shared_query_dag,
+                spatial_index=config.spatial_index,
+                text_index=config.text_index,
+                spatial_grid_cells=config.spatial_grid_cells,
                 notification_coalescing=config.notification_coalescing,
                 telemetry=telemetry,
             )
@@ -1309,8 +1316,39 @@ class InvaliDBCluster:
                 if dag:
                     dag_nodes_evaluated += dag.get("nodes_evaluated", 0)
                     dag_queries_served += dag.get("queries_served", 0)
+        access_paths: Dict[str, Any] = {
+            "queries": 0,
+            "residual_queries": 0,
+            "eq_entries": 0,
+            "range_entries": 0,
+            "interval_entries": 0,
+            "spatial_entries": 0,
+            "spatial_cells": 0,
+            "text_entries": 0,
+            "text_tokens": 0,
+            "hits": {
+                "residual": 0,
+                "equality": 0,
+                "range": 0,
+                "interval": 0,
+                "spatial": 0,
+                "text": 0,
+            },
+        }
+        for row in matching_rows:
+            index_stats = row.get("index")
+            if not index_stats:
+                continue
+            for key in access_paths:
+                if key == "hits":
+                    continue
+                access_paths[key] += index_stats.get(key, 0)
+            for family, count in index_stats.get("hits", {}).items():
+                if family in access_paths["hits"]:
+                    access_paths["hits"][family] += count
         matching_totals = {
             "matched_operations": matched,
+            "access_paths": access_paths,
             "candidates_considered": considered,
             "candidates_pruned": pruned,
             "pruning_ratio": round(

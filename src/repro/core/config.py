@@ -54,6 +54,21 @@ class InvaliDBConfig:
     #: instead of a linear scan over the query partition.  Disable only
     #: for A/B measurements — results are identical either way.
     query_index: bool = True
+    #: Spatial access path of the predicate index: ``$geoWithin`` /
+    #: ``$nearSphere`` shapes rasterized onto a fixed-resolution grid
+    #: so a write's point value probes only its cell.  Off, geo queries
+    #: fall back to the residual scan.  Results are identical either
+    #: way (the index is a conservative superset filter).
+    spatial_index: bool = True
+    #: Text access path of the predicate index: ``$text`` searches
+    #: bucketed under their positive terms so a write probes only its
+    #: own token set.  Off, text queries fall back to residual.
+    text_index: bool = True
+    #: Spatial grid resolution: cells per axis (the grid is
+    #: ``spatial_grid_cells`` columns over longitude x the same number
+    #: of rows over latitude).  Finer grids prune more per query at
+    #: more cells per shape.
+    spatial_grid_cells: int = 64
     #: Share sub-predicate evaluations across queries per after-image
     #: (SharedDB-style memoization in the matching nodes).
     shared_predicate_memo: bool = True
@@ -279,6 +294,14 @@ class InvaliDBConfig:
             raise ClusterConfigError("ingestion node counts must be >= 1")
         if self.retention_seconds < 0:
             raise ClusterConfigError("retention_seconds must be >= 0")
+        if (
+            isinstance(self.spatial_grid_cells, bool)
+            or not isinstance(self.spatial_grid_cells, int)
+            or not 1 <= self.spatial_grid_cells <= 4096
+        ):
+            raise ClusterConfigError(
+                "spatial_grid_cells must be an int in [1, 4096]"
+            )
         if self.default_slack < 1:
             raise ClusterConfigError("default_slack must be >= 1")
         if self.renewal_slack_factor < 1.0:

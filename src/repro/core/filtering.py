@@ -117,13 +117,23 @@ class FilteringNode:
         use_index: bool = True,
         memoize: bool = True,
         shared_dag: bool = False,
+        spatial_index: bool = True,
+        text_index: bool = True,
+        spatial_grid_cells: int = 64,
         telemetry=None,
     ):
         self.coordinates = coordinates
         self.engine = engine if engine is not None else MongoQueryEngine()
         self.retention = RetentionBuffer(retention_seconds)
         self._queries: Dict[str, _ActiveQuery] = {}
-        self.index: Optional[QueryIndex] = QueryIndex() if use_index else None
+        self.index: Optional[QueryIndex] = (
+            QueryIndex(
+                spatial=spatial_index,
+                text=text_index,
+                grid_cells=spatial_grid_cells,
+            )
+            if use_index else None
+        )
         self._memoize = memoize
         #: Shared multi-query execution: one hash-consed predicate DAG
         #: over all registered queries, evaluated once per after-image

@@ -35,14 +35,14 @@ import time
 from dataclasses import dataclass, replace
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.core.filtering import FilteringNode, MatchEvent
+from repro.core.filtering import MatchEvent
 from repro.core.notifications import (
     change_from_match_event,
     resolve_coalesced_type,
     serialize_change,
 )
 from repro.core.partitioning import PartitioningScheme
-from repro.core.stages import build_stage
+from repro.core.stages import build_filtering_node, build_stage
 from repro.event.wire import materialize
 from repro.obs.telemetry import build_telemetry
 from repro.obs.tracing import (
@@ -167,6 +167,9 @@ class MatchingCellSpec:
     query_index: bool = True
     shared_predicate_memo: bool = True
     shared_query_dag: bool = False
+    spatial_index: bool = True
+    text_index: bool = True
+    spatial_grid_cells: int = 64
     notification_coalescing: bool = True
     telemetry: bool = False
 
@@ -185,12 +188,15 @@ class RemoteMatchingCell:
         self.telemetry = _bind_worker_clock(
             build_telemetry(spec.telemetry or None)
         )
-        self.node = FilteringNode(
+        self.node = build_filtering_node(
             self.scheme.coordinates(spec.task_index),
             retention_seconds=spec.retention_seconds,
             use_index=spec.query_index,
             memoize=spec.shared_predicate_memo,
             shared_dag=spec.shared_query_dag,
+            spatial_index=spec.spatial_index,
+            text_index=spec.text_index,
+            spatial_grid_cells=spec.spatial_grid_cells,
             telemetry=self.telemetry,
         )
         self._queries: Dict[str, Query] = {}

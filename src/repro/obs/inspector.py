@@ -258,6 +258,30 @@ def render(snapshot: Dict[str, Any]) -> str:
                 f"(share ratio {totals['dag_share_ratio']:.3f})"
             )
 
+    access = (snapshot.get("matching_totals") or {}).get("access_paths")
+    if access and access.get("queries"):
+        hits = access.get("hits") or {}
+        rows = [
+            ["equality", access.get("eq_entries"), hits.get("equality")],
+            ["half-range", access.get("range_entries"), hits.get("range")],
+            ["interval", access.get("interval_entries"),
+             hits.get("interval")],
+            ["spatial", access.get("spatial_entries"),
+             hits.get("spatial")],
+            ["text", access.get("text_entries"), hits.get("text")],
+            ["residual", access.get("residual_queries"),
+             hits.get("residual")],
+        ]
+        section = "access paths\n" + _table(
+            ["path", "entries", "candidate hits"], rows,
+        )
+        detail = (
+            f"\n{access.get('queries', 0):,} indexed query entries, "
+            f"{access.get('spatial_cells', 0):,} spatial grid cells, "
+            f"{access.get('text_tokens', 0):,} text tokens"
+        )
+        sections.append(section + detail)
+
     sorting = snapshot.get("sorting", [])
     if sorting:
         rows = [

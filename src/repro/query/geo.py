@@ -45,10 +45,38 @@ def _as_point(value: Any) -> Optional[Point]:
     return None
 
 
+#: Public alias for probe-side point extraction (used by the query
+#: index when rasterizing document values into grid cells).
+def as_point(value: Any) -> Optional[Point]:
+    return _as_point(value)
+
+
 def _require_point(value: Any, what: str) -> Point:
+    """Query-side point validation (shape corners, centers, vertices).
+
+    Unlike the lenient document-side :func:`_as_point`, query shapes
+    with non-finite coordinates are rejected outright: NaN/inf corners
+    would silently define shapes that compare unpredictably.
+    """
     point = _as_point(value)
     if point is None:
         raise GeoError(f"{what} must be a [lon, lat] pair or GeoJSON Point")
+    if not (math.isfinite(point[0]) and math.isfinite(point[1])):
+        raise QueryParseError(f"{what} coordinates must be finite")
+    return point
+
+
+def _require_sphere_point(value: Any, what: str) -> Point:
+    """Spherical query centers must additionally be real coordinates:
+    longitude in [-180, 180] and latitude in [-90, 90].  Out-of-range
+    values have no unambiguous position on the sphere (MongoDB rejects
+    them too)."""
+    point = _require_point(value, what)
+    if not (-180.0 <= point[0] <= 180.0 and -90.0 <= point[1] <= 90.0):
+        raise QueryParseError(
+            f"{what} must have longitude in [-180, 180] and latitude "
+            f"in [-90, 90]"
+        )
     return point
 
 
@@ -62,6 +90,47 @@ def haversine_meters(a: Point, b: Point) -> float:
         dlon / 2
     ) ** 2
     return 2 * EARTH_RADIUS_METERS * math.asin(min(1.0, math.sqrt(h)))
+
+
+#: A conservative planar bounding box: (min_lon, min_lat, max_lon,
+#: max_lat).  Longitudes are *raw* (they may exceed [-180, 180] for
+#: legacy planar shapes or wrapped spherical caps); the query index
+#: wraps them into grid columns.
+BBox = Tuple[float, float, float, float]
+
+#: Tiny absolute pad applied to computed (non-exact) bounds so float
+#: rounding can never shave a matching point off a conservative box.
+_BBOX_EPSILON = 1e-9
+
+
+def _spherical_cap_boxes(center: Point, radius_radians: float) -> (
+        Optional[List[BBox]]):
+    """Bounding boxes of a spherical cap, or None for the whole sphere.
+
+    The latitude band is ``lat +- r``; the longitude half-width is
+    ``asin(sin r / cos(lat_edge))`` — evaluated at the band edge
+    closest to a pole, which upper-bounds the exact cap extent — so the
+    boxes are a superset of the cap.  A cap touching a pole spans every
+    longitude.  The returned longitude interval is centered on the
+    (in-range) cap center and may stick out past +-180; callers wrap it.
+    """
+    if radius_radians >= math.pi:
+        return None
+    r_deg = math.degrees(radius_radians) + _BBOX_EPSILON
+    lat_min = center[1] - r_deg
+    lat_max = center[1] + r_deg
+    if lat_min <= -90.0 or lat_max >= 90.0:
+        return [(-180.0, max(-90.0, lat_min), 180.0, min(90.0, lat_max))]
+    sin_r = math.sin(radius_radians)
+    cos_edge = math.cos(math.radians(max(abs(lat_min), abs(lat_max))))
+    if sin_r >= cos_edge:
+        dlon = 180.0
+    else:
+        dlon = min(
+            180.0,
+            math.degrees(math.asin(sin_r / cos_edge)) + _BBOX_EPSILON,
+        )
+    return [(center[0] - dlon, lat_min, center[0] + dlon, lat_max)]
 
 
 def point_in_polygon(point: Point, vertices: Sequence[Point]) -> bool:
@@ -104,6 +173,15 @@ class _GeoShape:
     def canonical(self) -> Tuple[Any, ...]:
         raise NotImplementedError
 
+    def bounding_boxes(self) -> Optional[List[BBox]]:
+        """Conservative covering boxes, or None for "everywhere".
+
+        Soundness contract for the query index: every point the shape
+        contains lies inside one of the returned boxes (false area is
+        fine — the engine re-checks candidates — missing area is not).
+        """
+        raise NotImplementedError
+
 
 class Box(_GeoShape):
     kind = "$box"
@@ -125,6 +203,9 @@ class Box(_GeoShape):
     def canonical(self) -> Tuple[Any, ...]:
         return (self.kind, self.min_x, self.min_y, self.max_x, self.max_y)
 
+    def bounding_boxes(self) -> Optional[List[BBox]]:
+        return [(self.min_x, self.min_y, self.max_x, self.max_y)]
+
 
 class Polygon(_GeoShape):
     kind = "$polygon"
@@ -138,12 +219,24 @@ class Polygon(_GeoShape):
         # A GeoJSON ring repeats the first vertex at the end; drop it.
         if len(self.vertices) > 3 and self.vertices[0] == self.vertices[-1]:
             self.vertices = self.vertices[:-1]
+        # Degenerate rings (all vertices on one or two points) define no
+        # area and make the ray cast meaningless: reject them clearly
+        # instead of silently matching nothing or everything.
+        if len(set(self.vertices)) < 3:
+            raise QueryParseError(
+                "$polygon requires at least three distinct vertices"
+            )
 
     def contains(self, point: Point) -> bool:
         return point_in_polygon(point, self.vertices)
 
     def canonical(self) -> Tuple[Any, ...]:
         return (self.kind, tuple(self.vertices))
+
+    def bounding_boxes(self) -> Optional[List[BBox]]:
+        xs = [vertex[0] for vertex in self.vertices]
+        ys = [vertex[1] for vertex in self.vertices]
+        return [(min(xs), min(ys), max(xs), max(ys))]
 
 
 class Circle(_GeoShape):
@@ -152,10 +245,23 @@ class Circle(_GeoShape):
     def __init__(self, spec: Any, spherical: bool):
         if not isinstance(spec, (list, tuple)) or len(spec) != 2:
             raise QueryParseError("$center/$centerSphere requires [center, radius]")
-        self.center = _require_point(spec[0], "circle center")
+        if spherical:
+            self.center = _require_sphere_point(spec[0], "$centerSphere center")
+        else:
+            self.center = _require_point(spec[0], "$center center")
         radius = spec[1]
-        if isinstance(radius, bool) or not isinstance(radius, (int, float)) or radius < 0:
-            raise QueryParseError("circle radius must be a non-negative number")
+        # NaN slips past a bare ``radius < 0`` check — require a real,
+        # finite, non-negative number.  Zero is allowed and documented:
+        # the circle contains exactly its center point.
+        if (
+            isinstance(radius, bool)
+            or not isinstance(radius, (int, float))
+            or not math.isfinite(radius)
+            or radius < 0
+        ):
+            raise QueryParseError(
+                "circle radius must be a finite non-negative number"
+            )
         self.radius = float(radius)
         self.spherical = spherical
         self.kind = "$centerSphere" if spherical else "$center"
@@ -172,6 +278,15 @@ class Circle(_GeoShape):
 
     def canonical(self) -> Tuple[Any, ...]:
         return (self.kind, self.center, self.radius)
+
+    def bounding_boxes(self) -> Optional[List[BBox]]:
+        if self.spherical:
+            return _spherical_cap_boxes(self.center, self.radius)
+        pad = self.radius + _BBOX_EPSILON
+        return [(
+            self.center[0] - pad, self.center[1] - pad,
+            self.center[0] + pad, self.center[1] + pad,
+        )]
 
 
 def parse_shape(spec: Any) -> _GeoShape:
@@ -212,6 +327,9 @@ class GeoWithin(Operator):
     def canonical(self) -> Tuple[Any, ...]:
         return (self.name, self.shape.canonical())
 
+    def bounding_boxes(self) -> Optional[List[BBox]]:
+        return self.shape.bounding_boxes()
+
 
 class NearSphere(Operator):
     """``$nearSphere`` — spherical distance filter in meters."""
@@ -235,19 +353,33 @@ class NearSphere(Operator):
             center = spec
             max_distance = None
             min_distance = 0
-        self.center = _require_point(center, "$nearSphere center")
+        self.center = _require_sphere_point(center, "$nearSphere center")
         if max_distance is not None and (
             isinstance(max_distance, bool)
             or not isinstance(max_distance, (int, float))
+            or not math.isfinite(max_distance)
             or max_distance < 0
         ):
-            raise QueryParseError("$maxDistance must be a non-negative number")
+            raise QueryParseError(
+                "$maxDistance must be a finite non-negative number"
+            )
         if (
             isinstance(min_distance, bool)
             or not isinstance(min_distance, (int, float))
+            or not math.isfinite(min_distance)
             or min_distance < 0
         ):
-            raise QueryParseError("$minDistance must be a non-negative number")
+            raise QueryParseError(
+                "$minDistance must be a finite non-negative number"
+            )
+        if max_distance is not None and min_distance > max_distance:
+            raise QueryParseError(
+                "$minDistance must not exceed $maxDistance"
+            )
+        # Without $maxDistance the predicate is an unbounded distance
+        # filter: every point value at or beyond $minDistance matches.
+        # That is documented (not an error) — the query index treats it
+        # as a point-presence test covering the whole sphere.
         self.max_distance = None if max_distance is None else float(max_distance)
         self.min_distance = float(min_distance)
 
@@ -262,3 +394,13 @@ class NearSphere(Operator):
 
     def canonical(self) -> Tuple[Any, ...]:
         return (self.name, self.center, self.min_distance, self.max_distance)
+
+    def bounding_boxes(self) -> Optional[List[BBox]]:
+        """Covering boxes of the ``$maxDistance`` cap, or None when the
+        filter is unbounded (``$minDistance`` never shrinks the cover —
+        an annulus is conservatively boxed as its outer disc)."""
+        if self.max_distance is None:
+            return None
+        return _spherical_cap_boxes(
+            self.center, self.max_distance / EARTH_RADIUS_METERS
+        )

@@ -11,7 +11,7 @@ MongoDB-style queries.
 
 Each registered query's AST is decomposed into one *access predicate* —
 a necessary condition the engine-level match implies — and the access
-predicate is stored in one of three structures, always scoped by the
+predicate is stored in one of five structures, always scoped by the
 query's collection (the per-collection discriminator):
 
 * **equality buckets** — a hash map keyed on ``(path, value)`` for
@@ -24,13 +24,31 @@ query's collection (the per-collection discriminator):
   the same path, the paper-workload shape ``random >= i AND random <
   j``) in a centered interval tree, rebuilt lazily after mutations, so
   a stabbing query costs ``O(log n + matches)`` instead of a linear
-  boundary scan.
+  boundary scan;
+* **spatial grid** — ``$geoWithin`` / ``$nearSphere`` shapes
+  conservatively rasterized into cells of a fixed-resolution lon/lat
+  grid (per query path); a write's point value probes only its own
+  cell.  Longitudes are wrapped modulo 360 on both sides of the
+  structure, so spherical caps crossing the antimeridian stay sound;
+  shapes covering too many cells (or unbounded ones, e.g.
+  ``$nearSphere`` without ``$maxDistance``) become *broad* entries
+  fired by every point probe on the path, and point values outside the
+  latitude domain probe broadly — still strictly cheaper than
+  residual, because documents without a point at the path are never
+  candidates;
+* **inverted token index** — ``$text`` searches with positive terms
+  are bucketed under each folded term (document-level, since ``$text``
+  spans all string fields); a write probes the buckets of its own
+  token set.  Phrases and negated terms never prune (they only
+  restrict further); searches with *no* positive term (phrase-only or
+  negation-only) stay residual because substring phrase semantics
+  cannot be decided from token buckets.
 
 Queries whose filter offers no indexable access predicate (``{}``,
-negations, ``$exists``, ``$regex``/``$text``/geo, ``$or`` with a
-non-indexable branch, …) fall into a per-collection **residual set**
-and are candidates for every after-image of that collection — exactly
-the pre-index behaviour, but only for the queries that need it.
+negations, ``$exists``, ``$regex``, ``$or`` with a non-indexable
+branch, …) fall into a per-collection **residual set** and are
+candidates for every after-image of that collection — exactly the
+pre-index behaviour, but only for the queries that need it.
 
 Soundness contract: for any document, ``candidates(document,
 collection)`` is a **superset** of the queries the engine would report
@@ -60,7 +78,7 @@ from __future__ import annotations
 import math
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.query.ast import (
     AllOf,
@@ -70,9 +88,11 @@ from repro.query.ast import (
     conjunctive_branches,
 )
 from repro.query.engine import Query
+from repro.query.geo import GeoWithin, NearSphere, as_point
 from repro.query.matcher import resolve_path
 from repro.query.operators import Eq, Gt, Gte, In, Lt, Lte
 from repro.query.sortspec import type_bracket
+from repro.query.text import TextSearch, document_tokens
 from repro.types import Document
 
 _NUMBER = type_bracket(0)
@@ -126,7 +146,9 @@ def _range_bracket(value: Any) -> Optional[int]:
 #: Selectivity scores for choosing among conjunction branches.
 _SCORE_EQ = 3
 _SCORE_INTERVAL = 2
+_SCORE_SPATIAL = 2
 _SCORE_HALF_RANGE = 1
+_SCORE_TEXT = 1
 
 Bound = Tuple[Any, bool]  # (boundary value, inclusive)
 
@@ -145,8 +167,132 @@ class _RangeEntry:
     upper: Optional[Bound]
 
 
-_Entry = Any  # _EqEntry | _RangeEntry
+#: A grid cell: (column from wrapped longitude, row from latitude).
+_Cell = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class _SpatialEntry:
+    """A geo predicate rasterized onto the grid.
+
+    ``cells is None`` marks a *broad* entry: the shape is unbounded or
+    covers more than :data:`_CELL_CAP` cells, so every point probe on
+    the path returns it (the predicate still requires a point value at
+    the path, which is why broad beats residual).
+    """
+
+    path: str
+    cells: Optional[FrozenSet[_Cell]]
+
+
+@dataclass(frozen=True)
+class _TextEntry:
+    """A ``$text`` search bucketed under its positive terms
+    (document-level: ``$text`` has no path)."""
+
+    tokens: FrozenSet[str]
+
+
+_Entry = Any  # _EqEntry | _RangeEntry | _SpatialEntry | _TextEntry
 _Plan = Tuple[int, List[_Entry]]
+
+
+@dataclass(frozen=True)
+class _Gates:
+    """Decomposition gates: which access-path families may be used and
+    the spatial grid resolution (cells per axis)."""
+
+    spatial: bool = True
+    text: bool = True
+    grid_cells: int = 64
+
+
+_DEFAULT_GATES = _Gates()
+
+#: A shape rasterizing to more cells than this becomes a broad entry —
+#: bounding per-query memory and insert/remove cost.
+_CELL_CAP = 1024
+
+
+def _grid_col(lon: float, cells: int) -> int:
+    """Column of a longitude already wrapped into [-180, 180]."""
+    return min(cells - 1, max(0, int((lon + 180.0) / 360.0 * cells)))
+
+
+def _grid_row(lat: float, cells: int) -> int:
+    return min(cells - 1, max(0, int((lat + 90.0) / 180.0 * cells)))
+
+
+def _wrap_interval(lo: float, hi: float) -> List[Tuple[float, float]]:
+    """Wrap a raw longitude interval into [-180, 180] segments.
+
+    Both planar shapes with out-of-range legacy coordinates and
+    spherical caps sticking past the antimeridian decompose into one or
+    two in-range segments; a point's wrapped longitude then falls into
+    a segment exactly when its raw longitude falls into the raw
+    interval (up to the +-180 seam, which probes handle by checking
+    both seam columns).
+    """
+    if hi - lo >= 360.0:
+        return [(-180.0, 180.0)]
+    lo_w = ((lo + 180.0) % 360.0) - 180.0
+    hi_w = lo_w + (hi - lo)
+    if hi_w <= 180.0:
+        return [(lo_w, hi_w)]
+    return [(lo_w, 180.0), (-180.0, hi_w - 360.0)]
+
+
+def _raster_cells(
+    boxes: List[Tuple[float, float, float, float]], cells: int
+) -> Optional[FrozenSet[_Cell]]:
+    """Grid cells covering *boxes*, or None when the cover is broad.
+
+    Soundness: every in-domain point inside one of the boxes maps to a
+    returned cell (latitude clamping is monotone; longitude wrapping is
+    exact via :func:`_wrap_interval`).  Points outside the latitude
+    domain probe broadly, so boxes entirely outside it rasterize to
+    nothing — and an all-empty result falls back to broad, since only
+    such out-of-domain points could ever fall into those boxes.
+    """
+    out: Set[_Cell] = set()
+    for min_x, min_y, max_x, max_y in boxes:
+        if min_y > 90.0 or max_y < -90.0:
+            continue
+        row_lo = _grid_row(max(min_y, -90.0), cells)
+        row_hi = _grid_row(min(max_y, 90.0), cells)
+        for lo, hi in _wrap_interval(min_x, max_x):
+            col_lo = _grid_col(lo, cells)
+            col_hi = _grid_col(hi, cells)
+            span = (col_hi - col_lo + 1) * (row_hi - row_lo + 1)
+            if len(out) + span > _CELL_CAP:
+                return None
+            for col in range(col_lo, col_hi + 1):
+                for row in range(row_lo, row_hi + 1):
+                    out.add((col, row))
+    return frozenset(out) if out else None
+
+
+def _probe_cells(point: Tuple[float, float], cells: int) -> (
+        Optional[List[_Cell]]):
+    """Cells a document point value probes, or None for a broad probe.
+
+    Non-finite coordinates and latitudes outside [-90, 90] have no
+    sound cell (spherical distance wraps them around the poles), so
+    they conservatively probe every spatial entry on the path.  A
+    longitude on the +-180 seam probes both seam columns, covering
+    shapes rasterized up to either edge.
+    """
+    lon, lat = point
+    if not (math.isfinite(lon) and math.isfinite(lat)):
+        return None
+    if lat < -90.0 or lat > 90.0:
+        return None
+    lon_w = ((lon + 180.0) % 360.0) - 180.0
+    row = _grid_row(lat, cells)
+    probes = [(_grid_col(lon_w, cells), row)]
+    if lon_w == -180.0:
+        probes.append((cells - 1, row))
+    return probes
 
 
 def _tighter_lower(current: Optional[Bound], new: Bound) -> Bound:
@@ -170,8 +316,22 @@ def _tighter_upper(current: Optional[Bound], new: Bound) -> Bound:
     return new if not new[1] else current
 
 
-def _plan_leaf(predicate: FieldPredicate) -> Optional[_Plan]:
+def _plan_leaf(predicate: FieldPredicate, gates: _Gates) -> Optional[_Plan]:
     operator = predicate.operator
+    if isinstance(operator, (GeoWithin, NearSphere)):
+        # Both evaluate to False for non-point values, so "a point
+        # value exists at the path AND its cell is covered" is a
+        # necessary condition.  Unbounded shapes (no $maxDistance,
+        # whole-sphere caps, > _CELL_CAP covers) become broad entries:
+        # any point at the path fires them.
+        if not gates.spatial:
+            return None
+        boxes = operator.bounding_boxes()
+        cover = (
+            None if boxes is None
+            else _raster_cells(boxes, gates.grid_cells)
+        )
+        return _SCORE_SPATIAL, [_SpatialEntry(predicate.path, cover)]
     if isinstance(operator, Eq):
         key = _eq_key(operator.value)
         if key is _UNSAFE:
@@ -203,7 +363,9 @@ def _plan_leaf(predicate: FieldPredicate) -> Optional[_Plan]:
     return None
 
 
-def _plan_conjunction(branches: Tuple[Node, ...]) -> Optional[_Plan]:
+def _plan_conjunction(
+    branches: Tuple[Node, ...], gates: _Gates
+) -> Optional[_Plan]:
     """Choose the best access predicate among conjunction branches.
 
     Every branch of a conjunction is individually *necessary*, so any
@@ -218,7 +380,7 @@ def _plan_conjunction(branches: Tuple[Node, ...]) -> Optional[_Plan]:
     candidates: List[_Plan] = []
     bounds: Dict[Tuple[str, int], List[Optional[Bound]]] = {}
     for branch in branches:
-        plan = _plan_node(branch)
+        plan = _plan_node(branch, gates)
         if plan is not None:
             candidates.append(plan)
         if isinstance(branch, FieldPredicate):
@@ -247,40 +409,63 @@ def _plan_conjunction(branches: Tuple[Node, ...]) -> Optional[_Plan]:
     return max(candidates, key=lambda plan: (plan[0], -len(plan[1])))
 
 
-def _plan_node(node: Node) -> Optional[_Plan]:
+def _plan_node(node: Node, gates: _Gates) -> Optional[_Plan]:
     """Decompose *node* into access-predicate entries, or None (residual).
 
     The returned entries have *union* semantics: the query is a
     candidate as soon as any one entry fires.
     """
     if isinstance(node, FieldPredicate):
-        return _plan_leaf(node)
+        return _plan_leaf(node, gates)
+    if isinstance(node, TextSearch):
+        # Indexable by its positive terms alone: a match requires SOME
+        # positive term in the document's token set, so bucketing under
+        # each term is a necessary condition.  Phrases and negated
+        # terms only restrict further — they never prune.  Without a
+        # positive term the match can hinge on substring phrases (or
+        # pure negation), which token buckets cannot decide: residual.
+        if not gates.text:
+            return None
+        terms = frozenset(node.parsed.terms)
+        if not terms:
+            return None
+        return _SCORE_TEXT, [_TextEntry(terms)]
     if isinstance(node, AllOf):
-        return _plan_conjunction(conjunctive_branches(node))
+        return _plan_conjunction(conjunctive_branches(node), gates)
     if isinstance(node, AnyOf):
         # A disjunction is indexable only when EVERY branch is: the
         # matching branch is unknown in advance, so each contributes its
         # entries and the union stays a necessary condition.
-        plans = [_plan_node(branch) for branch in node.branches]
+        plans = [_plan_node(branch, gates) for branch in node.branches]
         if any(plan is None for plan in plans):
             return None
         entries = [entry for _, branch_entries in plans for entry in branch_entries]
         return min(score for score, _ in plans), entries
-    # Always, Not, NoneOf, TextSearch (and anything unknown): residual.
+    # Always, Not, NoneOf (and anything unknown): residual.
     return None
 
 
-def decompose(query: Query) -> Optional[List[_Entry]]:
+def decompose(
+    query: Query,
+    *,
+    spatial: bool = True,
+    text: bool = True,
+    grid_cells: int = 64,
+) -> Optional[List[_Entry]]:
     """Public decomposition hook: entries for *query*, or None (residual).
 
     An empty entry list means the access predicate is unsatisfiable
     (e.g. ``$in: []`` or an empty interval): the query can never match
-    and is never a candidate.
+    and is never a candidate.  The keyword gates switch the spatial and
+    text access-path families off (their predicates then fall back to
+    residual, the pre-gate behaviour) and set the spatial grid
+    resolution.
     """
+    gates = _Gates(spatial=spatial, text=text, grid_cells=grid_cells)
     branches = conjunctive_branches(query.node)
     if not branches:
         return None  # the empty filter matches everything: residual
-    plan = _plan_conjunction(branches)
+    plan = _plan_conjunction(branches, gates)
     return None if plan is None else plan[1]
 
 
@@ -412,7 +597,7 @@ class _PathIndex:
     """All indexable entries for one ``(collection, path)``."""
 
     __slots__ = ("eq", "lower_keys", "lowers", "upper_keys", "uppers",
-                 "intervals", "trees")
+                 "intervals", "trees", "spatial_cells", "spatial_broad")
 
     def __init__(self) -> None:
         self.eq: Dict[Any, Set[str]] = {}
@@ -425,10 +610,25 @@ class _PathIndex:
         # Two-sided intervals per bracket + lazily (re)built trees.
         self.intervals: Dict[int, List[_Interval]] = {}
         self.trees: Dict[int, Optional[_IntervalNode]] = {}
+        # Spatial grid: cell -> query ids, plus the broad set fired by
+        # every point probe (unbounded / over-cap shapes).
+        self.spatial_cells: Dict[_Cell, Set[str]] = {}
+        self.spatial_broad: Set[str] = set()
+
+    @property
+    def has_spatial(self) -> bool:
+        return bool(self.spatial_cells) or bool(self.spatial_broad)
 
     # -- mutation -----------------------------------------------------------
 
     def insert(self, entry: _Entry, query_id: str) -> None:
+        if isinstance(entry, _SpatialEntry):
+            if entry.cells is None:
+                self.spatial_broad.add(query_id)
+            else:
+                for cell in entry.cells:
+                    self.spatial_cells.setdefault(cell, set()).add(query_id)
+            return
         if isinstance(entry, _EqEntry):
             self.eq.setdefault(entry.key, set()).add(query_id)
             return
@@ -459,6 +659,17 @@ class _PathIndex:
             entries.insert(position, (entry.upper[0], entry.upper[1], query_id))
 
     def remove(self, entry: _Entry, query_id: str) -> None:
+        if isinstance(entry, _SpatialEntry):
+            if entry.cells is None:
+                self.spatial_broad.discard(query_id)
+            else:
+                for cell in entry.cells:
+                    bucket = self.spatial_cells.get(cell)
+                    if bucket is not None:
+                        bucket.discard(query_id)
+                        if not bucket:
+                            del self.spatial_cells[cell]
+            return
         if isinstance(entry, _EqEntry):
             bucket = self.eq.get(entry.key)
             if bucket is not None:
@@ -506,7 +717,13 @@ class _PathIndex:
 
     # -- probing ------------------------------------------------------------
 
-    def collect(self, values: List[Any], fan_out: bool, out: Set[str]) -> None:
+    def collect(
+        self,
+        values: List[Any],
+        fan_out: bool,
+        out: Set[str],
+        hits: Dict[str, int],
+    ) -> None:
         """Add every query id whose entry fires for *values*.
 
         *values* are the comparable candidate values the path resolves
@@ -514,6 +731,9 @@ class _PathIndex:
         them).  *fan_out* signals more than one candidate value: the
         interval tree is bypassed (two different elements may satisfy
         the two bounds) in favour of returning every interval entry.
+        *hits* accumulates per-family candidate counts (first-touch
+        attribution: a query already produced by an earlier family is
+        not recounted).
         """
         probed_brackets: Set[int] = set()
         for value in values:
@@ -521,33 +741,71 @@ class _PathIndex:
             if key is not _UNSAFE:
                 bucket = self.eq.get(key)
                 if bucket is not None:
+                    before = len(out)
                     out.update(bucket)
+                    hits["equality"] += len(out) - before
             if isinstance(value, float) and math.isnan(value):
                 # NaN compares equal to every number under BSON
                 # three-way comparison: every numeric bound AND every
                 # numeric equality entry matches, so return them all.
+                before = len(out)
                 self._collect_all_ranges(_NUMBER, out)
+                hits["range"] += len(out) - before
+                before = len(out)
                 for key, bucket in self.eq.items():
                     if (
                         not isinstance(key, bool)
                         and isinstance(key, (int, float))
                     ):
                         out.update(bucket)
+                hits["equality"] += len(out) - before
                 probed_brackets.add(_NUMBER)
                 continue
             bracket = _range_bracket(value)
             if bracket is None:
                 continue
             probed_brackets.add(bracket)
+            before = len(out)
             self._stab_one_sided(bracket, value, out)
+            hits["range"] += len(out) - before
             if not fan_out:
                 if bracket in self.intervals and bracket not in self.trees:
                     self.trees[bracket] = _build_tree(self.intervals[bracket])
+                before = len(out)
                 _stab_tree(self.trees.get(bracket), value, out)
+                hits["interval"] += len(out) - before
         if fan_out:
+            before = len(out)
             for bracket in probed_brackets:
                 for iv in self.intervals.get(bracket, ()):
                     out.add(iv[4])
+            hits["interval"] += len(out) - before
+
+    def collect_spatial(
+        self,
+        probes: Optional[List[_Cell]],
+        out: Set[str],
+        hits: Dict[str, int],
+    ) -> None:
+        """Add spatial candidates for the given cell probes.
+
+        ``probes is None`` is the broad probe (a point value outside
+        the grid's domain): every spatial entry on the path fires.  An
+        empty probe list means the path held no point value — no
+        spatial predicate can match, so nothing fires (this is the
+        pruning win over residual)."""
+        before = len(out)
+        if probes is None:
+            out.update(self.spatial_broad)
+            for bucket in self.spatial_cells.values():
+                out.update(bucket)
+        elif probes:
+            out.update(self.spatial_broad)
+            for cell in probes:
+                bucket = self.spatial_cells.get(cell)
+                if bucket is not None:
+                    out.update(bucket)
+        hits["spatial"] += len(out) - before
 
     def _stab_one_sided(self, bracket: int, value: Any, out: Set[str]) -> None:
         keys = self.lower_keys.get(bracket)
@@ -582,31 +840,51 @@ class _PathIndex:
     # -- introspection ------------------------------------------------------
 
     def entry_counts(self) -> Dict[str, int]:
+        spatial_queries: Set[str] = set(self.spatial_broad)
+        for bucket in self.spatial_cells.values():
+            spatial_queries.update(bucket)
         return {
             "eq_buckets": len(self.eq),
             "eq_entries": sum(len(bucket) for bucket in self.eq.values()),
             "range_entries": sum(len(v) for v in self.lowers.values())
             + sum(len(v) for v in self.uppers.values()),
             "interval_entries": sum(len(v) for v in self.intervals.values()),
+            "spatial_entries": len(spatial_queries),
+            "spatial_cells": len(self.spatial_cells),
         }
 
 
 class _CollectionIndex:
-    """The per-collection discriminator: paths + residual set."""
+    """The per-collection discriminator: paths + residual set + the
+    document-level inverted token index for ``$text``."""
 
-    __slots__ = ("paths", "residual")
+    __slots__ = ("paths", "residual", "text_tokens")
 
     def __init__(self) -> None:
         self.paths: Dict[str, _PathIndex] = {}
         self.residual: Set[str] = set()
+        #: Folded positive term -> query ids searching for it.
+        self.text_tokens: Dict[str, Set[str]] = {}
 
     def insert(self, entry: _Entry, query_id: str) -> None:
+        if isinstance(entry, _TextEntry):
+            for token in entry.tokens:
+                self.text_tokens.setdefault(token, set()).add(query_id)
+            return
         path_index = self.paths.get(entry.path)
         if path_index is None:
             path_index = self.paths[entry.path] = _PathIndex()
         path_index.insert(entry, query_id)
 
     def remove(self, entry: _Entry, query_id: str) -> None:
+        if isinstance(entry, _TextEntry):
+            for token in entry.tokens:
+                bucket = self.text_tokens.get(token)
+                if bucket is not None:
+                    bucket.discard(query_id)
+                    if not bucket:
+                        del self.text_tokens[token]
+            return
         path_index = self.paths.get(entry.path)
         if path_index is not None:
             path_index.remove(entry, query_id)
@@ -618,12 +896,36 @@ class _CollectionIndex:
 
 
 class QueryIndex:
-    """Candidate generation over the active queries of a matching node."""
+    """Candidate generation over the active queries of a matching node.
 
-    def __init__(self) -> None:
+    ``spatial`` / ``text`` gate the corresponding access-path families
+    (off, their predicates fall back to residual — the pre-gate
+    behaviour for A/B measurements; results are identical either way);
+    ``grid_cells`` is the spatial grid resolution per axis.
+    """
+
+    def __init__(
+        self,
+        spatial: bool = True,
+        text: bool = True,
+        grid_cells: int = 64,
+    ) -> None:
+        self._gates = _Gates(
+            spatial=spatial, text=text, grid_cells=max(1, int(grid_cells))
+        )
         self._collections: Dict[str, _CollectionIndex] = {}
         #: query_id -> (collection, entries or None when residual)
         self._plans: Dict[str, Tuple[str, Optional[List[_Entry]]]] = {}
+        #: Candidate hits attributed to the access path that produced
+        #: them (first-touch within one probe; see ``_PathIndex.collect``).
+        self.hits: Dict[str, int] = {
+            "residual": 0,
+            "equality": 0,
+            "range": 0,
+            "interval": 0,
+            "spatial": 0,
+            "text": 0,
+        }
 
     def add(self, query: Query) -> bool:
         """Index *query*; True when it got an access predicate.
@@ -634,7 +936,13 @@ class QueryIndex:
         existing = self._plans.get(query.query_id)
         if existing is not None:
             return existing[1] is not None
-        entries = decompose(query)
+        gates = self._gates
+        entries = decompose(
+            query,
+            spatial=gates.spatial,
+            text=gates.text,
+            grid_cells=gates.grid_cells,
+        )
         collection_index = self._collections.get(query.collection)
         if collection_index is None:
             collection_index = _CollectionIndex()
@@ -675,7 +983,11 @@ class QueryIndex:
         collection_index = self._collections.get(collection)
         if collection_index is None:
             return out
-        out.update(collection_index.residual)
+        hits = self.hits
+        if collection_index.residual:
+            out.update(collection_index.residual)
+            hits["residual"] += len(collection_index.residual)
+        grid_cells = self._gates.grid_cells
         for path, path_index in collection_index.paths.items():
             terminals, exists = resolve_path(document, path)
             if not exists:
@@ -689,9 +1001,40 @@ class QueryIndex:
                     )
                 elif not isinstance(terminal, dict):
                     values.append(terminal)
-            if not values:
-                continue
-            path_index.collect(values, len(values) > 1, out)
+            if values:
+                path_index.collect(values, len(values) > 1, out, hits)
+            if path_index.has_spatial:
+                # Spatial probing runs over the RAW terminals: point
+                # values are containers ([lon, lat] pairs or GeoJSON
+                # dicts), which the comparable-value filter above
+                # rightly drops.  Candidate points mirror the matcher's
+                # array fan-out — the terminal itself plus, for array
+                # terminals, each element.
+                probes: Optional[List[_Cell]] = []
+                for terminal in terminals:
+                    candidates = [terminal]
+                    if isinstance(terminal, (list, tuple)):
+                        candidates.extend(terminal)
+                    for value in candidates:
+                        point = as_point(value)
+                        if point is None:
+                            continue
+                        cell_probe = _probe_cells(point, grid_cells)
+                        if cell_probe is None:
+                            probes = None
+                            break
+                        probes.extend(cell_probe)
+                    if probes is None:
+                        break
+                path_index.collect_spatial(probes, out, hits)
+        if collection_index.text_tokens:
+            before = len(out)
+            buckets = collection_index.text_tokens
+            for token in document_tokens(document):
+                bucket = buckets.get(token)
+                if bucket is not None:
+                    out.update(bucket)
+            hits["text"] += len(out) - before
         return out
 
     # -- introspection ------------------------------------------------------
@@ -715,19 +1058,29 @@ class QueryIndex:
             "eq_entries": 0,
             "range_entries": 0,
             "interval_entries": 0,
+            "spatial_entries": 0,
+            "spatial_cells": 0,
         }
         paths = 0
+        text_tokens = 0
+        text_queries: Set[str] = set()
         for collection_index in self._collections.values():
             paths += len(collection_index.paths)
             for path_index in collection_index.paths.values():
                 for key, count in path_index.entry_counts().items():
                     totals[key] += count
+            text_tokens += len(collection_index.text_tokens)
+            for bucket in collection_index.text_tokens.values():
+                text_queries.update(bucket)
         return {
             "queries": len(self._plans),
             "residual_queries": self.residual_count,
             "collections": len(self._collections),
             "paths": paths,
             **totals,
+            "text_tokens": text_tokens,
+            "text_entries": len(text_queries),
+            "hits": dict(self.hits),
         }
 
     def __repr__(self) -> str:

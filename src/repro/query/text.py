@@ -21,12 +21,14 @@ from __future__ import annotations
 import re
 import unicodedata
 from dataclasses import dataclass
-from typing import Any, FrozenSet, Iterator, List, Tuple
+from functools import lru_cache
+from typing import Any, Iterator, List, Set, Tuple
 
 from repro.errors import QueryParseError
 from repro.query.ast import Node
 
 _TOKEN_RE = re.compile(r"[\w']+", re.UNICODE)
+_PHRASE_RE = re.compile(r'"([^"]*)"')
 
 
 def fold(text: str) -> str:
@@ -36,9 +38,34 @@ def fold(text: str) -> str:
     return stripped.casefold()
 
 
+@lru_cache(maxsize=4096)
+def _cached_tokens(text: str) -> Tuple[str, ...]:
+    """Folded word tokens of *text*, memoized.
+
+    Text probing runs per write against every string field, and real
+    workloads repeat field values heavily (status strings, tags, the
+    static parts of payloads) — the bounded cache turns those repeats
+    into a dict hit instead of an NFKD pass + regex scan.
+    """
+    return tuple(_TOKEN_RE.findall(fold(text)))
+
+
 def tokenize(text: str) -> List[str]:
     """Split *text* into folded word tokens."""
-    return _TOKEN_RE.findall(fold(text))
+    return list(_cached_tokens(text))
+
+
+def document_tokens(document: Any) -> Set[str]:
+    """The folded token set over every string field of *document*.
+
+    Shared by :meth:`TextSearch.matches_document` and the query index's
+    inverted token probe, so both sides agree exactly on what counts as
+    a token (a soundness requirement for candidate pruning).
+    """
+    tokens: Set[str] = set()
+    for text in _iter_strings(document):
+        tokens.update(_cached_tokens(text))
+    return tokens
 
 
 def _iter_strings(value: Any) -> Iterator[str]:
@@ -70,7 +97,7 @@ def parse_search(search: str) -> ParsedSearch:
         phrases.append(fold(match.group(1)))
         return " "
 
-    remainder = re.sub(r'"([^"]*)"', grab_phrase, search)
+    remainder = _PHRASE_RE.sub(grab_phrase, search)
     terms: List[str] = []
     negated: List[str] = []
     for raw in remainder.split():
@@ -103,11 +130,7 @@ class TextSearch(Node):
 
     def matches_document(self, document: Any) -> bool:
         """Evaluate the text predicate over all string fields."""
-        token_set: FrozenSet[str] = frozenset(
-            token
-            for text in _iter_strings(document)
-            for token in tokenize(text)
-        )
+        token_set = document_tokens(document)
         if any(token in token_set for token in self.parsed.negated):
             return False
         folded_texts = None

@@ -332,3 +332,149 @@ class TestIntrospection:
         assert stats["range_entries"] == 1
         assert stats["interval_entries"] == 1
         assert "QueryIndex" in repr(index)
+
+
+class TestSpatialDecomposition:
+    def test_box_covers_cells(self):
+        entries = decompose(
+            Query({"loc": {"$geoWithin": {"$box": [[-10, -10], [10, 10]]}}})
+        )
+        assert entries is not None and len(entries) == 1
+        entry = entries[0]
+        assert entry.path == "loc"
+        assert entry.cells  # a small box covers a bounded cell set
+
+    def test_unbounded_near_sphere_is_broad(self):
+        entries = decompose(Query({"loc": {"$nearSphere": {
+            "$geometry": {"type": "Point", "coordinates": [0, 0]},
+        }}}))
+        assert entries is not None and len(entries) == 1
+        assert entries[0].cells is None  # broad: fired by any point probe
+
+    def test_spatial_gate_off_is_residual(self):
+        query = Query({"loc": {"$geoWithin": {"$box": [[0, 0], [1, 1]]}}})
+        assert decompose(query, spatial=False) is None
+        assert decompose(query) is not None
+
+    def test_grid_resolution_changes_cover_size(self):
+        query = Query(
+            {"loc": {"$geoWithin": {"$box": [[-90, -45], [90, 45]]}}}
+        )
+        coarse = decompose(query, grid_cells=4)[0]
+        fine = decompose(query, grid_cells=32)[0]
+        assert len(coarse.cells) < len(fine.cells)
+
+    def test_geo_or_indexable_when_all_branches_are(self):
+        entries = decompose(Query({"$or": [
+            {"loc": {"$geoWithin": {"$box": [[0, 0], [1, 1]]}}},
+            {"loc": {"$geoWithin": {"$box": [[20, 20], [21, 21]]}}},
+        ]}))
+        assert entries is not None and len(entries) == 2
+
+
+class TestSpatialProbes:
+    BOX = Query({"loc": {"$geoWithin": {"$box": [[-10, -10], [10, 10]]}}})
+    BROAD = Query({"loc": {"$nearSphere": {
+        "$geometry": {"type": "Point", "coordinates": [0, 0]},
+    }}})
+
+    def test_point_in_box_is_candidate(self):
+        index = build(self.BOX)
+        assert candidates_of(index, {"loc": [5, 5]})
+        assert not candidates_of(index, {"loc": [90, 5]})
+
+    def test_non_point_value_is_never_a_candidate(self):
+        # The engine cannot match a geo predicate against a non-point,
+        # so pruning it is sound even for broad entries.
+        index = build(self.BOX, self.BROAD)
+        assert candidates_of(index, {"loc": "junk"}) == set()
+        assert candidates_of(index, {"other": [5, 5]}) == set()
+
+    def test_out_of_range_latitude_probes_broadly(self):
+        # |lat| > 90 has no grid row: a conservative probe must return
+        # every spatial entry on the path.
+        index = build(self.BOX, self.BROAD)
+        got = candidates_of(index, {"loc": [0, 120]})
+        assert got == {self.BOX.query_id, self.BROAD.query_id}
+
+    def test_broad_entry_fires_on_any_point(self):
+        index = build(self.BROAD)
+        assert candidates_of(index, {"loc": [179, -80]})
+
+    def test_antimeridian_seam(self):
+        hugging = Query({"loc": {"$geoWithin": {
+            "$centerSphere": [[179.9, 0], 0.01],
+        }}})
+        index = build(hugging)
+        assert candidates_of(index, {"loc": [-179.95, 0]})
+        assert candidates_of(index, {"loc": [180.0, 0.0]})
+
+    def test_array_of_points_fans_out(self):
+        index = build(Query({"pts": {"$geoWithin": {
+            "$box": [[-10, -10], [10, 10]],
+        }}}))
+        assert candidates_of(index, {"pts": [[90, 0], [5, 5]]})
+        assert not candidates_of(index, {"pts": [[90, 0], [80, 0]]})
+
+
+class TestTextIndex:
+    def test_positive_terms_bucket_queries(self):
+        alpha = Query({"$text": {"$search": "alpha"}})
+        beta = Query({"$text": {"$search": "beta gamma"}})
+        index = build(alpha, beta)
+        assert candidates_of(index, {"note": "ALPHA!"}) == {alpha.query_id}
+        assert candidates_of(index, {"note": "some gamma"}) == {
+            beta.query_id
+        }
+        assert candidates_of(index, {"note": "delta"}) == set()
+
+    def test_negated_terms_never_prune(self):
+        query = Query({"$text": {"$search": "alpha -beta"}})
+        index = build(query)
+        # The positive term buckets it; the negation must not shrink
+        # the candidate set (the engine decides the final answer).
+        assert candidates_of(index, {"note": "alpha beta"}) == {
+            query.query_id
+        }
+
+    def test_phrase_only_search_is_residual(self):
+        query = Query({"$text": {"$search": '"alpha beta"'}})
+        index = build(query)
+        assert index.stats()["residual_queries"] == 1
+        assert candidates_of(index, {"note": "anything"}) == {
+            query.query_id
+        }
+
+    def test_text_gate_off_is_residual(self):
+        query = Query({"$text": {"$search": "alpha"}})
+        assert decompose(query, text=False) is None
+        assert decompose(query) is not None
+
+
+class TestSpatioTextualLifecycle:
+    def test_remove_drops_spatial_and_text_entries(self):
+        geo = Query({"loc": {"$geoWithin": {"$box": [[0, 0], [5, 5]]}}})
+        text = Query({"$text": {"$search": "alpha"}})
+        index = build(geo, text)
+        stats = index.stats()
+        assert stats["spatial_entries"] == 1
+        assert stats["text_entries"] == 1
+        assert index.remove(geo.query_id)
+        assert index.remove(text.query_id)
+        stats = index.stats()
+        assert stats["spatial_entries"] == 0
+        assert stats["spatial_cells"] == 0
+        assert stats["text_entries"] == 0
+        assert stats["text_tokens"] == 0
+
+    def test_hit_counters_attribute_by_family(self):
+        geo = Query({"loc": {"$geoWithin": {"$box": [[0, 0], [5, 5]]}}})
+        text = Query({"$text": {"$search": "alpha"}})
+        residual = Query({"v": {"$ne": 1}})
+        index = build(geo, text, residual)
+        candidates_of(index, {"loc": [2, 2], "note": "alpha"})
+        hits = index.stats()["hits"]
+        assert hits["spatial"] == 1
+        assert hits["text"] == 1
+        assert hits["residual"] == 1
+        assert hits["equality"] == 0

@@ -147,3 +147,89 @@ class TestNearSphere:
         with pytest.raises(QueryParseError):
             NearSphere({"$geometry": {"type": "Point", "coordinates": [0, 0]},
                         "$maxDistance": -1})
+
+
+class TestGeoParserAudit:
+    """Regression pins for the degenerate-input audit: every malformed
+    shape is a parse-time QueryParseError, never a silent mis-match."""
+
+    def test_degenerate_polygon_duplicate_vertices(self):
+        with pytest.raises(QueryParseError, match="distinct"):
+            Polygon([[1, 1], [1, 1], [1, 1]])
+
+    def test_collapsed_ring_after_closing_vertex(self):
+        # Closing duplicate is dropped first, leaving only two points.
+        with pytest.raises(QueryParseError):
+            Polygon([[0, 0], [1, 1], [0, 0]])
+
+    def test_empty_polygon(self):
+        with pytest.raises(QueryParseError):
+            Polygon([])
+
+    def test_zero_radius_circle_contains_exactly_center(self):
+        circle = Circle([[10, 53], 0.0], spherical=True)
+        assert circle.contains((10, 53))
+        assert not circle.contains((10.0001, 53))
+
+    def test_nan_radius_rejected(self):
+        for spherical in (False, True):
+            with pytest.raises(QueryParseError):
+                Circle([[0, 0], float("nan")], spherical=spherical)
+
+    def test_infinite_radius_rejected(self):
+        with pytest.raises(QueryParseError):
+            Circle([[0, 0], float("inf")], spherical=True)
+
+    def test_non_finite_coordinates_rejected(self):
+        with pytest.raises(QueryParseError):
+            Box([[float("nan"), 0], [1, 1]])
+        with pytest.raises(QueryParseError):
+            Polygon([[0, 0], [float("inf"), 0], [1, 1]])
+
+    def test_spherical_center_must_be_on_the_sphere(self):
+        with pytest.raises(QueryParseError):
+            Circle([[200, 0], 0.1], spherical=True)
+        with pytest.raises(QueryParseError):
+            NearSphere({"$geometry": {"type": "Point",
+                                      "coordinates": [0, 95]}})
+
+    def test_near_sphere_nan_distance_rejected(self):
+        with pytest.raises(QueryParseError):
+            NearSphere({"$geometry": {"type": "Point",
+                                      "coordinates": [0, 0]},
+                        "$maxDistance": float("nan")})
+
+    def test_near_sphere_min_above_max_rejected(self):
+        with pytest.raises(QueryParseError):
+            NearSphere({"$geometry": {"type": "Point",
+                                      "coordinates": [0, 0]},
+                        "$minDistance": 2_000, "$maxDistance": 1_000})
+
+    def test_near_sphere_without_max_distance_is_unbounded(self):
+        # Documented behaviour: no $maxDistance means every point on
+        # the sphere satisfies the distance filter (subject to $min).
+        operator = NearSphere({"$geometry": {"type": "Point",
+                                             "coordinates": [0, 0]}})
+        assert operator.evaluate([179, -89])
+        assert operator.bounding_boxes() is None  # whole sphere
+
+
+class TestTokenizeCache:
+    def test_cached_result_is_a_fresh_list(self):
+        first = tokenize("Alpha beta")
+        first.append("mutated")
+        assert tokenize("Alpha beta") == ["alpha", "beta"]
+
+    def test_cache_agrees_with_direct_tokenization(self):
+        from repro.query.text import _TOKEN_RE, _cached_tokens
+
+        for text in ["Crème BRÛLÉE", "don't stop", "", "a  b\tc"]:
+            assert list(_cached_tokens(text)) == _TOKEN_RE.findall(
+                fold(text)
+            )
+
+    def test_document_tokens_spans_nested_strings(self):
+        from repro.query.text import document_tokens
+
+        doc = {"a": "Alpha", "b": {"c": ["Beta", {"d": "gamma"}]}, "e": 1}
+        assert document_tokens(doc) == {"alpha", "beta", "gamma"}
